@@ -1,0 +1,325 @@
+// Package teva's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper (wired to the same code paths the
+// teva-experiments binary uses), plus component benchmarks for the
+// substrates (gate-level timing simulation, DTA, the CPU model, the
+// assembler). Run with:
+//
+//	go test -bench=. -benchmem
+package teva
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"teva/internal/campaign"
+	"teva/internal/core"
+	"teva/internal/cpu"
+	"teva/internal/dta"
+	"teva/internal/errmodel"
+	"teva/internal/experiments"
+	"teva/internal/fpu"
+	"teva/internal/isa"
+	"teva/internal/prng"
+	"teva/internal/timingsim"
+	"teva/internal/vscale"
+	"teva/internal/workloads"
+)
+
+// Shared environment: built once, sized so individual benchmark
+// iterations are meaningful but quick.
+var (
+	envOnce sync.Once
+	benv    *experiments.Env
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		f, err := core.New(core.Config{
+			Seed:             0xF00D,
+			RandomOperands:   2000,
+			WorkloadOperands: 1200,
+			DASample:         100000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		benv = experiments.NewEnv(f, experiments.Options{
+			Scale:     workloads.Tiny,
+			Runs:      12,
+			Fig4Paths: 1000,
+			Fig6Full:  2000,
+			Fig6Ks:    []int{500},
+			Fig6Reps:  1,
+		})
+	})
+	return benv
+}
+
+// BenchmarkTable2Workloads measures the golden execution of the full
+// benchmark suite (the data behind Table II).
+func BenchmarkTable2Workloads(b *testing.B) {
+	ws, err := workloads.All(workloads.Tiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		for _, w := range ws {
+			c := cpu.New(w.Program, cpu.Config{TrapFPInvalid: true})
+			res := c.Run(1 << 40)
+			if res.Status != cpu.Halted {
+				b.Fatalf("%s: %v", w.Name, res.Status)
+			}
+			instr += res.Instret
+		}
+	}
+	b.ReportMetric(float64(instr)/float64(b.N), "instrs/op")
+}
+
+// BenchmarkFig4STA measures the 1000-longest-path enumeration.
+func BenchmarkFig4STA(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+// BenchmarkFig5FlipDistribution measures the DTA batch behind the
+// bit-flip multiplicity histogram (per-op gate-level analysis).
+func BenchmarkFig5FlipDistribution(b *testing.B) {
+	e := benchEnv(b)
+	src := prng.New(1)
+	pairs := make([]dta.Pair, 200)
+	for i := range pairs {
+		pairs[i] = dta.Pair{A: src.Uint64(), B: src.Uint64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := dta.AnalyzeStream(e.F.FPU, fpu.DMul, e.F.Volt, vscale.VR20, false, pairs, 0)
+		dta.Summarize(fpu.DMul, recs)
+	}
+	b.ReportMetric(float64(len(pairs)), "dta-ops/op")
+}
+
+// BenchmarkFig6BERConvergence measures the sample-size study.
+func BenchmarkFig6BERConvergence(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7IAModel measures instruction-aware model development
+// (random-operand DTA across all 12 instructions).
+func BenchmarkFig7IAModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Characterization is cached per level inside a framework, so
+		// measure the cold pass on a fresh framework each iteration.
+		f, err := core.New(core.Config{Seed: uint64(i) + 1, RandomOperands: 500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.DevelopIA(vscale.VR20)
+	}
+}
+
+// BenchmarkFig8WAModel measures workload-aware model development for one
+// benchmark (trace capture + workload DTA).
+func BenchmarkFig8WAModel(b *testing.B) {
+	e := benchEnv(b)
+	w, err := workloads.ByName("is", workloads.Tiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := e.F.CaptureTrace(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.F.DevelopWA(vscale.VR20, tr)
+	}
+}
+
+// BenchmarkFig9Campaign measures one injection-campaign cell (golden run
+// + injected runs + classification).
+func BenchmarkFig9Campaign(b *testing.B) {
+	e := benchEnv(b)
+	w, err := workloads.ByName("sobel", workloads.Tiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := e.F.CaptureTrace(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wa := e.F.DevelopWA(vscale.VR20, tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.F.Evaluate(w, wa, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10ErrorRatios measures the error-ratio/divergence math over
+// a cached campaign set.
+func BenchmarkFig10ErrorRatios(b *testing.B) {
+	e := benchEnv(b)
+	if _, err := experiments.Fig10(e); err != nil { // warm the model caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAVMAnalysis measures the Section V-C vulnerability analysis
+// over a cached campaign set.
+func BenchmarkAVMAnalysis(b *testing.B) {
+	e := benchEnv(b)
+	cs, err := experiments.RunCampaigns(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AVMAnalysis(e, cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RenderAVM(io.Discard, e, cs, r)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Component benchmarks
+
+// BenchmarkTimingSimFast measures the levelized timing engine on the
+// multiplier CPA stage (the design's critical stage).
+func BenchmarkTimingSimFast(b *testing.B) {
+	benchTimingSim(b, false)
+}
+
+// BenchmarkTimingSimExact measures the event-driven engine on the same
+// stage.
+func BenchmarkTimingSimExact(b *testing.B) {
+	benchTimingSim(b, true)
+}
+
+func benchTimingSim(b *testing.B, exact bool) {
+	e := benchEnv(b)
+	p := e.F.FPU.Pipeline(fpu.DMul)
+	stage := p.Stages[3].N // s4-cpa
+	var sim timingsim.Runner
+	if exact {
+		sim = timingsim.NewExact(stage, 1.256)
+	} else {
+		sim = timingsim.NewFast(stage, 1.256)
+	}
+	src := prng.New(7)
+	prev := make([]bool, len(stage.Inputs()))
+	cur := make([]bool, len(stage.Inputs()))
+	for i := range prev {
+		prev[i] = src.Bool()
+		cur[i] = src.Bool()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(prev, cur, 85, 4400)
+	}
+	b.ReportMetric(float64(stage.NumGates()), "gates")
+}
+
+// BenchmarkGateLevelDTA measures full-pipeline dynamic timing analysis
+// per instruction (both golden and undervolted instances, all stages).
+func BenchmarkGateLevelDTA(b *testing.B) {
+	e := benchEnv(b)
+	a := dta.New(e.F.FPU, fpu.DMul, e.F.Volt, vscale.VR20, false)
+	src := prng.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Analyze(dta.Pair{A: src.Uint64(), B: src.Uint64()})
+	}
+}
+
+// BenchmarkCPUSimulator measures raw simulation speed on the sobel
+// benchmark (instructions per second via instrs/op).
+func BenchmarkCPUSimulator(b *testing.B) {
+	w, err := workloads.ByName("sobel", workloads.Tiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		c := cpu.New(w.Program, cpu.Config{TrapFPInvalid: true})
+		res := c.Run(1 << 40)
+		instr += res.Instret
+	}
+	b.ReportMetric(float64(instr)/float64(b.N), "instrs/op")
+}
+
+// BenchmarkCPUWithInjection measures the injection overhead of a
+// writeback hook relative to BenchmarkCPUSimulator.
+func BenchmarkCPUWithInjection(b *testing.B) {
+	w, err := workloads.ByName("sobel", workloads.Tiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := errmodel.BuildDA("VR20", 1, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj := m.NewInjector(prng.New(uint64(i)))
+		c := cpu.New(w.Program, cpu.Config{Injector: inj})
+		// Bounded budget: an injected error can livelock the program (the
+		// campaign layer's Timeout class), so never run open-ended here.
+		c.Run(2_000_000)
+	}
+}
+
+// BenchmarkAssembler measures two-pass assembly of the largest generated
+// workload source.
+func BenchmarkAssembler(b *testing.B) {
+	w, err := workloads.ByName("k-means", workloads.Tiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := isa.Assemble(w.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFPUConstruction measures generating and calibrating the whole
+// gate-level FPU.
+func BenchmarkFPUConstruction(b *testing.B) {
+	e := benchEnv(b)
+	lib := e.F.Lib
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fpu.New(lib, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = campaign.Masked

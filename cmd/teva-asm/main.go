@@ -1,0 +1,109 @@
+// Command teva-asm assembles, disassembles and runs MRV programs on the
+// microarchitectural simulator — the developer tool for writing new
+// workloads.
+//
+// Usage:
+//
+//	teva-asm run [-trace] prog.s   # assemble and execute (trace to stderr)
+//	teva-asm dis prog.s            # assemble and disassemble
+//	teva-asm bench <name> [scale]  # dump a built-in benchmark's source
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"teva/internal/cpu"
+	"teva/internal/fpu"
+	"teva/internal/isa"
+	"teva/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		cfg := cpu.Config{TrapFPInvalid: true}
+		file := os.Args[2]
+		if file == "-trace" {
+			if len(os.Args) < 4 {
+				usage()
+			}
+			cfg.Trace = os.Stderr
+			file = os.Args[3]
+		}
+		prog := assembleFile(file)
+		c := cpu.New(prog, cfg)
+		res := c.Run(1 << 40)
+		os.Stdout.Write(c.Output())
+		fmt.Printf("\n-- %v", res.Status)
+		if res.Status == cpu.Crashed {
+			fmt.Printf(" (%s)", res.Reason)
+		}
+		if res.Status == cpu.Halted {
+			fmt.Printf(" exit=%d", res.ExitCode)
+		}
+		fmt.Printf("\n-- %d instructions, %d cycles (IPC %.2f)\n",
+			res.Instret, res.Cycles, float64(res.Instret)/float64(res.Cycles))
+		var fpTotal int64
+		for op, n := range res.FPOps {
+			if n > 0 {
+				fmt.Printf("-- %-10s %d\n", fpu.Op(op), n)
+				fpTotal += n
+			}
+		}
+		fmt.Printf("-- fp total: %d (%.1f%%)\n", fpTotal,
+			100*float64(fpTotal)/float64(res.Instret))
+	case "dis":
+		prog := assembleFile(os.Args[2])
+		for i, raw := range prog.Text {
+			in, err := isa.Decode(raw)
+			if err != nil {
+				fmt.Printf("%08x: %08x  <illegal>\n", isa.TextBase+uint32(4*i), raw)
+				continue
+			}
+			fmt.Printf("%08x: %08x  %s\n", isa.TextBase+uint32(4*i), raw, isa.Disassemble(in))
+		}
+	case "bench":
+		scale := workloads.Small
+		if len(os.Args) > 3 {
+			switch os.Args[3] {
+			case "tiny":
+				scale = workloads.Tiny
+			case "full":
+				scale = workloads.Full
+			}
+		}
+		w, err := workloads.ByName(os.Args[2], scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(w.Source)
+	default:
+		usage()
+	}
+}
+
+func assembleFile(path string) *isa.Program {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return prog
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: teva-asm run [-trace]|dis <file.s>  or  teva-asm bench <name> [tiny|small|full]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "teva-asm:", err)
+	os.Exit(1)
+}

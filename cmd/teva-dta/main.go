@@ -1,0 +1,132 @@
+// Command teva-dta runs the model development phase: dynamic timing
+// analysis of the gate-level FPU at a voltage corner, producing an error
+// model file (DA, IA, or WA) for later injection campaigns.
+//
+// Usage:
+//
+//	teva-dta -model ia -level VR20 -o ia_vr20.json
+//	teva-dta -model wa -level VR15 -workload cg -o wa_cg_vr15.json
+//	teva-dta -model da -level VR20 -o da_vr20.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"teva/internal/core"
+	"teva/internal/errmodel"
+	"teva/internal/trace"
+	"teva/internal/vscale"
+	"teva/internal/workloads"
+)
+
+func main() {
+	modelName := flag.String("model", "wa", "model family: da, ia, wa")
+	levelName := flag.String("level", "VR20", "voltage reduction level: VR15, VR20")
+	workloadName := flag.String("workload", "", "benchmark for the WA model (required for -model wa)")
+	scaleName := flag.String("scale", "small", "workload scale: tiny, small, full")
+	out := flag.String("o", "", "output model file (default stdout)")
+	operands := flag.Int("operands", 0, "DTA operands per instruction type (0: default)")
+	seed := flag.Uint64("seed", 0xF00D, "master seed")
+	exact := flag.Bool("exact", false, "use the event-driven timing engine (slow, reference)")
+	flag.Parse()
+
+	level, err := parseLevel(*levelName)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := core.New(core.Config{
+		Seed:             *seed,
+		RandomOperands:   *operands,
+		WorkloadOperands: *operands,
+		ExactTiming:      *exact,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+
+	var model errmodel.Model
+	switch strings.ToLower(*modelName) {
+	case "ia":
+		model = f.DevelopIA(level)
+	case "wa":
+		if *workloadName == "" {
+			fatal(fmt.Errorf("-model wa requires -workload"))
+		}
+		w, err := workloads.ByName(*workloadName, scale)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := f.CaptureTrace(w)
+		if err != nil {
+			fatal(err)
+		}
+		model = f.DevelopWA(level, tr)
+	case "da":
+		ws, err := workloads.All(scale)
+		if err != nil {
+			fatal(err)
+		}
+		var trs []*trace.Trace
+		for _, w := range ws {
+			tr, err := f.CaptureTrace(w)
+			if err != nil {
+				fatal(err)
+			}
+			trs = append(trs, tr)
+		}
+		da, err := f.DevelopDA(level, trs)
+		if err != nil {
+			fatal(err)
+		}
+		model = da
+	default:
+		fatal(fmt.Errorf("unknown model %q (da, ia, wa)", *modelName))
+	}
+
+	data, err := errmodel.Marshal(model)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "teva-dta: %s (developed in %s)\n",
+		model.Describe(), time.Since(start).Round(time.Millisecond))
+}
+
+func parseLevel(name string) (vscale.VRLevel, error) {
+	for _, lv := range vscale.PaperLevels() {
+		if strings.EqualFold(lv.Name, name) {
+			return lv, nil
+		}
+	}
+	return vscale.VRLevel{}, fmt.Errorf("unknown level %q (VR15, VR20)", name)
+}
+
+func parseScale(name string) (workloads.Scale, error) {
+	switch strings.ToLower(name) {
+	case "tiny":
+		return workloads.Tiny, nil
+	case "small":
+		return workloads.Small, nil
+	case "full":
+		return workloads.Full, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "teva-dta:", err)
+	os.Exit(1)
+}

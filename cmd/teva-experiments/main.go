@@ -1,0 +1,281 @@
+// Command teva-experiments regenerates the paper's tables and figures
+// from the reproduction's substrate. By default it runs every experiment
+// at laptop scale; -exp selects one, -quick shrinks everything for a fast
+// smoke run, and -full restores the paper's statistical settings (1068
+// injections per cell).
+//
+// Usage:
+//
+//	teva-experiments [-exp all|table1|table2|fig4..fig10|avm|sources|power|history]
+//	                 [-quick] [-full] [-scale tiny|small|full]
+//	                 [-runs N] [-seed N] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"teva/internal/core"
+	"teva/internal/experiments"
+	"teva/internal/vscale"
+	"teva/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments (all, table1, table2, fig4..fig10, avm, sources, power, history, process, validate, design, adders)")
+	quick := flag.Bool("quick", false, "tiny inputs and counts for a fast smoke run")
+	full := flag.Bool("full", false, "paper-scale statistics (1068 injections per cell; slow)")
+	scaleName := flag.String("scale", "", "workload scale override: tiny, small, full")
+	runs := flag.Int("runs", 0, "override injections per campaign cell")
+	seed := flag.Uint64("seed", 0xF00D, "master seed")
+	workers := flag.Int("workers", 0, "parallel workers (0: all cores)")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	cfg := core.Config{Seed: *seed, Workers: *workers}
+	switch {
+	case *quick:
+		opts.Scale = workloads.Tiny
+		opts.Runs = 24
+		opts.Fig4Paths = 300
+		opts.Fig6Full = 4000
+		opts.Fig6Ks = []int{500, 2000}
+		cfg.RandomOperands = 4000
+		cfg.WorkloadOperands = 2000
+	case *full:
+		opts = experiments.PaperOptions()
+		cfg.RandomOperands = 100000
+		cfg.WorkloadOperands = 40000
+	}
+	switch *scaleName {
+	case "tiny":
+		opts.Scale = workloads.Tiny
+	case "small":
+		opts.Scale = workloads.Small
+	case "full":
+		opts.Scale = workloads.Full
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+
+	start := time.Now()
+	fmt.Printf("teva-experiments: scale=%s runs/cell=%d seed=%#x\n",
+		opts.Scale, opts.Runs, *seed)
+	f, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("substrate: %d-gate FPU calibrated to CLK %.0f ps (built in %s)\n",
+		f.FPU.NumGates(), f.FPU.CLK, time.Since(start).Round(time.Millisecond))
+	env := experiments.NewEnv(f, opts)
+	out := os.Stdout
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+	run := func(name string, fn func() error) {
+		if !want(name) {
+			return
+		}
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("[%s completed in %s]\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("design", func() error {
+		rows, err := experiments.Design(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderDesign(out, env, rows)
+		if *csvDir != "" {
+			return experiments.CSVDesign(*csvDir, rows)
+		}
+		return nil
+	})
+	run("table1", func() error { experiments.Table1(out); return nil })
+	run("table2", func() error {
+		rows, err := experiments.Table2(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable2(out, rows)
+		if *csvDir != "" {
+			return experiments.CSVTable2(*csvDir, rows)
+		}
+		return nil
+	})
+	run("fig4", func() error {
+		r, err := experiments.Fig4(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig4(out, r)
+		if *csvDir != "" {
+			return experiments.CSVFig4(*csvDir, r)
+		}
+		return nil
+	})
+	run("fig5", func() error {
+		r, err := experiments.Fig5(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig5(out, r)
+		if *csvDir != "" {
+			return experiments.CSVFig5(*csvDir, r)
+		}
+		return nil
+	})
+	run("fig6", func() error {
+		r, err := experiments.Fig6(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig6(out, r)
+		if *csvDir != "" {
+			return experiments.CSVFig6(*csvDir, r)
+		}
+		return nil
+	})
+	run("fig7", func() error {
+		r, err := experiments.Fig7(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig7(out, r)
+		if *csvDir != "" {
+			return experiments.CSVFig7(*csvDir, r)
+		}
+		return nil
+	})
+	run("fig8", func() error {
+		r, err := experiments.Fig8(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig8(out, r)
+		if *csvDir != "" {
+			return experiments.CSVFig8(*csvDir, r)
+		}
+		return nil
+	})
+	run("sources", func() error {
+		rows, err := experiments.Sources(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSources(out, rows)
+		if *csvDir != "" {
+			return experiments.CSVSources(*csvDir, rows)
+		}
+		return nil
+	})
+	run("power", func() error {
+		r, err := experiments.Power(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderPower(out, r)
+		if *csvDir != "" {
+			return experiments.CSVPower(*csvDir, r)
+		}
+		return nil
+	})
+	run("process", func() error {
+		r, err := experiments.ProcessVariation(env, 8, 0.04)
+		if err != nil {
+			return err
+		}
+		experiments.RenderProcess(out, r)
+		if *csvDir != "" {
+			return experiments.CSVProcess(*csvDir, r)
+		}
+		return nil
+	})
+	run("validate", func() error {
+		rows, meanErr, err := experiments.Validate(env, vscale.VR20)
+		if err != nil {
+			return err
+		}
+		experiments.RenderValidate(out, "VR20", rows, meanErr)
+		if *csvDir != "" {
+			return experiments.CSVValidate(*csvDir, rows)
+		}
+		return nil
+	})
+	run("adders", func() error {
+		rows, err := experiments.AdderAblation(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderAdders(out, rows)
+		if *csvDir != "" {
+			return experiments.CSVAdders(*csvDir, rows)
+		}
+		return nil
+	})
+	run("history", func() error {
+		rows, err := experiments.HistoryAblation(env, vscale.VR20)
+		if err != nil {
+			return err
+		}
+		experiments.RenderHistory(out, "VR20", rows)
+		return nil
+	})
+
+	run("fig10", func() error {
+		r, err := experiments.Fig10(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig10(out, workloads.Names(), r)
+		if *csvDir != "" {
+			return experiments.CSVFig10(*csvDir, workloads.Names(), r)
+		}
+		return nil
+	})
+	if want("fig9") || want("avm") {
+		cs, err := experiments.RunCampaigns(env)
+		if err != nil {
+			fatal(err)
+		}
+		run("fig9", func() error {
+			experiments.RenderFig9(out, cs)
+			if *csvDir != "" {
+				return experiments.CSVFig9(*csvDir, cs)
+			}
+			return nil
+		})
+		run("avm", func() error {
+			r, err := experiments.AVMAnalysis(env, cs)
+			if err != nil {
+				return err
+			}
+			experiments.RenderAVM(out, env, cs, r)
+			if *csvDir != "" {
+				return experiments.CSVAVM(*csvDir, cs, r)
+			}
+			return nil
+		})
+	}
+	fmt.Printf("\ntotal wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "teva-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command teva-inject runs the application evaluation phase: a
+// microarchitectural error-injection campaign for one benchmark under an
+// error model, classifying outcomes into Masked/SDC/Crash/Timeout and
+// reporting the injected error ratio and the AVM.
+//
+// The model comes either from a file produced by teva-dta (-model-file)
+// or is developed on the fly (-model da|ia|wa).
+//
+// Usage:
+//
+//	teva-inject -workload cg -model wa -level VR20 -runs 200
+//	teva-inject -workload sobel -model-file ia_vr20.json -runs 1068
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"teva/internal/campaign"
+	"teva/internal/core"
+	"teva/internal/errmodel"
+	"teva/internal/stats"
+	"teva/internal/trace"
+	"teva/internal/vscale"
+	"teva/internal/workloads"
+)
+
+func main() {
+	workloadName := flag.String("workload", "", "benchmark to inject into (required)")
+	modelName := flag.String("model", "wa", "model family to develop: da, ia, wa")
+	modelFile := flag.String("model-file", "", "load a serialized model instead of developing one")
+	levelName := flag.String("level", "VR20", "voltage reduction level (when developing)")
+	scaleName := flag.String("scale", "small", "workload scale: tiny, small, full")
+	runs := flag.Int("runs", 200, "injected executions (paper: 1068)")
+	paper := flag.Bool("paper-runs", false, "use the paper's 1068-run statistical setting")
+	seed := flag.Uint64("seed", 0xF00D, "master seed")
+	flag.Parse()
+
+	if *workloadName == "" {
+		fatal(fmt.Errorf("-workload is required (one of %v)", workloads.Names()))
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := workloads.ByName(*workloadName, scale)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := core.New(core.Config{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	var model errmodel.Model
+	if *modelFile != "" {
+		data, err := os.ReadFile(*modelFile)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = errmodel.Unmarshal(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		level, err := parseLevel(*levelName)
+		if err != nil {
+			fatal(err)
+		}
+		switch strings.ToLower(*modelName) {
+		case "ia":
+			model = f.DevelopIA(level)
+		case "wa":
+			tr, err := f.CaptureTrace(w)
+			if err != nil {
+				fatal(err)
+			}
+			model = f.DevelopWA(level, tr)
+		case "da":
+			ws, err := workloads.All(scale)
+			if err != nil {
+				fatal(err)
+			}
+			var trs []*trace.Trace
+			for _, wl := range ws {
+				tr, err := f.CaptureTrace(wl)
+				if err != nil {
+					fatal(err)
+				}
+				trs = append(trs, tr)
+			}
+			model, err = f.DevelopDA(level, trs)
+			if err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("unknown model %q", *modelName))
+		}
+	}
+
+	n := *runs
+	if *paper {
+		n = stats.SampleSize(stats.Z95, 0.03)
+	}
+	fmt.Printf("injecting: %s into %s (%s scale), %d runs\n",
+		model.Describe(), w.Name, scale, n)
+	start := time.Now()
+	res, err := f.Evaluate(w, model, n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ngolden run: %d instructions, %d cycles\n", res.GoldenInstret, res.GoldenCycles)
+	fmt.Printf("outcomes over %d runs (%s):\n", res.Runs, time.Since(start).Round(time.Millisecond))
+	for o := campaign.Masked; o < campaign.NumOutcomes; o++ {
+		lo, hi := res.Wilson(o)
+		fmt.Printf("  %-8s %5d  (%5.1f%%, 95%% CI [%.1f%%, %.1f%%])\n",
+			o, res.Outcomes[o], 100*res.Fraction(o), 100*lo, 100*hi)
+	}
+	fmt.Printf("injected errors: %d total across %d runs (ER %.3e per instruction)\n",
+		res.InjectedErrors, res.RunsWithInjection, res.ErrorRatio())
+	fmt.Printf("AVM (Eq. 4): %.3f\n", res.AVM())
+}
+
+func parseLevel(name string) (vscale.VRLevel, error) {
+	for _, lv := range vscale.PaperLevels() {
+		if strings.EqualFold(lv.Name, name) {
+			return lv, nil
+		}
+	}
+	return vscale.VRLevel{}, fmt.Errorf("unknown level %q (VR15, VR20)", name)
+}
+
+func parseScale(name string) (workloads.Scale, error) {
+	switch strings.ToLower(name) {
+	case "tiny":
+		return workloads.Tiny, nil
+	case "small":
+		return workloads.Small, nil
+	case "full":
+		return workloads.Full, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "teva-inject:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module teva
+
+go 1.22

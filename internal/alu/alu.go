@@ -1,0 +1,120 @@
+// Package alu generates the gate-level integer execution units of the
+// core: the 32-bit ALU, the barrel shifter, and the address-generation
+// adder. Their static timing sits far above the FPU's — the contrast
+// behind the paper's Figure 4, which shows that only FPU-related paths
+// populate the low-slack tail of the placed design — and the reason this
+// study (like the paper's) restricts error modelling to the
+// floating-point subsystem.
+package alu
+
+import (
+	"teva/internal/cell"
+	"teva/internal/netlist"
+	"teva/internal/sta"
+)
+
+// Unit bundles the integer-side netlists.
+type Unit struct {
+	// ALU is the arithmetic/logic stage (add/sub/and/or/xor/slt).
+	ALU *netlist.Netlist
+	// Shifter is the 32-bit barrel shifter.
+	Shifter *netlist.Netlist
+	// AGU is the address-generation adder (base + offset).
+	AGU *netlist.Netlist
+	lib *cell.Library
+}
+
+// New generates the integer units with the given placement seed.
+func New(lib *cell.Library, seed uint64) (*Unit, error) {
+	aluN, err := buildALU(lib, seed)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := buildShifter(lib, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	agu, err := buildAGU(lib, seed+2)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{ALU: aluN, Shifter: sh, AGU: agu, lib: lib}, nil
+}
+
+// buildALU emits a 32-bit ALU: a fast hybrid adder/subtractor plus the
+// logic ops, selected by a 3-bit function code.
+func buildALU(lib *cell.Library, seed uint64) (*netlist.Netlist, error) {
+	b := netlist.NewBuilder("alu/exec", lib, seed)
+	b.SetUnit("alu/exec")
+	x := b.Input(32)
+	y := b.Input(32)
+	fn := b.Input(3)
+	sub := fn[0]
+	sum, cout := b.HybridAddSub(x, y, sub, 8)
+	andB := b.AndBus(x, y)
+	orB := b.OrBus(x, y)
+	xorB := b.XorBus(x, y)
+	// slt (valid when fn selects subtraction): the difference's sign
+	// corrected for signed overflow.
+	diffSign := b.FXor(x[31], y[31])
+	ovf := b.FAnd(diffSign, b.FXor(x[31], sum[31]))
+	lt := b.FXor(sum[31], ovf)
+	slt := append(netlist.Bus{lt}, b.Zeros(31)...)
+	r := b.FMuxBus(fn[1], sum, andB)
+	r2 := b.FMuxBus(fn[1], xorB, orB)
+	r = b.FMuxBus(fn[2], r, r2)
+	r = b.FMuxBus(b.FAnd(fn[2], b.FAnd(fn[1], fn[0])), r, slt)
+	b.Output(append(r, cout))
+	return b.Build()
+}
+
+// buildShifter emits the 32-bit barrel shifter (logical/arithmetic).
+func buildShifter(lib *cell.Library, seed uint64) (*netlist.Netlist, error) {
+	b := netlist.NewBuilder("alu/shift", lib, seed)
+	b.SetUnit("alu/shift")
+	x := b.Input(32)
+	amt := b.Input(5)
+	arith := b.InputNet()
+	fill := b.FAnd(arith, x[31])
+	sr := b.ShiftRight(x, amt, fill)
+	sl := b.ShiftLeft(x, amt)
+	dir := b.InputNet()
+	b.Output(b.FMuxBus(dir, sr, sl))
+	return b.Build()
+}
+
+// buildAGU emits the load/store address adder.
+func buildAGU(lib *cell.Library, seed uint64) (*netlist.Netlist, error) {
+	b := netlist.NewBuilder("alu/agu", lib, seed)
+	b.SetUnit("alu/agu")
+	base := b.Input(32)
+	off := b.Input(32)
+	sum, _ := b.HybridAdder(base, off, netlist.Const0, 8)
+	b.Output(sum)
+	return b.Build()
+}
+
+// StageReports runs STA on all integer units.
+func (u *Unit) StageReports() []*sta.Report {
+	return []*sta.Report{
+		sta.Analyze(u.ALU, u.lib.ClockToQ, u.lib.Setup),
+		sta.Analyze(u.Shifter, u.lib.ClockToQ, u.lib.Setup),
+		sta.Analyze(u.AGU, u.lib.ClockToQ, u.lib.Setup),
+	}
+}
+
+// WorstDelay returns the slowest integer-side path delay.
+func (u *Unit) WorstDelay() float64 {
+	var worst float64
+	for _, r := range u.StageReports() {
+		if r.WorstDelay > worst {
+			worst = r.WorstDelay
+		}
+	}
+	return worst
+}
+
+// NumGates returns the integer units' total gate count.
+func (u *Unit) NumGates() int {
+	return u.ALU.NumGates() + u.Shifter.NumGates() + u.AGU.NumGates()
+}

@@ -1,0 +1,142 @@
+package alu
+
+import (
+	"testing"
+
+	"teva/internal/cell"
+	"teva/internal/logicsim"
+	"teva/internal/prng"
+)
+
+var unit = mustUnit()
+
+func mustUnit() *Unit {
+	u, err := New(cell.Default(), 0xA10)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// ALU function codes as wired in buildALU.
+const (
+	fnAdd = 0b000
+	fnSub = 0b001
+	fnAnd = 0b010
+	fnXor = 0b100
+	fnOr  = 0b110
+	fnSlt = 0b111
+)
+
+func TestALUFunctions(t *testing.T) {
+	sim := logicsim.New(unit.ALU)
+	in := make([]bool, 67)
+	src := prng.New(3)
+	run := func(x, y uint32, fn uint64) uint32 {
+		logicsim.PackInputs(in, 0, 32, uint64(x))
+		logicsim.PackInputs(in, 32, 32, uint64(y))
+		logicsim.PackInputs(in, 64, 3, fn)
+		sim.Run(in)
+		var out uint32
+		for i, net := range unit.ALU.Outputs()[:32] {
+			if sim.Value(net) {
+				out |= 1 << uint(i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < 3000; i++ {
+		x, y := src.Uint32(), src.Uint32()
+		if got := run(x, y, fnAdd); got != x+y {
+			t.Fatalf("add(%d,%d) = %d", x, y, got)
+		}
+		if got := run(x, y, fnSub); got != x-y {
+			t.Fatalf("sub(%d,%d) = %d", x, y, got)
+		}
+		if got := run(x, y, fnAnd); got != x&y {
+			t.Fatalf("and")
+		}
+		if got := run(x, y, fnOr); got != x|y {
+			t.Fatalf("or")
+		}
+		if got := run(x, y, fnXor); got != x^y {
+			t.Fatalf("xor")
+		}
+		want := uint32(0)
+		if int32(x) < int32(y) {
+			want = 1
+		}
+		if got := run(x, y, fnSlt); got != want {
+			t.Fatalf("slt(%d,%d) = %d want %d", int32(x), int32(y), got, want)
+		}
+	}
+}
+
+func TestShifter(t *testing.T) {
+	sim := logicsim.New(unit.Shifter)
+	in := make([]bool, 39)
+	src := prng.New(5)
+	run := func(x uint32, amt uint64, arith, left bool) uint32 {
+		logicsim.PackInputs(in, 0, 32, uint64(x))
+		logicsim.PackInputs(in, 32, 5, amt)
+		in[37] = arith
+		in[38] = left
+		sim.Run(in)
+		var out uint32
+		for i, net := range unit.Shifter.Outputs() {
+			if sim.Value(net) {
+				out |= 1 << uint(i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < 3000; i++ {
+		x := src.Uint32()
+		amt := uint64(src.Intn(32))
+		if got := run(x, amt, false, false); got != x>>amt {
+			t.Fatalf("srl(%d,%d) = %d", x, amt, got)
+		}
+		if got := run(x, amt, true, false); got != uint32(int32(x)>>amt) {
+			t.Fatalf("sra(%d,%d) = %d", int32(x), amt, got)
+		}
+		if got := run(x, amt, false, true); got != x<<amt {
+			t.Fatalf("sll(%d,%d) = %d", x, amt, got)
+		}
+	}
+}
+
+func TestAGU(t *testing.T) {
+	sim := logicsim.New(unit.AGU)
+	in := make([]bool, 64)
+	src := prng.New(7)
+	for i := 0; i < 3000; i++ {
+		base, off := src.Uint32(), src.Uint32()
+		logicsim.PackInputs(in, 0, 32, uint64(base))
+		logicsim.PackInputs(in, 32, 32, uint64(off))
+		sim.Run(in)
+		var out uint32
+		for b, net := range unit.AGU.Outputs() {
+			if sim.Value(net) {
+				out |= 1 << uint(b)
+			}
+		}
+		if out != base+off {
+			t.Fatalf("agu(%d,%d) = %d", base, off, out)
+		}
+	}
+}
+
+func TestIntegerPathsShort(t *testing.T) {
+	// Figure 4's premise: every integer-side path has generous slack at
+	// the FPU-determined clock; even the VR20 delay inflation leaves it
+	// safe. (4500/1.256 ≈ 3583 ps.)
+	if d := unit.WorstDelay(); d >= 3500 {
+		t.Fatalf("integer worst delay %v too close to the FPU clock", d)
+	}
+	if unit.NumGates() == 0 {
+		t.Fatal("no gates")
+	}
+	if len(unit.StageReports()) != 3 {
+		t.Fatal("expected 3 integer stage reports")
+	}
+}

@@ -1,0 +1,298 @@
+// Package campaign runs microarchitectural error-injection campaigns and
+// classifies their outcomes into the paper's four categories (Section
+// IV-A): Masked, SDC, Crash, and Timeout. A campaign executes one golden
+// (injection-free) run to capture the reference output and execution
+// time, then N injected runs with fresh per-run random streams; Timeout
+// is declared at twice the error-free execution time, exactly as in the
+// paper.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"teva/internal/cpu"
+	"teva/internal/errmodel"
+	"teva/internal/fpu"
+	"teva/internal/prng"
+	"teva/internal/stats"
+	"teva/internal/workloads"
+)
+
+// Outcome is the classification of one injected run.
+type Outcome uint8
+
+// The four outcome classes of Section IV-A.
+const (
+	Masked Outcome = iota
+	SDC
+	Crash
+	Timeout
+	NumOutcomes
+)
+
+var outcomeNames = [NumOutcomes]string{"Masked", "SDC", "Crash", "Timeout"}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// Spec describes one campaign cell: a workload, an error model (already
+// bound to a voltage level), and the run count.
+type Spec struct {
+	Workload *workloads.Workload
+	Model    errmodel.Model
+	// Runs is the number of injected executions (the paper uses
+	// stats.SampleSize(stats.Z95, 0.03) = 1068).
+	Runs int
+	// Seed makes the campaign reproducible.
+	Seed uint64
+	// TimeoutFactor scales the golden execution time into the timeout
+	// budget (default 2.0, per the paper).
+	TimeoutFactor float64
+	// Workers bounds the parallelism (default GOMAXPROCS).
+	Workers int
+	// SingleInjection selects the paper's statistical-fault-injection
+	// discipline: each run corrupts exactly one dynamic instruction,
+	// drawn from the model's injection distribution over the golden
+	// execution (AVM then reads directly as "probability that one
+	// injected timing error disturbs the application"). When false, the
+	// model corrupts stochastically throughout the run (many errors per
+	// run for error-prone voltage levels).
+	SingleInjection bool
+}
+
+// Result aggregates one campaign cell.
+type Result struct {
+	Workload string
+	Model    errmodel.Kind
+	Level    string
+	// Outcomes counts runs per class.
+	Outcomes [NumOutcomes]int
+	// Runs is the total injected executions.
+	Runs int
+	// InjectedErrors is the total number of corrupted writebacks across
+	// all runs.
+	InjectedErrors int64
+	// RunsWithInjection counts runs in which at least one error was
+	// injected.
+	RunsWithInjection int
+	// GoldenInstret/GoldenCycles describe the error-free execution.
+	GoldenInstret int64
+	GoldenCycles  uint64
+	// GoldenFPOps is the error-free per-op dynamic instruction count.
+	GoldenFPOps [fpu.NumOps]int64
+	// CrashKinds breaks the Crash class down by cause (the paper's
+	// process-crash / kernel-panic / floating-point-exception taxonomy):
+	// "memory fault", "misaligned access", "wild pc", "illegal
+	// instruction", "fp exception", "other".
+	CrashKinds map[string]int
+}
+
+// crashKind maps a simulator crash reason onto the taxonomy.
+func crashKind(reason string) string {
+	switch {
+	case strings.Contains(reason, "memory fault"), strings.Contains(reason, "string fault"):
+		return "memory fault"
+	case strings.Contains(reason, "misaligned"):
+		return "misaligned access"
+	case strings.Contains(reason, "outside text"):
+		return "wild pc"
+	case strings.Contains(reason, "illegal"):
+		return "illegal instruction"
+	case strings.Contains(reason, "fp invalid"):
+		return "fp exception"
+	default:
+		return "other"
+	}
+}
+
+// Fraction returns the share of runs in the class.
+func (r *Result) Fraction(o Outcome) float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Outcomes[o]) / float64(r.Runs)
+}
+
+// ErrorRatio is Eq. 2 at the campaign level: injected (manifested) errors
+// per dynamic instruction, averaged over runs — the quantity Figure 10
+// compares across models.
+func (r *Result) ErrorRatio() float64 {
+	if r.Runs == 0 || r.GoldenInstret == 0 {
+		return 0
+	}
+	return float64(r.InjectedErrors) / float64(r.Runs) / float64(r.GoldenInstret)
+}
+
+// AVM is the Application Vulnerability Metric of Eq. 4: the probability
+// that injected timing errors disturb the application (SDC, Crash or
+// Timeout), over the runs that actually experienced an injection. A
+// workload/level whose model injects nothing is invulnerable (AVM 0).
+func (r *Result) AVM() float64 {
+	if r.RunsWithInjection == 0 {
+		return 0
+	}
+	bad := r.Outcomes[SDC] + r.Outcomes[Crash] + r.Outcomes[Timeout]
+	return float64(bad) / float64(r.RunsWithInjection)
+}
+
+// NonMaskedFraction is the share of all runs that were disturbed.
+func (r *Result) NonMaskedFraction() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	bad := r.Outcomes[SDC] + r.Outcomes[Crash] + r.Outcomes[Timeout]
+	return float64(bad) / float64(r.Runs)
+}
+
+// Wilson returns the 95% confidence interval for an outcome's fraction.
+func (r *Result) Wilson(o Outcome) (lo, hi float64) {
+	p := stats.Proportion{Successes: r.Outcomes[o], Trials: r.Runs}
+	return p.Wilson(stats.Z95)
+}
+
+// golden captures the reference execution.
+type golden struct {
+	out     []byte
+	console []byte
+	cycles  uint64
+	instret int64
+	fpops   [fpu.NumOps]int64
+}
+
+// runGolden executes the workload without injection.
+func runGolden(w *workloads.Workload) (*golden, error) {
+	c := cpu.New(w.Program, cpu.Config{TrapFPInvalid: true})
+	res := c.Run(1 << 40)
+	if res.Status != cpu.Halted {
+		return nil, fmt.Errorf("campaign: golden %s did not halt: %v (%s)",
+			w.Name, res.Status, res.Reason)
+	}
+	g := &golden{
+		cycles:  res.Cycles,
+		instret: res.Instret,
+		fpops:   res.FPOps,
+	}
+	g.out = append(g.out, c.Mem()[w.OutStart:w.OutStart+w.OutLen]...)
+	g.console = append(g.console, c.Output()...)
+	return g, nil
+}
+
+// Run executes the campaign cell.
+func Run(spec Spec) (*Result, error) {
+	if spec.Runs <= 0 {
+		return nil, fmt.Errorf("campaign: non-positive run count")
+	}
+	tf := spec.TimeoutFactor
+	if tf == 0 {
+		tf = 2.0
+	}
+	g, err := runGolden(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Workload:      spec.Workload.Name,
+		Model:         spec.Model.Kind(),
+		Level:         spec.Model.Level(),
+		Runs:          spec.Runs,
+		GoldenInstret: g.instret,
+		GoldenCycles:  g.cycles,
+		GoldenFPOps:   g.fpops,
+	}
+	budget := uint64(float64(g.cycles) * tf)
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type runOut struct {
+		outcome    Outcome
+		injections int64
+		crashKind  string
+	}
+	outs := make([]runOut, spec.Runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < spec.Runs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			src := prng.New(spec.Seed + uint64(i)*0x9E3779B97F4A7C15 + 1)
+			var inj cpu.Injector
+			if spec.SingleInjection {
+				inj = errmodel.SingleInjector(spec.Model, errmodel.ExecProfile{
+					FPOps: g.fpops, TotalInstr: g.instret,
+				}, src)
+			} else {
+				inj = spec.Model.NewInjector(src)
+			}
+			c := cpu.New(spec.Workload.Program, cpu.Config{
+				Injector:      inj,
+				TrapFPInvalid: true,
+			})
+			r := c.Run(budget)
+			var o Outcome
+			var kind string
+			switch r.Status {
+			case cpu.Crashed:
+				o = Crash
+				kind = crashKind(r.Reason)
+			case cpu.TimedOut:
+				o = Timeout
+			default:
+				w := spec.Workload
+				same := bytesEqual(c.Mem()[w.OutStart:w.OutStart+w.OutLen], g.out) &&
+					bytesEqual(c.Output(), g.console)
+				if same {
+					o = Masked
+				} else {
+					o = SDC
+				}
+			}
+			outs[i] = runOut{outcome: o, injections: r.Injections, crashKind: kind}
+		}(i)
+	}
+	wg.Wait()
+	res.CrashKinds = make(map[string]int)
+	for _, o := range outs {
+		res.Outcomes[o.outcome]++
+		res.InjectedErrors += o.injections
+		if o.injections > 0 {
+			res.RunsWithInjection++
+		}
+		if o.crashKind != "" {
+			res.CrashKinds[o.crashKind]++
+		}
+	}
+	return res, nil
+}
+
+// bytesEqual avoids importing bytes for two call sites.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the cell like the paper's Figure 9 bars.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s@%s: masked %.1f%% sdc %.1f%% crash %.1f%% timeout %.1f%% (ER %.3g, AVM %.3f)",
+		r.Workload, r.Model, r.Level,
+		100*r.Fraction(Masked), 100*r.Fraction(SDC),
+		100*r.Fraction(Crash), 100*r.Fraction(Timeout),
+		r.ErrorRatio(), r.AVM())
+}

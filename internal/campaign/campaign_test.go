@@ -1,0 +1,233 @@
+package campaign
+
+import (
+	"testing"
+
+	"teva/internal/dta"
+	"teva/internal/errmodel"
+	"teva/internal/fpu"
+	"teva/internal/workloads"
+)
+
+func tinyWorkload(t *testing.T, name string) *workloads.Workload {
+	t.Helper()
+	w, err := workloads.ByName(name, workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// syntheticWA builds a WA model with the given per-op rate and masks.
+func syntheticWA(level string, op fpu.Op, er float64, masks []uint64) *errmodel.WAModel {
+	recs := make([]dta.Record, 0)
+	for _, m := range masks {
+		recs = append(recs, dta.Record{Mask: m})
+	}
+	total := int(float64(len(masks))/er + 0.5)
+	for len(recs) < total {
+		recs = append(recs, dta.Record{})
+	}
+	return errmodel.BuildWA(level, "synthetic", map[fpu.Op]*dta.Summary{
+		op: dta.Summarize(op, recs),
+	})
+}
+
+func TestZeroRateModelIsFullyMasked(t *testing.T) {
+	w := tinyWorkload(t, "sobel")
+	m := errmodel.BuildDA("VR15", 0, 1000)
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[Masked] != 8 {
+		t.Fatalf("outcomes %v", res.Outcomes)
+	}
+	if res.InjectedErrors != 0 || res.RunsWithInjection != 0 {
+		t.Fatalf("spurious injections: %+v", res)
+	}
+	if res.AVM() != 0 || res.ErrorRatio() != 0 {
+		t.Fatal("AVM and ER must be zero")
+	}
+}
+
+func TestMantissaCorruptionCausesSDC(t *testing.T) {
+	// Flipping mid-mantissa bits in sobel's adds perturbs the output
+	// image without crashing. (Pure LSB flips are fully absorbed by the
+	// final integer quantization — genuine application resilience.)
+	w := tinyWorkload(t, "sobel")
+	m := syntheticWA("VR20", fpu.DAdd, 0.02, []uint64{1 << 45, 1 << 48})
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[SDC] == 0 {
+		t.Fatalf("expected SDC outcomes: %v", res.Outcomes)
+	}
+	if res.Outcomes[Crash] != 0 {
+		t.Fatalf("mantissa LSB flips should not crash: %v", res.Outcomes)
+	}
+	if res.InjectedErrors == 0 || res.RunsWithInjection == 0 {
+		t.Fatal("injections not recorded")
+	}
+	if res.AVM() == 0 {
+		t.Fatal("AVM must be positive")
+	}
+}
+
+func TestExponentCorruptionCanCrash(t *testing.T) {
+	// Corrupting the top exponent bit of division results creates
+	// Inf/NaN values that hit the FP invalid-operation trap or corrupt
+	// control flow — the Crash class.
+	w := tinyWorkload(t, "sobel")
+	m := syntheticWA("VR20", fpu.DDiv, 0.05, []uint64{1 << 62})
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := res.Outcomes[SDC] + res.Outcomes[Crash] + res.Outcomes[Timeout]
+	if bad == 0 {
+		t.Fatalf("expected disturbed outcomes: %v", res.Outcomes)
+	}
+}
+
+func TestVerificationWorkloadDetectsCorruption(t *testing.T) {
+	// is checks its key checksum in-program: corrupting the randlc
+	// multiplications flips the console verdict (SDC via output diff).
+	w := tinyWorkload(t, "is")
+	m := syntheticWA("VR20", fpu.DMul, 0.001, []uint64{1 << 30})
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 12, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[SDC]+res.Outcomes[Crash] == 0 {
+		t.Fatalf("expected corrupted verification: %v", res.Outcomes)
+	}
+}
+
+func TestDeterministicCampaign(t *testing.T) {
+	w := tinyWorkload(t, "cg")
+	m := syntheticWA("VR15", fpu.DMul, 0.005, []uint64{1 << 20, 1})
+	r1, err := Run(Spec{Workload: w, Model: m, Runs: 10, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Spec{Workload: w, Model: m, Runs: 10, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Outcomes != r2.Outcomes || r1.InjectedErrors != r2.InjectedErrors {
+		t.Fatalf("campaign not reproducible: %v vs %v", r1.Outcomes, r2.Outcomes)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := &Result{Runs: 10}
+	r.Outcomes[Masked] = 6
+	r.Outcomes[SDC] = 2
+	r.Outcomes[Crash] = 1
+	r.Outcomes[Timeout] = 1
+	r.RunsWithInjection = 8
+	r.InjectedErrors = 40
+	r.GoldenInstret = 1000
+	if r.Fraction(SDC) != 0.2 {
+		t.Fatal("fraction")
+	}
+	if r.AVM() != 0.5 {
+		t.Fatalf("AVM %v", r.AVM())
+	}
+	if r.NonMaskedFraction() != 0.4 {
+		t.Fatal("non-masked")
+	}
+	if r.ErrorRatio() != 40.0/10/1000 {
+		t.Fatalf("ER %v", r.ErrorRatio())
+	}
+	lo, hi := r.Wilson(SDC)
+	if lo >= 0.2 || hi <= 0.2 {
+		t.Fatal("Wilson interval")
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+	if Masked.String() != "Masked" || Timeout.String() != "Timeout" {
+		t.Fatal("outcome names")
+	}
+}
+
+func TestInvalidSpec(t *testing.T) {
+	w := tinyWorkload(t, "cg")
+	if _, err := Run(Spec{Workload: w, Model: errmodel.BuildDA("VR15", 0, 1), Runs: 0}); err == nil {
+		t.Fatal("zero runs must error")
+	}
+}
+
+func TestSingleInjectionMode(t *testing.T) {
+	w := tinyWorkload(t, "sobel")
+	m := syntheticWA("VR20", fpu.DAdd, 0.5, []uint64{1 << 45})
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 20, Seed: 9, SingleInjection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one injection per run.
+	if res.InjectedErrors != int64(res.Runs) || res.RunsWithInjection != res.Runs {
+		t.Fatalf("single-injection accounting wrong: %+v", res)
+	}
+	// AVM equals the non-masked fraction when every run injects once.
+	if res.AVM() != res.NonMaskedFraction() {
+		t.Fatalf("AVM %v != non-masked %v", res.AVM(), res.NonMaskedFraction())
+	}
+}
+
+func TestSingleInjectionZeroRateModel(t *testing.T) {
+	w := tinyWorkload(t, "cg")
+	m := errmodel.BuildDA("VR15", 0, 1000)
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 6, Seed: 10, SingleInjection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[Masked] != 6 || res.RunsWithInjection != 0 || res.AVM() != 0 {
+		t.Fatalf("zero-rate single injection: %+v", res)
+	}
+}
+
+func TestSingleInjectionDAModel(t *testing.T) {
+	// DA single injection targets any instruction class; with a nonzero
+	// rate every run gets exactly one flip (up to no-writeback targets).
+	w := tinyWorkload(t, "sobel")
+	m := errmodel.BuildDA("VR20", 100, 10000)
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 30, Seed: 11, SingleInjection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RunsWithInjection < res.Runs*7/10 {
+		t.Fatalf("too few DA single injections landed: %+v", res)
+	}
+	if res.InjectedErrors > int64(res.Runs) {
+		t.Fatalf("more than one injection in a run: %+v", res)
+	}
+}
+
+func TestCrashTaxonomy(t *testing.T) {
+	// Exponent-bit corruption on sobel's divisions produces FP exception
+	// and memory-fault crashes; the taxonomy must account for every
+	// crash.
+	w := tinyWorkload(t, "sobel")
+	m := syntheticWA("VR20", fpu.DDiv, 0.2, []uint64{1 << 62, 1 << 61})
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 24, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds int
+	for kind, c := range res.CrashKinds {
+		if c <= 0 {
+			t.Fatalf("empty kind %q recorded", kind)
+		}
+		kinds += c
+	}
+	if kinds != res.Outcomes[Crash] {
+		t.Fatalf("taxonomy accounts for %d of %d crashes", kinds, res.Outcomes[Crash])
+	}
+	if res.Outcomes[Crash] > 0 && len(res.CrashKinds) == 0 {
+		t.Fatal("crashes without kinds")
+	}
+}

@@ -1,0 +1,183 @@
+// Package cell defines the standard-cell library the gate-level circuits
+// are built from. It substitutes for the NanGate 45nm CCS library of the
+// paper's flow: each cell carries a logic function, per-input-pin
+// rise/fall propagation delays at the nominal corner, and a per-transition
+// dynamic energy. Re-characterization at a reduced supply voltage is a
+// uniform delay inflation supplied by internal/vscale (the alpha-power
+// law), exactly the quantity the paper obtains from SiliconSmart.
+package cell
+
+import "fmt"
+
+// Kind identifies a cell in the library.
+type Kind uint8
+
+// The library cells. FA/HA are the compound adder cells present in real
+// standard-cell libraries (e.g. NanGate FA_X1/HA_X1); using them keeps the
+// generated arithmetic netlists at realistic gate counts.
+const (
+	Inv Kind = iota
+	Buf
+	Nand2
+	Nor2
+	And2
+	Or2
+	Xor2
+	Xnor2
+	Mux2 // inputs: D0, D1, S; output: S ? D1 : D0
+	Aoi21
+	Oai21
+	And3
+	Or3
+	Nand3
+	Nor3
+	HA // half adder; 2 inputs, outputs Sum, Cout (instantiated per-output)
+	FA // full adder; 3 inputs, outputs Sum, Cout (instantiated per-output)
+	DFF
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2", "MUX2",
+	"AOI21", "OAI21", "AND3", "OR3", "NAND3", "NOR3", "HA", "FA", "DFF",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// PinDelay is the propagation delay from one input pin to the output, in
+// picoseconds, split by output transition direction.
+type PinDelay struct {
+	Rise float64
+	Fall float64
+}
+
+// Max returns the worse of the rise/fall delays (used by STA).
+func (d PinDelay) Max() float64 {
+	if d.Rise > d.Fall {
+		return d.Rise
+	}
+	return d.Fall
+}
+
+// Cell describes one library cell.
+type Cell struct {
+	Kind Kind
+	// Inputs is the number of data input pins (clock excluded for DFF).
+	Inputs int
+	// Delays holds per-input-pin propagation delay to the output. For DFF
+	// it holds a single entry: the clock-to-Q delay.
+	Delays []PinDelay
+	// Energy is the dynamic energy per output transition, femtojoules, at
+	// the nominal corner.
+	Energy float64
+	// Eval computes the combinational function. It is nil for DFF.
+	Eval func(in []bool) bool
+	// Sum selects the Sum output function for HA/FA when instantiated for
+	// the sum bit; see Library.Function. Unused elsewhere.
+}
+
+// Library is a fixed set of characterized cells.
+type Library struct {
+	// Name labels the library ("teva45").
+	Name string
+	// ClockToQ is the DFF clock-to-output delay, ps.
+	ClockToQ float64
+	// Setup is the DFF setup time, ps. A data arrival later than
+	// CLK - Setup is a timing violation even if it beats the edge.
+	Setup float64
+	cells [numKinds]Cell
+}
+
+// Cell returns the library cell of the given kind.
+func (l *Library) Cell(k Kind) *Cell { return &l.cells[k] }
+
+// Default returns the repository's 45nm-class typical-corner library.
+// Delay values are representative X1-drive figures (ps) with realistic
+// ratios between simple and complex cells; the absolute unit only sets the
+// CLK scale, which is calibrated in internal/fpu.
+func Default() *Library {
+	l := &Library{Name: "teva45", ClockToQ: 85, Setup: 35}
+	def := func(k Kind, inputs int, energy float64, eval func(in []bool) bool, delays ...PinDelay) {
+		if len(delays) != inputs {
+			panic(fmt.Sprintf("cell: %v has %d inputs but %d delays", k, inputs, len(delays)))
+		}
+		l.cells[k] = Cell{Kind: k, Inputs: inputs, Delays: delays, Energy: energy, Eval: eval}
+	}
+	d := func(r, f float64) PinDelay { return PinDelay{Rise: r, Fall: f} }
+
+	def(Inv, 1, 0.4, func(in []bool) bool { return !in[0] }, d(14, 10))
+	def(Buf, 1, 0.6, func(in []bool) bool { return in[0] }, d(28, 26))
+	def(Nand2, 2, 0.7, func(in []bool) bool { return !(in[0] && in[1]) },
+		d(16, 14), d(18, 15))
+	def(Nor2, 2, 0.8, func(in []bool) bool { return !(in[0] || in[1]) },
+		d(22, 12), d(24, 13))
+	def(And2, 2, 1.0, func(in []bool) bool { return in[0] && in[1] },
+		d(30, 28), d(32, 29))
+	def(Or2, 2, 1.1, func(in []bool) bool { return in[0] || in[1] },
+		d(32, 30), d(34, 31))
+	def(Xor2, 2, 1.8, func(in []bool) bool { return in[0] != in[1] },
+		d(42, 40), d(45, 43))
+	def(Xnor2, 2, 1.8, func(in []bool) bool { return in[0] == in[1] },
+		d(43, 41), d(46, 44))
+	def(Mux2, 3, 1.5, func(in []bool) bool {
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	}, d(34, 32), d(34, 32), d(40, 38))
+	def(Aoi21, 3, 1.0, func(in []bool) bool { return !((in[0] && in[1]) || in[2]) },
+		d(26, 20), d(27, 21), d(22, 16))
+	def(Oai21, 3, 1.0, func(in []bool) bool { return !((in[0] || in[1]) && in[2]) },
+		d(27, 21), d(28, 22), d(23, 17))
+	def(And3, 3, 1.3, func(in []bool) bool { return in[0] && in[1] && in[2] },
+		d(36, 33), d(38, 35), d(40, 37))
+	def(Or3, 3, 1.4, func(in []bool) bool { return in[0] || in[1] || in[2] },
+		d(38, 35), d(40, 37), d(42, 39))
+	def(Nand3, 3, 0.9, func(in []bool) bool { return !(in[0] && in[1] && in[2]) },
+		d(20, 17), d(22, 19), d(24, 21))
+	def(Nor3, 3, 1.0, func(in []bool) bool { return !(in[0] || in[1] || in[2]) },
+		d(28, 15), d(30, 16), d(32, 17))
+	// HA/FA are instantiated once per output bit; the Eval below is the
+	// Sum function, and the netlist builder requests the carry variant via
+	// CarryEval.
+	def(HA, 2, 1.9, func(in []bool) bool { return in[0] != in[1] },
+		d(44, 42), d(46, 44))
+	def(FA, 3, 3.0, func(in []bool) bool { return in[0] != in[1] != in[2] },
+		d(56, 53), d(58, 55), d(48, 45))
+	// DFF: single "delay" entry is clock-to-Q; Eval nil.
+	l.cells[DFF] = Cell{Kind: DFF, Inputs: 1, Delays: []PinDelay{d(l.ClockToQ, l.ClockToQ)}, Energy: 2.4}
+	return l
+}
+
+// CarryEval returns the carry-output function for HA/FA cells, or nil for
+// other kinds.
+func CarryEval(k Kind) func(in []bool) bool {
+	switch k {
+	case HA:
+		return func(in []bool) bool { return in[0] && in[1] }
+	case FA:
+		return func(in []bool) bool {
+			return (in[0] && in[1]) || (in[2] && (in[0] != in[1]))
+		}
+	default:
+		return nil
+	}
+}
+
+// CarryDelays returns per-pin delays for the carry output of HA/FA, which
+// is faster than the sum output (no second XOR stage).
+func CarryDelays(k Kind) []PinDelay {
+	switch k {
+	case HA:
+		return []PinDelay{{Rise: 30, Fall: 28}, {Rise: 32, Fall: 30}}
+	case FA:
+		return []PinDelay{{Rise: 38, Fall: 35}, {Rise: 40, Fall: 37}, {Rise: 34, Fall: 31}}
+	default:
+		return nil
+	}
+}

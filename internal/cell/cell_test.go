@@ -1,0 +1,175 @@
+package cell
+
+import "testing"
+
+// allInputs enumerates every boolean assignment of width n.
+func allInputs(n int) [][]bool {
+	total := 1 << uint(n)
+	out := make([][]bool, total)
+	for v := 0; v < total; v++ {
+		in := make([]bool, n)
+		for i := 0; i < n; i++ {
+			in[i] = v>>uint(i)&1 == 1
+		}
+		out[v] = in
+	}
+	return out
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestTruthTables(t *testing.T) {
+	lib := Default()
+	cases := []struct {
+		kind Kind
+		want func(in []bool) bool
+	}{
+		{Inv, func(in []bool) bool { return !in[0] }},
+		{Buf, func(in []bool) bool { return in[0] }},
+		{Nand2, func(in []bool) bool { return !(in[0] && in[1]) }},
+		{Nor2, func(in []bool) bool { return !(in[0] || in[1]) }},
+		{And2, func(in []bool) bool { return in[0] && in[1] }},
+		{Or2, func(in []bool) bool { return in[0] || in[1] }},
+		{Xor2, func(in []bool) bool { return in[0] != in[1] }},
+		{Xnor2, func(in []bool) bool { return in[0] == in[1] }},
+		{Mux2, func(in []bool) bool {
+			if in[2] {
+				return in[1]
+			}
+			return in[0]
+		}},
+		{Aoi21, func(in []bool) bool { return !((in[0] && in[1]) || in[2]) }},
+		{Oai21, func(in []bool) bool { return !((in[0] || in[1]) && in[2]) }},
+		{And3, func(in []bool) bool { return in[0] && in[1] && in[2] }},
+		{Or3, func(in []bool) bool { return in[0] || in[1] || in[2] }},
+		{Nand3, func(in []bool) bool { return !(in[0] && in[1] && in[2]) }},
+		{Nor3, func(in []bool) bool { return !(in[0] || in[1] || in[2]) }},
+	}
+	for _, tc := range cases {
+		c := lib.Cell(tc.kind)
+		for _, in := range allInputs(c.Inputs) {
+			if got, want := c.Eval(in), tc.want(in); got != want {
+				t.Errorf("%v%v = %v, want %v", tc.kind, in, got, want)
+			}
+		}
+	}
+}
+
+func TestAdderCells(t *testing.T) {
+	lib := Default()
+	ha := lib.Cell(HA)
+	haCarry := CarryEval(HA)
+	for _, in := range allInputs(2) {
+		total := b2i(in[0]) + b2i(in[1])
+		if got := b2i(ha.Eval(in)); got != total&1 {
+			t.Errorf("HA sum%v = %d", in, got)
+		}
+		if got := b2i(haCarry(in)); got != total>>1 {
+			t.Errorf("HA carry%v = %d", in, got)
+		}
+	}
+	fa := lib.Cell(FA)
+	faCarry := CarryEval(FA)
+	for _, in := range allInputs(3) {
+		total := b2i(in[0]) + b2i(in[1]) + b2i(in[2])
+		if got := b2i(fa.Eval(in)); got != total&1 {
+			t.Errorf("FA sum%v = %d", in, got)
+		}
+		if got := b2i(faCarry(in)); got != total>>1 {
+			t.Errorf("FA carry%v = %d", in, got)
+		}
+	}
+}
+
+func TestCarryVariantsOnlyForAdders(t *testing.T) {
+	if CarryEval(And2) != nil || CarryDelays(Xor2) != nil {
+		t.Fatal("carry variants must be nil for non-adder cells")
+	}
+	if CarryEval(FA) == nil || CarryDelays(HA) == nil {
+		t.Fatal("adder cells must have carry variants")
+	}
+}
+
+func TestDelaysPositiveAndComplete(t *testing.T) {
+	lib := Default()
+	for k := Kind(0); k < numKinds; k++ {
+		c := lib.Cell(k)
+		if c.Kind != k {
+			t.Fatalf("cell %v stored under wrong kind %v", k, c.Kind)
+		}
+		if len(c.Delays) == 0 {
+			t.Fatalf("%v has no delays", k)
+		}
+		for pin, d := range c.Delays {
+			if d.Rise <= 0 || d.Fall <= 0 {
+				t.Fatalf("%v pin %d has non-positive delay %+v", k, pin, d)
+			}
+		}
+		if c.Energy <= 0 {
+			t.Fatalf("%v has non-positive energy", k)
+		}
+	}
+}
+
+func TestCarryFasterThanSum(t *testing.T) {
+	// In the FA/HA compound cells the carry output skips the second XOR
+	// stage and must be faster; the multiplier's delay profile depends on
+	// this ratio.
+	lib := Default()
+	for _, k := range []Kind{HA, FA} {
+		sum := lib.Cell(k).Delays
+		carry := CarryDelays(k)
+		if len(sum) != len(carry) {
+			t.Fatalf("%v pin-count mismatch", k)
+		}
+		for pin := range sum {
+			if carry[pin].Max() >= sum[pin].Max() {
+				t.Fatalf("%v pin %d: carry %.0f not faster than sum %.0f",
+					k, pin, carry[pin].Max(), sum[pin].Max())
+			}
+		}
+	}
+}
+
+func TestComplexCellsSlowerThanSimple(t *testing.T) {
+	lib := Default()
+	if lib.Cell(Xor2).Delays[0].Max() <= lib.Cell(Nand2).Delays[0].Max() {
+		t.Fatal("XOR2 should be slower than NAND2")
+	}
+	if lib.Cell(FA).Delays[0].Max() <= lib.Cell(Xor2).Delays[0].Max() {
+		t.Fatal("FA sum should be slower than XOR2")
+	}
+}
+
+func TestSequentialParameters(t *testing.T) {
+	lib := Default()
+	if lib.ClockToQ <= 0 || lib.Setup <= 0 {
+		t.Fatal("register parameters must be positive")
+	}
+	if lib.Cell(DFF).Eval != nil {
+		t.Fatal("DFF must not have a combinational Eval")
+	}
+}
+
+func TestPinDelayMax(t *testing.T) {
+	if (PinDelay{Rise: 3, Fall: 5}).Max() != 5 {
+		t.Fatal("Max should pick fall")
+	}
+	if (PinDelay{Rise: 7, Fall: 5}).Max() != 7 {
+		t.Fatal("Max should pick rise")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Inv.String() != "INV" || FA.String() != "FA" || DFF.String() != "DFF" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}

@@ -1,0 +1,247 @@
+// Package core is the paper's primary contribution: the cross-layer
+// timing-error injection framework. It wires the circuit layer (gate-level
+// FPU + dynamic timing analysis at a voltage corner) to the
+// microarchitecture layer (workload execution, operand tracing, error
+// injection) through the two phases of Figure 2:
+//
+//   - Model development: run DTA over operand streams (uniformly random
+//     for the DA/IA models, workload-extracted for the WA model) and
+//     build the corresponding injection models.
+//   - Application evaluation: run statistical injection campaigns with
+//     those models and classify outcomes (Masked/SDC/Crash/Timeout),
+//     yielding error ratios (Eq. 2) and the Application Vulnerability
+//     Metric (Eq. 4).
+package core
+
+import (
+	"fmt"
+
+	"teva/internal/campaign"
+	"teva/internal/cell"
+	"teva/internal/dta"
+	"teva/internal/errmodel"
+	"teva/internal/fpu"
+	"teva/internal/prng"
+	"teva/internal/trace"
+	"teva/internal/vscale"
+	"teva/internal/workloads"
+)
+
+// Config parameterizes the framework.
+type Config struct {
+	// Seed drives design generation and every stochastic step.
+	Seed uint64
+	// RandomOperands is the DTA sample size per instruction type for the
+	// IA model (the paper uses 1M; the default here is laptop-scale).
+	RandomOperands int
+	// WorkloadOperands is the DTA sample size per instruction type per
+	// benchmark for the WA model.
+	WorkloadOperands int
+	// DASample is the mixed-instruction Monte-Carlo sample size for the
+	// DA model's fixed ratio (the paper uses 10M).
+	DASample int
+	// Workers bounds DTA/campaign parallelism (0: GOMAXPROCS).
+	Workers int
+	// ExactTiming selects the event-driven gate-level engine instead of
+	// the fast levelized engine.
+	ExactTiming bool
+}
+
+// DefaultConfig returns the scaled-down defaults.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             0xF00D,
+		RandomOperands:   20000,
+		WorkloadOperands: 8000,
+		DASample:         200000,
+	}
+}
+
+// Framework is an instantiated cross-layer toolflow.
+type Framework struct {
+	Cfg  Config
+	Lib  *cell.Library
+	FPU  *fpu.FPU
+	Volt vscale.Model
+	// cached per-level random-operand summaries (shared by DA and IA).
+	randomSummaries map[string]map[fpu.Op]*dta.Summary
+}
+
+// New builds (and calibrates) the hardware substrate and returns the
+// framework.
+func New(cfg Config) (*Framework, error) {
+	d := DefaultConfig()
+	if cfg.RandomOperands == 0 {
+		cfg.RandomOperands = d.RandomOperands
+	}
+	if cfg.WorkloadOperands == 0 {
+		cfg.WorkloadOperands = d.WorkloadOperands
+	}
+	if cfg.DASample == 0 {
+		cfg.DASample = d.DASample
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = d.Seed
+	}
+	lib := cell.Default()
+	f, err := fpu.New(lib, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{
+		Cfg:             cfg,
+		Lib:             lib,
+		FPU:             f,
+		Volt:            vscale.Default45nm(),
+		randomSummaries: make(map[string]map[fpu.Op]*dta.Summary),
+	}, nil
+}
+
+// randomPairs draws uniformly distributed operand encodings for an op.
+func randomPairs(op fpu.Op, n int, src *prng.Source) []dta.Pair {
+	w := op.OperandWidth()
+	mask := ^uint64(0)
+	if w < 64 {
+		mask = 1<<uint(w) - 1
+	}
+	pairs := make([]dta.Pair, n)
+	for i := range pairs {
+		pairs[i] = dta.Pair{A: src.Uint64() & mask, B: src.Uint64() & mask}
+	}
+	return pairs
+}
+
+// RandomSummaries runs (or returns cached) DTA over uniformly random
+// operands for every instruction type at the level — the IA model's
+// characterization and Figure 7's data.
+func (f *Framework) RandomSummaries(level vscale.VRLevel) map[fpu.Op]*dta.Summary {
+	if s, ok := f.randomSummaries[level.Name]; ok {
+		return s
+	}
+	src := prng.New(f.Cfg.Seed ^ 0x1A5EED)
+	out := make(map[fpu.Op]*dta.Summary, fpu.NumOps)
+	for _, op := range fpu.Ops() {
+		n := f.Cfg.RandomOperands
+		if op == fpu.DDiv || op == fpu.SDiv {
+			n /= 8 // the iterative divider is ~50x slower to analyze
+		}
+		pairs := randomPairs(op, n, src.Split())
+		recs := dta.AnalyzeStream(f.FPU, op, f.Volt, level, f.Cfg.ExactTiming, pairs, f.Cfg.Workers)
+		out[op] = dta.Summarize(op, recs)
+	}
+	f.randomSummaries[level.Name] = out
+	return out
+}
+
+// WorkloadSummaries runs DTA over operands extracted from the workload
+// trace — the WA model's characterization and Figure 8's data.
+func (f *Framework) WorkloadSummaries(level vscale.VRLevel, tr *trace.Trace) map[fpu.Op]*dta.Summary {
+	src := prng.New(f.Cfg.Seed ^ 0x3A5EED ^ hashString(tr.Workload))
+	out := make(map[fpu.Op]*dta.Summary, fpu.NumOps)
+	for _, op := range fpu.Ops() {
+		pool := tr.Pairs[op]
+		if len(pool) == 0 {
+			continue
+		}
+		n := f.Cfg.WorkloadOperands
+		if op == fpu.DDiv || op == fpu.SDiv {
+			n /= 8
+		}
+		if n < 1 {
+			n = 1
+		}
+		pairs := make([]dta.Pair, n)
+		rs := src.Split()
+		for i := range pairs {
+			pairs[i] = pool[rs.Intn(len(pool))]
+		}
+		recs := dta.AnalyzeStream(f.FPU, op, f.Volt, level, f.Cfg.ExactTiming, pairs, f.Cfg.Workers)
+		out[op] = dta.Summarize(op, recs)
+	}
+	return out
+}
+
+// CaptureTrace extracts the workload's operand trace (the model
+// development phase's workload input).
+func (f *Framework) CaptureTrace(w *workloads.Workload) (*trace.Trace, error) {
+	return trace.Capture(w, maxInt(f.Cfg.WorkloadOperands, 4096), f.Cfg.Seed^0x7ACE)
+}
+
+// DevelopDA estimates the data-agnostic model: DTA over a mixed
+// Monte-Carlo instruction sample drawn from the benchmarks' dynamic
+// instruction distribution (instructions outside the FPU datapath cannot
+// fail and dilute the ratio, as in the paper's fixed-ER estimate).
+func (f *Framework) DevelopDA(level vscale.VRLevel, traces []*trace.Trace) (*errmodel.DAModel, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("core: DA development needs workload traces")
+	}
+	var totalInstr int64
+	var opCounts [fpu.NumOps]int64
+	for _, tr := range traces {
+		totalInstr += tr.TotalInstr
+		for op, c := range tr.OpCounts {
+			opCounts[op] += c
+		}
+	}
+	if totalInstr == 0 {
+		return nil, fmt.Errorf("core: empty traces")
+	}
+	sums := f.RandomSummaries(level)
+	// Expected faulty instructions in a DASample-sized mixed draw.
+	var faulty float64
+	for op, c := range opCounts {
+		share := float64(c) / float64(totalInstr)
+		faulty += share * float64(f.Cfg.DASample) * sums[fpu.Op(op)].ErrorRatio()
+	}
+	return errmodel.BuildDA(level.Name, int64(faulty+0.5), int64(f.Cfg.DASample)), nil
+}
+
+// DevelopIA builds the instruction-aware model at the level.
+func (f *Framework) DevelopIA(level vscale.VRLevel) *errmodel.IAModel {
+	return errmodel.BuildIA(level.Name, f.RandomSummaries(level))
+}
+
+// DevelopWA builds the workload-aware model for one benchmark trace.
+func (f *Framework) DevelopWA(level vscale.VRLevel, tr *trace.Trace) *errmodel.WAModel {
+	return errmodel.BuildWA(level.Name, tr.Workload, f.WorkloadSummaries(level, tr))
+}
+
+// Evaluate runs the application-evaluation phase for one cell with the
+// model injecting stochastically throughout each run.
+func (f *Framework) Evaluate(w *workloads.Workload, m errmodel.Model, runs int) (*campaign.Result, error) {
+	return f.evaluate(w, m, runs, false)
+}
+
+// EvaluateSingle runs the paper's statistical-fault-injection discipline:
+// exactly one injected error per run (Section V's 1068-run methodology).
+func (f *Framework) EvaluateSingle(w *workloads.Workload, m errmodel.Model, runs int) (*campaign.Result, error) {
+	return f.evaluate(w, m, runs, true)
+}
+
+func (f *Framework) evaluate(w *workloads.Workload, m errmodel.Model, runs int, single bool) (*campaign.Result, error) {
+	return campaign.Run(campaign.Spec{
+		Workload:        w,
+		Model:           m,
+		Runs:            runs,
+		Seed:            f.Cfg.Seed ^ hashString(w.Name) ^ hashString(string(m.Kind())+m.Level()),
+		Workers:         f.Cfg.Workers,
+		SingleInjection: single,
+	})
+}
+
+// hashString is a small FNV-1a for seed derivation.
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

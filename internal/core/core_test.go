@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"teva/internal/campaign"
+	"teva/internal/errmodel"
+	"teva/internal/fpu"
+	"teva/internal/trace"
+	"teva/internal/vscale"
+	"teva/internal/workloads"
+)
+
+// testFramework is shared across tests; characterization sizes are kept
+// small for test speed.
+var testFramework = mustFramework()
+
+func mustFramework() *Framework {
+	f, err := New(Config{
+		Seed:             0xF00D,
+		RandomOperands:   3000,
+		WorkloadOperands: 1500,
+		DASample:         100000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func TestFrameworkConstruction(t *testing.T) {
+	f := testFramework
+	if f.FPU == nil || f.Lib == nil {
+		t.Fatal("substrate missing")
+	}
+	if f.FPU.CLK != fpu.DefaultCLK {
+		t.Fatalf("clock %v", f.FPU.CLK)
+	}
+	if err := f.Volt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	f, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DefaultConfig()
+	if f.Cfg.RandomOperands != d.RandomOperands || f.Cfg.Seed != d.Seed {
+		t.Fatalf("defaults not applied: %+v", f.Cfg)
+	}
+}
+
+func TestRandomSummariesCachedAndShaped(t *testing.T) {
+	f := testFramework
+	s1 := f.RandomSummaries(vscale.VR20)
+	s2 := f.RandomSummaries(vscale.VR20)
+	if s1[fpu.DMul] != s2[fpu.DMul] {
+		t.Fatal("summaries not cached")
+	}
+	if s1[fpu.DMul].ErrorRatio() == 0 {
+		t.Fatal("fp-mul.d must show VR20 errors")
+	}
+	if s1[fpu.SI2F].ErrorRatio() != 0 {
+		t.Fatal("single-precision conversion must be error-free")
+	}
+}
+
+// capturedTrace memoizes the is trace for the end-to-end tests.
+var capturedTrace *trace.Trace
+
+func isTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	if capturedTrace != nil {
+		return capturedTrace
+	}
+	w, err := workloads.ByName("is", workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := testFramework.CaptureTrace(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capturedTrace = tr
+	return tr
+}
+
+func TestDevelopDA(t *testing.T) {
+	f := testFramework
+	tr := isTrace(t)
+	da, err := f.DevelopDA(vscale.VR20, []*trace.Trace{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.Kind() != errmodel.DA || da.Level() != "VR20" {
+		t.Fatal("DA metadata")
+	}
+	// is runs plenty of fp-mul.d, which fails at VR20, so the mixed
+	// ratio must be positive but heavily diluted by integer work.
+	mulER := f.RandomSummaries(vscale.VR20)[fpu.DMul].ErrorRatio()
+	if da.ER <= 0 || da.ER >= mulER {
+		t.Fatalf("DA ER %v not in (0, %v)", da.ER, mulER)
+	}
+	if _, err := f.DevelopDA(vscale.VR20, nil); err == nil {
+		t.Fatal("empty trace list must error")
+	}
+}
+
+func TestDevelopIA(t *testing.T) {
+	ia := testFramework.DevelopIA(vscale.VR20)
+	if ia.Level() != "VR20" {
+		t.Fatal("level")
+	}
+	if ia.PerOp[fpu.DMul].ER == 0 {
+		t.Fatal("IA must characterize fp-mul.d errors at VR20")
+	}
+	if ia.PerOp[fpu.SI2F].ER != 0 {
+		t.Fatal("IA must see no errors for i2f.s")
+	}
+	// Conditional bit probabilities live in [0,1] and include a set bit.
+	probs := ia.PerOp[fpu.DMul].BitProb
+	var anyPos bool
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("bit probability %v out of range", p)
+		}
+		anyPos = anyPos || p > 0
+	}
+	if !anyPos {
+		t.Fatal("no error-prone bits recorded")
+	}
+}
+
+func TestDevelopWA(t *testing.T) {
+	f := testFramework
+	tr := isTrace(t)
+	wa := f.DevelopWA(vscale.VR20, tr)
+	if wa.Workload != "is" || wa.Level() != "VR20" {
+		t.Fatal("WA metadata")
+	}
+	// is's randlc multiplications operate on large integral doubles whose
+	// products excite the multiplier; the model must capture a workload-
+	// specific ratio (positive, different from the IA random-operand one).
+	ia := f.DevelopIA(vscale.VR20)
+	waER := wa.PerOp[fpu.DMul].ER
+	iaER := ia.PerOp[fpu.DMul].ER
+	if waER == 0 {
+		t.Fatal("WA fp-mul.d ER should be nonzero for is at VR20")
+	}
+	if waER == iaER {
+		t.Fatal("WA and IA ratios should differ (workload dependence)")
+	}
+	if len(wa.PerOp[fpu.DMul].Masks) == 0 {
+		t.Fatal("WA mask pool empty")
+	}
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end campaign")
+	}
+	f := testFramework
+	w, err := workloads.ByName("is", workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := isTrace(t)
+	wa := f.DevelopWA(vscale.VR20, tr)
+	res, err := f.Evaluate(w, wa, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 24 {
+		t.Fatalf("runs %d", res.Runs)
+	}
+	var total int
+	for _, c := range res.Outcomes {
+		total += c
+	}
+	if total != 24 {
+		t.Fatalf("outcomes don't sum to runs: %v", res.Outcomes)
+	}
+	if res.RunsWithInjection == 0 {
+		t.Fatal("VR20 WA campaign on is should inject errors")
+	}
+	if res.Model != errmodel.WA || res.Level != "VR20" || res.Workload != "is" {
+		t.Fatalf("result identity: %+v", res)
+	}
+	_ = campaign.Masked
+}

@@ -1,0 +1,794 @@
+// Package cpu is the microarchitecture-level simulator of the application
+// evaluation phase (Section III-B): it executes MRV binaries cycle by
+// cycle on a single-issue pipelined core model with scoreboarded
+// multi-cycle functional units (whose floating-point latencies mirror the
+// gate-level FPU pipelines), a direct-mapped data cache, static
+// not-taken branch handling with a taken-branch redirect penalty, and a
+// register writeback hook at which timing errors are injected.
+//
+// This is the gem5 substitute of the reproduction: a performance model,
+// not an RTL model — architectural state is computed functionally while
+// cycle counts come from the hazard/latency model. Floating-point
+// arithmetic uses the same bit-accurate flush-to-zero softfp semantics as
+// the gate-level FPU, so circuit-level bitmasks apply 1-to-1 to the
+// values the software layer observes. Injected corruption propagates
+// architecturally: corrupted indexes cause memory faults (Crash),
+// corrupted loop bounds cause livelock (Timeout), corrupted data causes
+// silent output corruption (SDC), and corrupted-but-dead values are
+// masked — the four outcome classes of the paper.
+package cpu
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"teva/internal/fpu"
+	"teva/internal/isa"
+	"teva/internal/softfp"
+)
+
+// Status is the final state of a simulation run.
+type Status uint8
+
+// Run outcomes. The campaign layer maps them (plus output comparison)
+// onto the paper's Masked/SDC/Crash/Timeout classes.
+const (
+	// Halted: the program exited via the exit syscall.
+	Halted Status = iota
+	// Crashed: an unrecoverable fault (memory fault, illegal
+	// instruction, FP invalid-operation trap, PC out of text).
+	Crashed
+	// TimedOut: the cycle budget was exhausted.
+	TimedOut
+)
+
+func (s Status) String() string {
+	switch s {
+	case Halted:
+		return "halted"
+	case Crashed:
+		return "crashed"
+	case TimedOut:
+		return "timed-out"
+	}
+	return "unknown"
+}
+
+// Event describes one register writeback offered to the injector.
+type Event struct {
+	// Seq is the dynamic index of the instruction (commit order).
+	Seq int64
+	// Cycle is the writeback cycle.
+	Cycle uint64
+	// FPUDatapath reports whether this result was produced by one of the
+	// 12 gate-level FPU pipelines.
+	FPUDatapath bool
+	// FPOp identifies the pipeline when FPUDatapath.
+	FPOp fpu.Op
+	// A, B are the operand encodings (FPUDatapath only).
+	A, B uint64
+	// Result is the value about to be written.
+	Result uint64
+	// Width is the destination register width in bits (32 or 64).
+	Width int
+}
+
+// Injector decides, per writeback, which bits of the result to corrupt.
+// Returning 0 leaves the writeback intact. Implementations include the
+// DA/IA/WA error models and the trace capturer (which always returns 0).
+type Injector interface {
+	OnWriteback(ev Event) uint64
+}
+
+// Latencies of the functional units, in cycles.
+type Latencies struct {
+	IntALU        int
+	IntMul        int
+	IntDiv        int
+	CacheHit      int
+	CacheMiss     int
+	BranchPenalty int
+	FP            [fpu.NumOps]int
+}
+
+// DefaultLatencies mirror the gate-level FPU pipeline depths.
+func DefaultLatencies() Latencies {
+	l := Latencies{
+		IntALU: 1, IntMul: 3, IntDiv: 16,
+		CacheHit: 2, CacheMiss: 22, BranchPenalty: 2,
+	}
+	fpLat := map[fpu.Op]int{
+		fpu.DAdd: 6, fpu.DSub: 6, fpu.DMul: 6, fpu.DDiv: 59, fpu.DI2F: 3, fpu.DF2I: 3,
+		fpu.SAdd: 6, fpu.SSub: 6, fpu.SMul: 6, fpu.SDiv: 30, fpu.SI2F: 3, fpu.SF2I: 3,
+	}
+	for op, v := range fpLat {
+		l.FP[op] = v
+	}
+	return l
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// MemSize is the flat memory size in bytes (default isa.DefaultMemSize).
+	MemSize int
+	// Latencies override the default FU latencies when non-nil.
+	Latencies *Latencies
+	// Injector receives every register writeback (nil: no injection).
+	Injector Injector
+	// TrapFPInvalid makes invalid FP operations (NaN production from
+	// non-NaN inputs, invalid conversions) raise a crash, modelling the
+	// FPU exception path. Benchmarks are exception-free when uncorrupted.
+	TrapFPInvalid bool
+	// MaxOutput caps the console buffer (default 1 MiB).
+	MaxOutput int
+	// Trace, when non-nil, receives one line per executed instruction
+	// (cycle, pc, disassembly) — a debugging aid with a large slowdown.
+	Trace io.Writer
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Status   Status
+	ExitCode int32
+	// Reason describes a crash.
+	Reason string
+	// Cycles is the total simulated cycle count.
+	Cycles uint64
+	// Instret is the number of executed instructions.
+	Instret int64
+	// FPOps counts executed instructions per FPU pipeline.
+	FPOps [fpu.NumOps]int64
+	// Injections counts non-zero masks applied.
+	Injections int64
+	// DCacheMisses and ICacheMisses count cache misses.
+	DCacheMisses int64
+	ICacheMisses int64
+	// Branches and TakenBranches count control-flow statistics.
+	Branches, TakenBranches int64
+}
+
+// CPU is one simulator instance.
+type CPU struct {
+	cfg  Config
+	lat  Latencies
+	prog *isa.Program
+
+	pc        uint32
+	xreg      [32]uint32
+	freg      [32]uint64
+	mem       []byte
+	output    []byte
+	decoded   []isa.Inst // decoded text, indexed by (pc-TextBase)/4
+	decodeErr []bool
+
+	// Timing state.
+	cycle     uint64
+	intReady  [32]uint64 // cycle at which the register value is available
+	fpReady   [32]uint64
+	divFree   uint64 // non-pipelined divider next-free cycle
+	fpDivFree uint64
+
+	// Cache models: direct-mapped, 32-byte lines.
+	tags  []uint32
+	itags []uint32
+
+	res Result
+}
+
+const (
+	cacheLines   = 512 // 16 KiB, 32-byte lines
+	cacheLineLog = 5
+	icacheLines  = 256 // 8 KiB instruction cache
+)
+
+// New prepares a simulator for the program.
+func New(prog *isa.Program, cfg Config) *CPU {
+	if cfg.MemSize == 0 {
+		cfg.MemSize = isa.DefaultMemSize
+	}
+	if cfg.MaxOutput == 0 {
+		cfg.MaxOutput = 1 << 20
+	}
+	lat := DefaultLatencies()
+	if cfg.Latencies != nil {
+		lat = *cfg.Latencies
+	}
+	c := &CPU{
+		cfg:   cfg,
+		lat:   lat,
+		prog:  prog,
+		pc:    prog.Entry,
+		mem:   make([]byte, cfg.MemSize),
+		tags:  make([]uint32, cacheLines),
+		itags: make([]uint32, icacheLines),
+	}
+	for i := range c.tags {
+		c.tags[i] = ^uint32(0)
+	}
+	for i := range c.itags {
+		c.itags[i] = ^uint32(0)
+	}
+	copy(c.mem[isa.DataBase:], prog.Data)
+	c.xreg[2] = isa.StackTop
+	c.decoded = make([]isa.Inst, len(prog.Text))
+	c.decodeErr = make([]bool, len(prog.Text))
+	for i, raw := range prog.Text {
+		in, err := isa.Decode(raw)
+		c.decoded[i] = in
+		c.decodeErr[i] = err != nil
+	}
+	return c
+}
+
+// Mem exposes the data memory for output-region classification.
+func (c *CPU) Mem() []byte { return c.mem }
+
+// Output returns the console output produced so far.
+func (c *CPU) Output() []byte { return c.output }
+
+// crash terminates the run.
+func (c *CPU) crash(format string, args ...any) {
+	c.res.Status = Crashed
+	c.res.Reason = fmt.Sprintf(format, args...)
+}
+
+// Run simulates until halt, crash, or the cycle budget is exhausted.
+func (c *CPU) Run(maxCycles uint64) Result {
+	c.res = Result{Status: TimedOut}
+	running := true
+	for running && c.cycle < maxCycles {
+		running = c.step()
+	}
+	if c.cycle >= maxCycles && c.res.Status == TimedOut {
+		c.res.Status = TimedOut
+	}
+	c.res.Cycles = c.cycle
+	return c.res
+}
+
+// step executes one instruction; returns false when the run ends.
+func (c *CPU) step() bool {
+	idx := (c.pc - isa.TextBase) / 4
+	if c.pc < isa.TextBase || c.pc%4 != 0 || int(idx) >= len(c.decoded) {
+		c.crash("pc %#x outside text", c.pc)
+		return false
+	}
+	in := c.decoded[idx]
+	if c.decodeErr[idx] {
+		c.crash("illegal instruction %#08x at pc %#x", in.Raw, c.pc)
+		return false
+	}
+	if c.cfg.Trace != nil {
+		fmt.Fprintf(c.cfg.Trace, "%10d %08x  %s\n", c.cycle, c.pc, isa.Disassemble(in))
+	}
+	// Instruction fetch: a miss in the (direct-mapped) instruction cache
+	// stalls the front end for the refill.
+	line := c.pc >> cacheLineLog
+	slot := line % icacheLines
+	if c.itags[slot] != line {
+		c.itags[slot] = line
+		c.res.ICacheMisses++
+		c.cycle += uint64(c.lat.CacheMiss - c.lat.CacheHit)
+	}
+	c.cycle++ // fetch/issue slot
+	c.res.Instret++
+	nextPC := c.pc + 4
+
+	switch in.Op {
+	case isa.OpInt:
+		c.execInt(in)
+	case isa.OpIntImm:
+		c.execIntImm(in)
+	case isa.OpLui:
+		c.writeInt(in.Rd, uint32(in.Imm), c.cycle+uint64(c.lat.IntALU))
+	case isa.OpAuipc:
+		c.writeInt(in.Rd, c.pc+uint32(in.Imm), c.cycle+uint64(c.lat.IntALU))
+	case isa.OpLoad:
+		if !c.execLoad(in) {
+			return false
+		}
+	case isa.OpStore:
+		if !c.execStore(in) {
+			return false
+		}
+	case isa.OpFLoad:
+		if !c.execFLoad(in) {
+			return false
+		}
+	case isa.OpFStore:
+		if !c.execFStore(in) {
+			return false
+		}
+	case isa.OpBranch:
+		c.res.Branches++
+		if c.evalBranch(in) {
+			c.res.TakenBranches++
+			c.cycle += uint64(c.lat.BranchPenalty)
+			nextPC = c.pc + uint32(in.Imm)
+		}
+	case isa.OpJal:
+		c.writeInt(in.Rd, c.pc+4, c.cycle+1)
+		c.cycle += uint64(c.lat.BranchPenalty)
+		nextPC = c.pc + uint32(in.Imm)
+	case isa.OpJalr:
+		target := (c.readInt(in.Rs1) + uint32(in.Imm)) &^ 1
+		c.writeInt(in.Rd, c.pc+4, c.cycle+1)
+		c.cycle += uint64(c.lat.BranchPenalty)
+		nextPC = target
+	case isa.OpSys:
+		if !c.execSyscall() {
+			return false
+		}
+	case isa.OpFP:
+		if !c.execFP(in) {
+			return false
+		}
+	default:
+		c.crash("unimplemented opcode %#x", uint8(in.Op))
+		return false
+	}
+	if c.res.Status == Crashed || c.res.Status == Halted {
+		return false
+	}
+	c.pc = nextPC
+	return true
+}
+
+// readInt returns rs1's value, advancing the cycle to its ready time
+// (scoreboard stall).
+func (c *CPU) readInt(r uint8) uint32 {
+	if t := c.intReady[r]; t > c.cycle {
+		c.cycle = t
+	}
+	return c.xreg[r]
+}
+
+func (c *CPU) readFP(r uint8) uint64 {
+	if t := c.fpReady[r]; t > c.cycle {
+		c.cycle = t
+	}
+	return c.freg[r]
+}
+
+// writeInt performs an integer writeback, consulting the injector.
+func (c *CPU) writeInt(r uint8, v uint32, ready uint64) {
+	if c.cfg.Injector != nil {
+		mask := c.cfg.Injector.OnWriteback(Event{
+			Seq: c.res.Instret, Cycle: ready, Result: uint64(v), Width: 32,
+		})
+		if mask != 0 {
+			v ^= uint32(mask)
+			c.res.Injections++
+		}
+	}
+	if r == 0 {
+		return
+	}
+	c.xreg[r] = v
+	c.intReady[r] = ready
+}
+
+// writeFPRaw writes an FP register without consulting the injector (loads
+// and moves, which bypass the FPU datapath).
+func (c *CPU) writeFPRaw(r uint8, v uint64, ready uint64) {
+	c.freg[r] = v
+	c.fpReady[r] = ready
+}
+
+func (c *CPU) execInt(in isa.Inst) {
+	a := c.readInt(in.Rs1)
+	b := c.readInt(in.Rs2)
+	lat := uint64(c.lat.IntALU)
+	var v uint32
+	if in.Funct7 == isa.F7MulD {
+		switch in.Funct3 {
+		case isa.F3Mul:
+			v = uint32(int32(a) * int32(b))
+			lat = uint64(c.lat.IntMul)
+		case isa.F3Mulh:
+			v = uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+			lat = uint64(c.lat.IntMul)
+		case isa.F3Div, isa.F3Divu, isa.F3Rem, isa.F3Remu:
+			v = c.intDivide(in.Funct3, a, b)
+			if t := c.divFree; t > c.cycle {
+				c.cycle = t // structural hazard: non-pipelined divider
+			}
+			lat = uint64(c.lat.IntDiv)
+			c.divFree = c.cycle + lat
+		}
+	} else {
+		switch in.Funct3 {
+		case isa.F3AddSub:
+			if in.Funct7 == isa.F7Alt {
+				v = a - b
+			} else {
+				v = a + b
+			}
+		case isa.F3Sll:
+			v = a << (b & 31)
+		case isa.F3Slt:
+			if int32(a) < int32(b) {
+				v = 1
+			}
+		case isa.F3Sltu:
+			if a < b {
+				v = 1
+			}
+		case isa.F3Xor:
+			v = a ^ b
+		case isa.F3SrlSra:
+			if in.Funct7 == isa.F7Alt {
+				v = uint32(int32(a) >> (b & 31))
+			} else {
+				v = a >> (b & 31)
+			}
+		case isa.F3Or:
+			v = a | b
+		case isa.F3And:
+			v = a & b
+		}
+	}
+	c.writeInt(in.Rd, v, c.cycle+lat)
+}
+
+// intDivide implements the RISC-style non-trapping division semantics.
+func (c *CPU) intDivide(f3 uint8, a, b uint32) uint32 {
+	switch f3 {
+	case isa.F3Div:
+		if b == 0 {
+			return ^uint32(0)
+		}
+		if int32(a) == math.MinInt32 && int32(b) == -1 {
+			return a
+		}
+		return uint32(int32(a) / int32(b))
+	case isa.F3Divu:
+		if b == 0 {
+			return ^uint32(0)
+		}
+		return a / b
+	case isa.F3Rem:
+		if b == 0 {
+			return a
+		}
+		if int32(a) == math.MinInt32 && int32(b) == -1 {
+			return 0
+		}
+		return uint32(int32(a) % int32(b))
+	default: // remu
+		if b == 0 {
+			return a
+		}
+		return a % b
+	}
+}
+
+func (c *CPU) execIntImm(in isa.Inst) {
+	a := c.readInt(in.Rs1)
+	imm := uint32(in.Imm)
+	var v uint32
+	switch in.Funct3 {
+	case isa.F3AddSub:
+		v = a + imm
+	case isa.F3Sll:
+		v = a << (imm & 31)
+	case isa.F3Slt:
+		if int32(a) < in.Imm {
+			v = 1
+		}
+	case isa.F3Sltu:
+		if a < imm {
+			v = 1
+		}
+	case isa.F3Xor:
+		v = a ^ imm
+	case isa.F3SrlSra:
+		if in.Imm>>5&0x7f == int32(isa.F7Alt) {
+			v = uint32(int32(a) >> (imm & 31))
+		} else {
+			v = a >> (imm & 31)
+		}
+	case isa.F3Or:
+		v = a | imm
+	case isa.F3And:
+		v = a & imm
+	}
+	c.writeInt(in.Rd, v, c.cycle+uint64(c.lat.IntALU))
+}
+
+func (c *CPU) evalBranch(in isa.Inst) bool {
+	a := c.readInt(in.Rs1)
+	b := c.readInt(in.Rs2)
+	switch in.Funct3 {
+	case isa.F3Beq:
+		return a == b
+	case isa.F3Bne:
+		return a != b
+	case isa.F3Blt:
+		return int32(a) < int32(b)
+	case isa.F3Bge:
+		return int32(a) >= int32(b)
+	case isa.F3Bltu:
+		return a < b
+	case isa.F3Bgeu:
+		return a >= b
+	}
+	return false
+}
+
+// memAccess validates an address and returns the cache latency.
+func (c *CPU) memAccess(addr uint32, size uint32) (uint64, bool) {
+	if addr%size != 0 {
+		c.crash("misaligned %d-byte access at %#x (pc %#x)", size, addr, c.pc)
+		return 0, false
+	}
+	if uint64(addr)+uint64(size) > uint64(len(c.mem)) {
+		c.crash("memory fault at %#x (pc %#x)", addr, c.pc)
+		return 0, false
+	}
+	line := addr >> cacheLineLog
+	slot := line % cacheLines
+	if c.tags[slot] == line {
+		return uint64(c.lat.CacheHit), true
+	}
+	c.tags[slot] = line
+	c.res.DCacheMisses++
+	return uint64(c.lat.CacheMiss), true
+}
+
+func (c *CPU) execLoad(in isa.Inst) bool {
+	addr := c.readInt(in.Rs1) + uint32(in.Imm)
+	var size uint32 = 4
+	if in.Funct3 == isa.F3Byte || in.Funct3 == isa.F3ByteU {
+		size = 1
+	}
+	lat, ok := c.memAccess(addr, size)
+	if !ok {
+		return false
+	}
+	var v uint32
+	switch in.Funct3 {
+	case isa.F3Word:
+		v = uint32(c.mem[addr]) | uint32(c.mem[addr+1])<<8 |
+			uint32(c.mem[addr+2])<<16 | uint32(c.mem[addr+3])<<24
+	case isa.F3Byte:
+		v = uint32(int32(int8(c.mem[addr])))
+	case isa.F3ByteU:
+		v = uint32(c.mem[addr])
+	default:
+		c.crash("illegal load funct3 %d", in.Funct3)
+		return false
+	}
+	c.writeInt(in.Rd, v, c.cycle+lat)
+	return true
+}
+
+func (c *CPU) execStore(in isa.Inst) bool {
+	addr := c.readInt(in.Rs1) + uint32(in.Imm)
+	v := c.readInt(in.Rs2)
+	var size uint32 = 4
+	if in.Funct3 == isa.F3Byte {
+		size = 1
+	}
+	if _, ok := c.memAccess(addr, size); !ok {
+		return false
+	}
+	switch in.Funct3 {
+	case isa.F3Word:
+		c.mem[addr] = byte(v)
+		c.mem[addr+1] = byte(v >> 8)
+		c.mem[addr+2] = byte(v >> 16)
+		c.mem[addr+3] = byte(v >> 24)
+	case isa.F3Byte:
+		c.mem[addr] = byte(v)
+	default:
+		c.crash("illegal store funct3 %d", in.Funct3)
+		return false
+	}
+	return true
+}
+
+func (c *CPU) execFLoad(in isa.Inst) bool {
+	addr := c.readInt(in.Rs1) + uint32(in.Imm)
+	size := uint32(8)
+	if in.Funct3 == isa.F3FWord {
+		size = 4
+	}
+	lat, ok := c.memAccess(addr, size)
+	if !ok {
+		return false
+	}
+	var v uint64
+	for i := uint32(0); i < size; i++ {
+		v |= uint64(c.mem[addr+i]) << (8 * i)
+	}
+	c.writeFPRaw(in.Rd, v, c.cycle+lat)
+	return true
+}
+
+func (c *CPU) execFStore(in isa.Inst) bool {
+	addr := c.readInt(in.Rs1) + uint32(in.Imm)
+	v := c.readFP(in.Rs2)
+	size := uint32(8)
+	if in.Funct3 == isa.F3FWord {
+		size = 4
+	}
+	if _, ok := c.memAccess(addr, size); !ok {
+		return false
+	}
+	for i := uint32(0); i < size; i++ {
+		c.mem[addr+i] = byte(v >> (8 * i))
+	}
+	return true
+}
+
+func (c *CPU) execSyscall() bool {
+	code := c.readInt(10) // a0
+	arg := c.readInt(11)  // a1
+	switch code {
+	case isa.SysPrintInt:
+		c.print([]byte(fmt.Sprintf("%d", int32(arg))))
+	case isa.SysPrintFP:
+		c.print([]byte(fmt.Sprintf("%g", math.Float64frombits(c.readFP(10)))))
+	case isa.SysPrintChar:
+		c.print([]byte{byte(arg)})
+	case isa.SysPrintStr:
+		for addr := arg; ; addr++ {
+			if uint64(addr) >= uint64(len(c.mem)) {
+				c.crash("string fault at %#x", addr)
+				return false
+			}
+			b := c.mem[addr]
+			if b == 0 {
+				break
+			}
+			c.print([]byte{b})
+		}
+	case isa.SysCycles:
+		c.writeInt(10, uint32(c.cycle), c.cycle+1)
+	case isa.SysExit:
+		c.res.Status = Halted
+		c.res.ExitCode = int32(arg)
+		return false
+	default:
+		c.crash("unknown syscall %d", code)
+		return false
+	}
+	return true
+}
+
+func (c *CPU) print(b []byte) {
+	if len(c.output)+len(b) <= c.cfg.MaxOutput {
+		c.output = append(c.output, b...)
+	}
+}
+
+// fpOpFor maps an FP funct7 to its FPU pipeline.
+var fpOpFor = map[isa.FPFunc]fpu.Op{
+	isa.FPAddD: fpu.DAdd, isa.FPSubD: fpu.DSub, isa.FPMulD: fpu.DMul,
+	isa.FPDivD: fpu.DDiv, isa.FPI2FD: fpu.DI2F, isa.FPF2ID: fpu.DF2I,
+	isa.FPAddS: fpu.SAdd, isa.FPSubS: fpu.SSub, isa.FPMulS: fpu.SMul,
+	isa.FPDivS: fpu.SDiv, isa.FPI2FS: fpu.SI2F, isa.FPF2IS: fpu.SF2I,
+}
+
+func (c *CPU) execFP(in isa.Inst) bool {
+	fn := isa.FPFunc(in.Funct7)
+	if fn.IsFPUDatapath() {
+		return c.execFPUDatapath(in, fpOpFor[fn])
+	}
+	switch fn {
+	case isa.FPMv:
+		c.writeFPRaw(in.Rd, c.readFP(in.Rs1), c.cycle+1)
+	case isa.FPNegD:
+		c.writeFPRaw(in.Rd, c.readFP(in.Rs1)^1<<63, c.cycle+1)
+	case isa.FPAbsD:
+		c.writeFPRaw(in.Rd, c.readFP(in.Rs1)&^(1<<63), c.cycle+1)
+	case isa.FPEqD, isa.FPLtD, isa.FPLeD:
+		a := math.Float64frombits(c.readFP(in.Rs1))
+		b := math.Float64frombits(c.readFP(in.Rs2))
+		var v uint32
+		switch {
+		case fn == isa.FPEqD && a == b, fn == isa.FPLtD && a < b, fn == isa.FPLeD && a <= b:
+			v = 1
+		}
+		c.writeInt(in.Rd, v, c.cycle+1)
+	case isa.FPMvXD:
+		c.writeInt(in.Rd, uint32(c.readFP(in.Rs1)), c.cycle+1)
+	case isa.FPMvDX:
+		c.writeFPRaw(in.Rd, uint64(c.readInt(in.Rs1)), c.cycle+1)
+	case isa.FPCvtSD:
+		// Narrowing conversion via the softfp reference (not a gate-level
+		// pipeline in the reference design; excluded from injection).
+		d := math.Float64frombits(c.readFP(in.Rs1))
+		c.writeFPRaw(in.Rd, uint64(math.Float32bits(float32(d))), c.cycle+3)
+	case isa.FPCvtDS:
+		s := math.Float32frombits(uint32(c.readFP(in.Rs1)))
+		c.writeFPRaw(in.Rd, math.Float64bits(float64(s)), c.cycle+3)
+	default:
+		c.crash("illegal fp funct7 %d", in.Funct7)
+		return false
+	}
+	return true
+}
+
+// execFPUDatapath executes one of the 12 modelled FPU instructions with
+// softfp (bit-identical to the gate-level golden model) and offers the
+// writeback to the injector.
+func (c *CPU) execFPUDatapath(in isa.Inst, op fpu.Op) bool {
+	var a, b uint64
+	if op == fpu.DI2F || op == fpu.SI2F {
+		a = uint64(c.readInt(in.Rs1))
+	} else {
+		a = c.readFP(in.Rs1)
+		if op.NumOperands() == 2 {
+			b = c.readFP(in.Rs2)
+		}
+	}
+	if !op.Double() && op != fpu.SI2F {
+		a &= 0xffffffff
+		b &= 0xffffffff
+	}
+	result, invalid := goldenWithFlags(op, a, b)
+	if c.cfg.TrapFPInvalid && invalid {
+		c.crash("fp invalid-operation exception (%v at pc %#x)", op, c.pc)
+		return false
+	}
+	lat := uint64(c.lat.FP[op])
+	if op == fpu.DDiv || op == fpu.SDiv {
+		if t := c.fpDivFree; t > c.cycle {
+			c.cycle = t
+		}
+		c.fpDivFree = c.cycle + lat
+	}
+	ready := c.cycle + lat
+	c.res.FPOps[op]++
+	if c.cfg.Injector != nil {
+		mask := c.cfg.Injector.OnWriteback(Event{
+			Seq: c.res.Instret, Cycle: ready,
+			FPUDatapath: true, FPOp: op, A: a, B: b, Result: result,
+			Width: op.ResultWidth(),
+		})
+		if mask != 0 {
+			result ^= mask & widthMask(op.ResultWidth())
+			c.res.Injections++
+		}
+	}
+	if op == fpu.DF2I || op == fpu.SF2I {
+		c.writeInt(in.Rd, uint32(result), ready)
+	} else {
+		c.writeFPRaw(in.Rd, result, ready)
+	}
+	return true
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// goldenWithFlags computes the softfp result and whether the operation is
+// invalid (the trap condition).
+func goldenWithFlags(op fpu.Op, a, b uint64) (uint64, bool) {
+	f := op.Format()
+	var r uint64
+	var fl softfp.Flags
+	switch op {
+	case fpu.DAdd, fpu.SAdd:
+		r, fl = f.Add(a, b)
+	case fpu.DSub, fpu.SSub:
+		r, fl = f.Sub(a, b)
+	case fpu.DMul, fpu.SMul:
+		r, fl = f.Mul(a, b)
+	case fpu.DDiv, fpu.SDiv:
+		r, fl = f.Div(a, b)
+	case fpu.DI2F, fpu.SI2F:
+		r, fl = f.FromInt32(int32(uint32(a)))
+	case fpu.DF2I, fpu.SF2I:
+		i, ifl := f.ToInt32(a)
+		return uint64(uint32(i)), ifl.Has(softfp.FlagInvalid)
+	}
+	return r, fl.Has(softfp.FlagInvalid)
+}

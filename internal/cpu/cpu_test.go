@@ -1,0 +1,682 @@
+package cpu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"teva/internal/fpu"
+	"teva/internal/isa"
+)
+
+func run(t *testing.T, src string, cfg Config) (*CPU, Result) {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p, cfg)
+	res := c.Run(50_000_000)
+	return c, res
+}
+
+func TestHaltAndExitCode(t *testing.T) {
+	_, res := run(t, `
+.text
+main:
+    li a0, 10
+    li a1, 7
+    ecall
+`, Config{})
+	if res.Status != Halted || res.ExitCode != 7 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Instret != 5 {
+		t.Fatalf("instret %d", res.Instret)
+	}
+}
+
+func TestArithmeticAndOutput(t *testing.T) {
+	_, res := run(t, `
+.text
+main:
+    li   t0, 6
+    li   t1, 7
+    mul  t2, t0, t1
+    li   a0, 1
+    mv   a1, t2
+    ecall
+    li   a0, 3
+    li   a1, '\n'
+    ecall
+    li   a0, 10
+    li   a1, 0
+    ecall
+`, Config{})
+	if res.Status != Halted {
+		t.Fatalf("status %v (%s)", res.Status, res.Reason)
+	}
+}
+
+func TestConsoleOutput(t *testing.T) {
+	c, res := run(t, `
+.data
+msg: .asciiz "sum="
+.text
+main:
+    la  a1, msg
+    li  a0, 4
+    ecall
+    li  a0, 1
+    li  a1, 42
+    ecall
+    li  a0, 10
+    li  a1, 0
+    ecall
+`, Config{})
+	if res.Status != Halted {
+		t.Fatalf("status %v (%s)", res.Status, res.Reason)
+	}
+	if got := string(c.Output()); got != "sum=42" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestLoopAndMemory(t *testing.T) {
+	// Sum 1..100 into memory, read back.
+	c, res := run(t, `
+.data
+out: .word 0
+.text
+main:
+    li   t0, 0      # i
+    li   t1, 0      # sum
+    li   t2, 101
+loop:
+    add  t1, t1, t0
+    addi t0, t0, 1
+    blt  t0, t2, loop
+    la   t3, out
+    sw   t1, 0(t3)
+    li   a0, 10
+    li   a1, 0
+    ecall
+`, Config{})
+	if res.Status != Halted {
+		t.Fatalf("status %v (%s)", res.Status, res.Reason)
+	}
+	addr := isa.DataBase
+	got := uint32(c.Mem()[addr]) | uint32(c.Mem()[addr+1])<<8 |
+		uint32(c.Mem()[addr+2])<<16 | uint32(c.Mem()[addr+3])<<24
+	if got != 5050 {
+		t.Fatalf("sum = %d", got)
+	}
+	if res.Branches == 0 || res.TakenBranches == 0 {
+		t.Fatal("branch statistics missing")
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	c, res := run(t, `
+.data
+vals: .double 1.5, 2.25
+out:  .double 0, 0, 0, 0
+.text
+main:
+    la   s0, vals
+    la   s1, out
+    fld  fa0, 0(s0)
+    fld  fa1, 8(s0)
+    fadd.d fa2, fa0, fa1
+    fsd  fa2, 0(s1)
+    fmul.d fa3, fa0, fa1
+    fsd  fa3, 8(s1)
+    fdiv.d fa4, fa1, fa0
+    fsd  fa4, 16(s1)
+    li   t0, 9
+    fcvt.d.w fa5, t0
+    fsd  fa5, 24(s1)
+    li   a0, 10
+    li   a1, 0
+    ecall
+`, Config{})
+	if res.Status != Halted {
+		t.Fatalf("status %v (%s)", res.Status, res.Reason)
+	}
+	read := func(i int) float64 {
+		base := isa.DataBase + 16 + i*8
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(c.Mem()[base+b]) << (8 * b)
+		}
+		return math.Float64frombits(v)
+	}
+	if read(0) != 3.75 || read(1) != 3.375 || read(2) != 1.5 || read(3) != 9 {
+		t.Fatalf("fp results: %v %v %v %v", read(0), read(1), read(2), read(3))
+	}
+	if res.FPOps[fpu.DAdd] != 1 || res.FPOps[fpu.DMul] != 1 ||
+		res.FPOps[fpu.DDiv] != 1 || res.FPOps[fpu.DI2F] != 1 {
+		t.Fatalf("FP op counts %v", res.FPOps)
+	}
+}
+
+func TestFPCompareAndConvert(t *testing.T) {
+	_, res := run(t, `
+.data
+vals: .double 2.5, 7.25
+.text
+main:
+    la   s0, vals
+    fld  fa0, 0(s0)
+    fld  fa1, 8(s0)
+    flt.d t0, fa0, fa1
+    beqz t0, fail
+    fle.d t1, fa1, fa0
+    bnez t1, fail
+    feq.d t2, fa0, fa0
+    beqz t2, fail
+    fcvt.w.d t3, fa1
+    li   t4, 7
+    bne  t3, t4, fail
+    li   a0, 10
+    li   a1, 0
+    ecall
+fail:
+    li   a0, 10
+    li   a1, 1
+    ecall
+`, Config{})
+	if res.Status != Halted || res.ExitCode != 0 {
+		t.Fatalf("result %+v (%s)", res, res.Reason)
+	}
+}
+
+func TestCrashOnBadMemory(t *testing.T) {
+	_, res := run(t, `
+.text
+main:
+    li  t0, 0x7fffff00
+    lw  t1, 0(t0)
+`, Config{})
+	if res.Status != Crashed || !strings.Contains(res.Reason, "memory fault") {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestCrashOnMisaligned(t *testing.T) {
+	_, res := run(t, `
+.text
+main:
+    li  t0, 0x100001
+    lw  t1, 0(t0)
+`, Config{})
+	if res.Status != Crashed || !strings.Contains(res.Reason, "misaligned") {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestCrashOnWildJump(t *testing.T) {
+	_, res := run(t, `
+.text
+main:
+    li  t0, 0x400000
+    jr  t0
+`, Config{})
+	if res.Status != Crashed {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	p, err := isa.Assemble(`
+.text
+main:
+    j main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p, Config{})
+	res := c.Run(10_000)
+	if res.Status != TimedOut {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Cycles < 10_000 {
+		t.Fatalf("cycles %d", res.Cycles)
+	}
+}
+
+func TestFPInvalidTraps(t *testing.T) {
+	src := `
+.data
+vals: .double 0.0, 0.0
+.text
+main:
+    la   s0, vals
+    fld  fa0, 0(s0)
+    fld  fa1, 8(s0)
+    fdiv.d fa2, fa0, fa1   # 0/0 -> invalid
+    li   a0, 10
+    li   a1, 0
+    ecall
+`
+	_, res := run(t, src, Config{TrapFPInvalid: true})
+	if res.Status != Crashed || !strings.Contains(res.Reason, "invalid") {
+		t.Fatalf("result %+v", res)
+	}
+	_, res = run(t, src, Config{TrapFPInvalid: false})
+	if res.Status != Halted {
+		t.Fatalf("non-trapping run %+v", res)
+	}
+}
+
+func TestScoreboardStalls(t *testing.T) {
+	// A dependent chain on a long-latency op must cost more cycles than
+	// independent ops.
+	dep := `
+.data
+v: .double 1.000000001, 1.25
+.text
+main:
+    la s0, v
+    fld fa0, 0(s0)
+    fld fa1, 8(s0)
+    fdiv.d fa2, fa0, fa1
+    fadd.d fa3, fa2, fa1   # depends on the divide
+    li a0, 10
+    li a1, 0
+    ecall
+`
+	indep := `
+.data
+v: .double 1.000000001, 1.25
+.text
+main:
+    la s0, v
+    fld fa0, 0(s0)
+    fld fa1, 8(s0)
+    fdiv.d fa2, fa0, fa1
+    fadd.d fa3, fa1, fa1   # independent
+    li a0, 10
+    li a1, 0
+    ecall
+`
+	_, r1 := run(t, dep, Config{})
+	_, r2 := run(t, indep, Config{})
+	if r1.Cycles <= r2.Cycles {
+		t.Fatalf("dependent chain (%d cycles) should be slower than independent (%d)",
+			r1.Cycles, r2.Cycles)
+	}
+}
+
+func TestCacheStatistics(t *testing.T) {
+	_, res := run(t, `
+.text
+main:
+    li   t0, 0x100000
+    li   t1, 0
+    li   t2, 8192
+loop:
+    lw   t3, 0(t0)
+    addi t0, t0, 64      # stride past each line: all misses
+    addi t1, t1, 1
+    blt  t1, t2, loop
+    li   a0, 10
+    li   a1, 0
+    ecall
+`, Config{})
+	if res.Status != Halted {
+		t.Fatalf("status %v (%s)", res.Status, res.Reason)
+	}
+	if res.DCacheMisses < 8000 {
+		t.Fatalf("expected ~8192 misses, got %d", res.DCacheMisses)
+	}
+}
+
+// countingInjector corrupts the Nth FP writeback with a fixed mask.
+type countingInjector struct {
+	target int64
+	mask   uint64
+	seen   int64
+	events []Event
+}
+
+func (ci *countingInjector) OnWriteback(ev Event) uint64 {
+	if !ev.FPUDatapath {
+		return 0
+	}
+	ci.events = append(ci.events, ev)
+	ci.seen++
+	if ci.seen == ci.target {
+		return ci.mask
+	}
+	return 0
+}
+
+func TestInjectionChangesResult(t *testing.T) {
+	src := `
+.data
+vals: .double 1.5, 2.25
+out:  .double 0
+.text
+main:
+    la   s0, vals
+    fld  fa0, 0(s0)
+    fld  fa1, 8(s0)
+    fadd.d fa2, fa0, fa1
+    fsd  fa2, 16(s0)
+    li   a0, 10
+    li   a1, 0
+    ecall
+`
+	inj := &countingInjector{target: 1, mask: 1 << 51}
+	c, res := run(t, src, Config{Injector: inj})
+	if res.Status != Halted {
+		t.Fatalf("status %v (%s)", res.Status, res.Reason)
+	}
+	if res.Injections != 1 {
+		t.Fatalf("injections %d", res.Injections)
+	}
+	base := isa.DataBase + 16
+	var v uint64
+	for b := 0; b < 8; b++ {
+		v |= uint64(c.Mem()[base+b]) << (8 * b)
+	}
+	want := math.Float64bits(3.75) ^ 1<<51
+	if v != want {
+		t.Fatalf("stored %#x, want corrupted %#x", v, want)
+	}
+	ev := inj.events[0]
+	if ev.FPOp != fpu.DAdd || ev.A != math.Float64bits(1.5) || ev.B != math.Float64bits(2.25) {
+		t.Fatalf("event fields wrong: %+v", ev)
+	}
+	if ev.Result != math.Float64bits(3.75) {
+		t.Fatalf("event result %#x", ev.Result)
+	}
+}
+
+func TestInjectedIndexCrash(t *testing.T) {
+	// Corrupt an f2i result that is used as an array index scale; the
+	// corrupted index must cause a memory fault (the Crash class).
+	src := `
+.data
+arr: .space 64
+x:   .double 3.0
+.text
+main:
+    la   s0, x
+    fld  fa0, 0(s0)
+    fcvt.w.d t0, fa0
+    slli t0, t0, 2
+    la   s1, arr
+    add  s1, s1, t0
+    lw   t1, 0(s1)
+    li   a0, 10
+    li   a1, 0
+    ecall
+`
+	inj := &countingInjector{target: 1, mask: 1 << 28}
+	_, res := run(t, src, Config{Injector: inj})
+	if res.Status != Crashed {
+		t.Fatalf("expected crash from corrupted index, got %+v", res)
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	_, res := run(t, `
+.text
+main:
+    addi zero, zero, 5
+    bnez zero, fail
+    li   a0, 10
+    li   a1, 0
+    ecall
+fail:
+    li   a0, 10
+    li   a1, 1
+    ecall
+`, Config{})
+	if res.Status != Halted || res.ExitCode != 0 {
+		t.Fatalf("x0 was written: %+v", res)
+	}
+}
+
+func TestCyclesSyscall(t *testing.T) {
+	_, res := run(t, `
+.text
+main:
+    li   a0, 5
+    ecall             # a0 <- cycles
+    mv   t0, a0
+    li   a0, 5
+    ecall
+    bleu a0, t0, fail # cycle counter must advance
+    li   a0, 10
+    li   a1, 0
+    ecall
+fail:
+    li   a0, 10
+    li   a1, 1
+    ecall
+`, Config{})
+	if res.Status != Halted || res.ExitCode != 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestSinglePrecisionFlow(t *testing.T) {
+	c, res := run(t, `
+.data
+vals: .float 1.5, 2.5
+out:  .float 0, 0
+.text
+main:
+    la   s0, vals
+    flw  fa0, 0(s0)
+    flw  fa1, 4(s0)
+    fadd.s fa2, fa0, fa1
+    fsw  fa2, 8(s0)
+    fmul.s fa3, fa0, fa1
+    fsw  fa3, 12(s0)
+    li   a0, 10
+    li   a1, 0
+    ecall
+`, Config{})
+	if res.Status != Halted {
+		t.Fatalf("status %v (%s)", res.Status, res.Reason)
+	}
+	read32 := func(off int) float32 {
+		base := isa.DataBase + 8 + off
+		var v uint32
+		for b := 0; b < 4; b++ {
+			v |= uint32(c.Mem()[base+b]) << (8 * b)
+		}
+		return math.Float32frombits(v)
+	}
+	if read32(0) != 4.0 || read32(4) != 3.75 {
+		t.Fatalf("single results %v %v", read32(0), read32(4))
+	}
+	if res.FPOps[fpu.SAdd] != 1 || res.FPOps[fpu.SMul] != 1 {
+		t.Fatalf("single FP counts %v", res.FPOps)
+	}
+}
+
+func TestFPUnaryOps(t *testing.T) {
+	c, res := run(t, `
+.data
+v:   .double -2.5
+out: .double 0, 0, 0
+.text
+main:
+    la   s0, v
+    fld  fa0, 0(s0)
+    fneg.d fa1, fa0
+    fsd  fa1, 8(s0)
+    fabs.d fa2, fa0
+    fsd  fa2, 16(s0)
+    fmv.d  fa3, fa0
+    fsd  fa3, 24(s0)
+    li   a0, 10
+    li   a1, 0
+    ecall
+`, Config{})
+	if res.Status != Halted {
+		t.Fatalf("status %v (%s)", res.Status, res.Reason)
+	}
+	read := func(off int) float64 {
+		base := isa.DataBase + off
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(c.Mem()[base+b]) << (8 * b)
+		}
+		return math.Float64frombits(v)
+	}
+	if read(8) != 2.5 || read(16) != 2.5 || read(24) != -2.5 {
+		t.Fatalf("unary results %v %v %v", read(8), read(16), read(24))
+	}
+	// Unary moves never traverse the FPU datapath.
+	var fpTotal int64
+	for _, n := range res.FPOps {
+		fpTotal += n
+	}
+	if fpTotal != 0 {
+		t.Fatalf("fmv/fneg/fabs must not count as FPU datapath ops: %v", res.FPOps)
+	}
+}
+
+func TestFMVBitMoves(t *testing.T) {
+	_, res := run(t, `
+.text
+main:
+    li   t0, 0x3f800000
+    fmv.d.x fa0, t0
+    fmv.x.d t1, fa0
+    bne  t0, t1, fail
+    li   a0, 10
+    li   a1, 0
+    ecall
+fail:
+    li   a0, 10
+    li   a1, 1
+    ecall
+`, Config{})
+	if res.Status != Halted || res.ExitCode != 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestLatencyOverride(t *testing.T) {
+	src := `
+.data
+v: .double 1.5, 2.5
+.text
+main:
+    la s0, v
+    fld fa0, 0(s0)
+    fld fa1, 8(s0)
+    fmul.d fa2, fa0, fa1
+    fadd.d fa3, fa2, fa1
+    li a0, 10
+    li a1, 0
+    ecall
+`
+	slow := DefaultLatencies()
+	slow.FP[fpu.DMul] = 100
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFast := New(p, Config{}).Run(1 << 30)
+	rSlow := New(p, Config{Latencies: &slow}).Run(1 << 30)
+	if rSlow.Cycles <= rFast.Cycles+50 {
+		t.Fatalf("latency override ignored: %d vs %d", rSlow.Cycles, rFast.Cycles)
+	}
+}
+
+func TestOutputCap(t *testing.T) {
+	p, err := isa.Assemble(`
+.text
+main:
+    li   t0, 100
+loop:
+    li   a0, 3
+    li   a1, 'x'
+    ecall
+    subi t0, t0, 1
+    bnez t0, loop
+    li   a0, 10
+    li   a1, 0
+    ecall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p, Config{MaxOutput: 10})
+	res := c.Run(1 << 30)
+	if res.Status != Halted {
+		t.Fatalf("status %v", res.Status)
+	}
+	if len(c.Output()) > 10 {
+		t.Fatalf("output cap breached: %d bytes", len(c.Output()))
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Halted.String() != "halted" || Crashed.String() != "crashed" || TimedOut.String() != "timed-out" {
+		t.Fatal("status names")
+	}
+}
+
+func TestInstructionTrace(t *testing.T) {
+	var buf strings.Builder
+	p, err := isa.Assemble(`
+.text
+main:
+    addi t0, zero, 3
+    mul  t1, t0, t0
+    li   a0, 10
+    li   a1, 0
+    ecall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p, Config{Trace: &buf})
+	if res := c.Run(1 << 20); res.Status != Halted {
+		t.Fatalf("status %v", res.Status)
+	}
+	out := buf.String()
+	for _, want := range []string{"addi t0, zero, 3", "mul t1, t0, t0", "ecall"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 7 { // each li expands to 2
+		t.Fatalf("trace has %d lines, want 7", lines)
+	}
+}
+
+func TestICacheModel(t *testing.T) {
+	// A tight loop fits in the instruction cache: misses happen only on
+	// first touch, so the miss count is far below the instruction count.
+	_, res := run(t, `
+.text
+main:
+    li   t0, 10000
+loop:
+    subi t0, t0, 1
+    bnez t0, loop
+    li   a0, 10
+    li   a1, 0
+    ecall
+`, Config{})
+	if res.Status != Halted {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.ICacheMisses == 0 {
+		t.Fatal("cold start must miss at least once")
+	}
+	if res.ICacheMisses > 8 {
+		t.Fatalf("loop should be icache resident: %d misses", res.ICacheMisses)
+	}
+}

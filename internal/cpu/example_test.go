@@ -1,0 +1,36 @@
+package cpu_test
+
+import (
+	"fmt"
+
+	"teva/internal/cpu"
+	"teva/internal/isa"
+)
+
+// Example runs a small MRV program end to end on the microarchitectural
+// simulator.
+func Example() {
+	prog := isa.MustAssemble(`
+.data
+msg: .asciiz "6*7="
+.text
+main:
+    la  a1, msg
+    li  a0, 4
+    ecall
+    li  t0, 6
+    li  t1, 7
+    mul t2, t0, t1
+    li  a0, 1
+    mv  a1, t2
+    ecall
+    li  a0, 10
+    li  a1, 0
+    ecall
+`)
+	c := cpu.New(prog, cpu.Config{})
+	res := c.Run(1 << 20)
+	fmt.Printf("%s (%v, exit %d)\n", c.Output(), res.Status, res.ExitCode)
+	// Output:
+	// 6*7=42 (halted, exit 0)
+}

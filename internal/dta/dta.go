@@ -1,0 +1,285 @@
+// Package dta implements dynamic timing analysis (Section III-A of the
+// paper): two simulation instances of the gate-level FPU run in parallel —
+// a nominal-voltage golden instance (zero-delay functional) and a
+// reduced-voltage instance (gate delays inflated by the alpha-power
+// corner) — and each instruction's destination-register outputs are
+// XOR-compared bit by bit to yield timing-error bitmasks.
+//
+// The undervolted instance models the pipeline faithfully: every stage's
+// inputs transition from the values the stage's input register held on the
+// previous cycle (the previous instruction in that stage, or the previous
+// iteration for the divide recurrence), and erroneously captured values
+// propagate into downstream stages, so multi-stage error interaction is
+// captured.
+package dta
+
+import (
+	"runtime"
+	"sync"
+
+	"teva/internal/fpu"
+	"teva/internal/logicsim"
+	"teva/internal/timingsim"
+	"teva/internal/vscale"
+)
+
+// Record is the DTA outcome for one executed instruction.
+type Record struct {
+	// A, B are the operand encodings.
+	A, B uint64
+	// Golden is the architecturally correct result.
+	Golden uint64
+	// Faulty is the result captured by the undervolted instance.
+	Faulty uint64
+	// Mask is Golden XOR Faulty: set bits are timing-corrupted output
+	// bits. Zero means no timing error manifested.
+	Mask uint64
+	// MaxArrivalPS is the worst (scaled) signal arrival observed in any
+	// stage while executing this instruction, a dynamic-timing-slack
+	// diagnostic.
+	MaxArrivalPS float64
+}
+
+// Erroneous reports whether the instruction suffered a timing error.
+func (r Record) Erroneous() bool { return r.Mask != 0 }
+
+// Pair is one operand pair for the analyzed instruction type.
+type Pair struct{ A, B uint64 }
+
+// Analyzer runs DTA for one instruction type at one voltage corner.
+type Analyzer struct {
+	p     *fpu.Pipeline
+	clk   float64
+	scale float64
+	// Per-cycle (stage-repeat expanded) engines and state.
+	golden  []*logicsim.Sim
+	timing  []timingsim.Runner
+	stages  []*fpu.Stage
+	prevIn  [][]bool // faulty-domain previous input per expanded cycle
+	haveHot bool
+}
+
+// New returns an analyzer for the op's pipeline on the given FPU at the
+// given voltage-reduction level. When exact is true the event-driven
+// timing engine is used instead of the fast levelized engine.
+func New(f *fpu.FPU, op fpu.Op, model vscale.Model, level vscale.VRLevel, exact bool) *Analyzer {
+	return NewAt(f, op, model.ScaleFor(level), exact)
+}
+
+// NewAt returns an analyzer at an arbitrary delay-scale factor. This is
+// how the other delay-increase sources of the paper's Section VI
+// (overclocking, temperature, aging — see vscale.StressCorner) reuse the
+// same analysis path.
+func NewAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool) *Analyzer {
+	p := f.Pipeline(op)
+	a := &Analyzer{p: p, clk: f.CLK, scale: scale}
+	for _, s := range p.Stages {
+		for r := 0; r < s.Repeat; r++ {
+			a.stages = append(a.stages, s)
+			a.golden = append(a.golden, logicsim.New(s.N))
+			if exact {
+				a.timing = append(a.timing, timingsim.NewExact(s.N, scale))
+			} else {
+				a.timing = append(a.timing, timingsim.NewFast(s.N, scale))
+			}
+			a.prevIn = append(a.prevIn, make([]bool, len(s.N.Inputs())))
+		}
+	}
+	return a
+}
+
+// Op returns the analyzed instruction.
+func (a *Analyzer) Op() fpu.Op { return a.p.Op }
+
+// Scale returns the corner's delay inflation.
+func (a *Analyzer) Scale() float64 { return a.scale }
+
+// Warm primes the pipeline history with an operand pair without recording
+// a result. Analyze warms automatically with its first pair when the
+// analyzer is cold.
+func (a *Analyzer) Warm(pair Pair) { a.step(pair) }
+
+// Analyze runs one instruction through both instances and returns its
+// record. Consecutive calls model back-to-back instructions: each stage's
+// input transition is from the previous call's values.
+func (a *Analyzer) Analyze(pair Pair) Record {
+	if !a.haveHot {
+		a.step(pair)
+	}
+	return a.step(pair)
+}
+
+// step executes one instruction in both domains.
+func (a *Analyzer) step(pair Pair) Record {
+	a.haveHot = true
+	lib := a.stages[0].N.Lib
+	inputArrival := lib.ClockToQ * a.scale
+	deadline := a.clk - lib.Setup*a.scale
+
+	goldenIn := a.packInputs(pair)
+	faultyIn := append([]bool(nil), goldenIn...)
+	rec := Record{A: pair.A, B: pair.B}
+
+	for ci := range a.stages {
+		// Golden instance: pure functional.
+		g := a.golden[ci]
+		g.Run(goldenIn)
+		goldenOut := g.Outputs(nil)
+
+		// Undervolted instance: timing simulation from the previous
+		// cycle's (faulty-domain) stage inputs to the current ones.
+		sample := a.timing[ci].Run(a.prevIn[ci], faultyIn, inputArrival, deadline)
+		if sample.WorstArrival > rec.MaxArrivalPS {
+			rec.MaxArrivalPS = sample.WorstArrival
+		}
+		faultyOut := append([]bool(nil), sample.Captured...)
+
+		copy(a.prevIn[ci], faultyIn)
+		goldenIn = goldenOut
+		faultyIn = faultyOut
+	}
+
+	rw := a.p.Op.ResultWidth()
+	rec.Golden = logicsim.UnpackOutputs(goldenIn, 0, rw)
+	rec.Faulty = logicsim.UnpackOutputs(faultyIn, 0, rw)
+	rec.Mask = rec.Golden ^ rec.Faulty
+	return rec
+}
+
+// packInputs builds the rank-0 input vector.
+func (a *Analyzer) packInputs(pair Pair) []bool {
+	op := a.p.Op
+	in := make([]bool, len(a.stages[0].N.Inputs()))
+	w := op.OperandWidth()
+	logicsim.PackInputs(in, 0, w, pair.A)
+	if op.NumOperands() == 2 {
+		logicsim.PackInputs(in, w, w, pair.B)
+	}
+	return in
+}
+
+// AnalyzeStream runs DTA over a stream of operand pairs, sharding across
+// workers. Pipeline history couples consecutive pairs, so each shard warms
+// up on its first pair (recorded results still cover every pair; the shard
+// boundary transition differs from a strictly serial run, which is
+// statistically immaterial for characterization). Results are returned in
+// input order.
+func AnalyzeStream(f *fpu.FPU, op fpu.Op, model vscale.Model, level vscale.VRLevel, exact bool, pairs []Pair, workers int) []Record {
+	return AnalyzeStreamAt(f, op, model.ScaleFor(level), exact, pairs, workers)
+}
+
+// AnalyzeStreamAt is AnalyzeStream at an arbitrary delay-scale factor.
+func AnalyzeStreamAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []Pair, workers int) []Record {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	records := make([]Record, len(pairs))
+	if len(pairs) == 0 {
+		return records
+	}
+	chunk := (len(pairs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			a := NewAt(f, op, scale, exact)
+			for i := lo; i < hi; i++ {
+				records[i] = a.Analyze(pairs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return records
+}
+
+// Summary aggregates a record set into the statistics the error models are
+// built from.
+type Summary struct {
+	// Op is the instruction type.
+	Op fpu.Op
+	// Total is the number of analyzed instructions.
+	Total int
+	// Faulty is how many suffered at least one corrupted bit.
+	Faulty int
+	// BitErrors[i] counts records whose bit i was corrupted.
+	BitErrors []int
+	// FlipHist[k] counts faulty records with exactly k corrupted bits
+	// (index 0 unused).
+	FlipHist []int
+	// Masks holds every non-zero bitmask observed, in stream order (the
+	// WA-model's empirical pool).
+	Masks []uint64
+}
+
+// Summarize reduces records for model building.
+func Summarize(op fpu.Op, records []Record) *Summary {
+	rw := op.ResultWidth()
+	s := &Summary{
+		Op:        op,
+		Total:     len(records),
+		BitErrors: make([]int, rw),
+		FlipHist:  make([]int, rw+1),
+	}
+	for _, r := range records {
+		if r.Mask == 0 {
+			continue
+		}
+		s.Faulty++
+		s.Masks = append(s.Masks, r.Mask)
+		flips := 0
+		for b := 0; b < rw; b++ {
+			if r.Mask>>uint(b)&1 == 1 {
+				s.BitErrors[b]++
+				flips++
+			}
+		}
+		s.FlipHist[flips]++
+	}
+	return s
+}
+
+// ErrorRatio returns Eq. 2: faulty / total instructions.
+func (s *Summary) ErrorRatio() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Faulty) / float64(s.Total)
+}
+
+// BER returns the per-output-bit error ratio (relative to all analyzed
+// instructions), the quantity of Figures 6-8.
+func (s *Summary) BER() []float64 {
+	out := make([]float64, len(s.BitErrors))
+	if s.Total == 0 {
+		return out
+	}
+	for i, c := range s.BitErrors {
+		out[i] = float64(c) / float64(s.Total)
+	}
+	return out
+}
+
+// MultiBitFraction returns the share of faulty instructions with more
+// than one corrupted bit (Figure 5's headline statistic).
+func (s *Summary) MultiBitFraction() float64 {
+	if s.Faulty == 0 {
+		return 0
+	}
+	multi := 0
+	for k := 2; k < len(s.FlipHist); k++ {
+		multi += s.FlipHist[k]
+	}
+	return float64(multi) / float64(s.Faulty)
+}

@@ -1,0 +1,284 @@
+package errmodel
+
+import (
+	"math"
+	"testing"
+
+	"teva/internal/cpu"
+	"teva/internal/dta"
+	"teva/internal/fpu"
+	"teva/internal/prng"
+)
+
+func fpEvent(op fpu.Op) cpu.Event {
+	return cpu.Event{FPUDatapath: true, FPOp: op, Width: op.ResultWidth()}
+}
+
+func TestDAModel(t *testing.T) {
+	m := BuildDA("VR15", 10, 10000)
+	if m.Kind() != DA || m.Level() != "VR15" {
+		t.Fatal("metadata wrong")
+	}
+	if m.ER != 0.001 {
+		t.Fatalf("ER %v", m.ER)
+	}
+	// Workload independence.
+	var shares [fpu.NumOps]float64
+	if m.ExpectedER(shares) != 0.001 {
+		t.Fatal("DA ER must be workload independent")
+	}
+	// Injection statistics: rate and single-bit masks.
+	inj := m.NewInjector(prng.New(1))
+	hits, trials := 0, 200000
+	for i := 0; i < trials; i++ {
+		mask := inj.OnWriteback(cpu.Event{Width: 64})
+		if mask != 0 {
+			hits++
+			if mask&(mask-1) != 0 {
+				t.Fatal("DA mask must be single-bit")
+			}
+		}
+	}
+	got := float64(hits) / float64(trials)
+	if math.Abs(got-0.001) > 0.0004 {
+		t.Fatalf("DA injection rate %v, want ~0.001", got)
+	}
+	// DA injects into any destination width.
+	inj = m.NewInjector(prng.New(2))
+	for i := 0; i < 100000; i++ {
+		if mask := inj.OnWriteback(cpu.Event{Width: 32}); mask >= 1<<32 {
+			t.Fatal("DA mask outside 32-bit destination")
+		}
+	}
+}
+
+func TestDAZeroSample(t *testing.T) {
+	m := BuildDA("VR15", 0, 0)
+	if m.ER != 0 {
+		t.Fatal("empty sample must give zero ER")
+	}
+	inj := m.NewInjector(prng.New(3))
+	for i := 0; i < 1000; i++ {
+		if inj.OnWriteback(cpu.Event{Width: 64}) != 0 {
+			t.Fatal("zero-ER model must not inject")
+		}
+	}
+}
+
+// summaryWith builds a synthetic DTA summary.
+func summaryWith(op fpu.Op, total int, masks []uint64) *dta.Summary {
+	recs := make([]dta.Record, 0, total)
+	for _, m := range masks {
+		recs = append(recs, dta.Record{Mask: m})
+	}
+	for len(recs) < total {
+		recs = append(recs, dta.Record{})
+	}
+	return dta.Summarize(op, recs)
+}
+
+func TestIAModel(t *testing.T) {
+	sums := map[fpu.Op]*dta.Summary{
+		fpu.DMul: summaryWith(fpu.DMul, 1000, []uint64{0b11, 0b10, 0b10, 0b10}),
+	}
+	m := BuildIA("VR20", sums)
+	if m.Kind() != IA {
+		t.Fatal("kind")
+	}
+	st := m.PerOp[fpu.DMul]
+	if st.ER != 0.004 {
+		t.Fatalf("IA ER %v", st.ER)
+	}
+	if st.BitProb[0] != 0.25 || st.BitProb[1] != 1.0 {
+		t.Fatalf("bit probs %v", st.BitProb[:2])
+	}
+	// Injection respects per-op gating.
+	inj := m.NewInjector(prng.New(5))
+	if inj.OnWriteback(fpEvent(fpu.DAdd)) != 0 {
+		t.Fatal("op without stats must not inject")
+	}
+	if inj.OnWriteback(cpu.Event{Width: 32}) != 0 {
+		t.Fatal("IA must ignore non-FPU writebacks")
+	}
+	hits, trials := 0, 300000
+	for i := 0; i < trials; i++ {
+		mask := inj.OnWriteback(fpEvent(fpu.DMul))
+		if mask != 0 {
+			hits++
+			if mask&^uint64(0b11) != 0 {
+				t.Fatalf("mask %b outside characterized bits", mask)
+			}
+		}
+	}
+	rate := float64(hits) / float64(trials)
+	if math.Abs(rate-0.004) > 0.001 {
+		t.Fatalf("IA rate %v want ~0.004", rate)
+	}
+	var shares [fpu.NumOps]float64
+	shares[fpu.DMul] = 0.5
+	if got := m.ExpectedER(shares); math.Abs(got-0.002) > 1e-12 {
+		t.Fatalf("ExpectedER %v", got)
+	}
+}
+
+func TestWAModel(t *testing.T) {
+	masks := []uint64{0xF0, 0x0F, 0xF0}
+	sums := map[fpu.Op]*dta.Summary{
+		fpu.DSub: summaryWith(fpu.DSub, 100, masks),
+	}
+	m := BuildWA("VR15", "cg", sums)
+	if m.Kind() != WA || m.Workload != "cg" {
+		t.Fatal("metadata")
+	}
+	st := m.PerOp[fpu.DSub]
+	if st.ER != 0.03 || len(st.Masks) != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	inj := m.NewInjector(prng.New(7))
+	seen := map[uint64]int{}
+	for i := 0; i < 200000; i++ {
+		if mask := inj.OnWriteback(fpEvent(fpu.DSub)); mask != 0 {
+			seen[mask]++
+		}
+	}
+	if len(seen) != 2 { // 0xF0 and 0x0F
+		t.Fatalf("observed masks %v", seen)
+	}
+	if seen[0xF0] < seen[0x0F] {
+		t.Fatal("pool frequencies not respected")
+	}
+	if inj.OnWriteback(fpEvent(fpu.DMul)) != 0 {
+		t.Fatal("uncharacterized op must not inject")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	models := []Model{
+		BuildDA("VR15", 3, 1000),
+		BuildIA("VR20", map[fpu.Op]*dta.Summary{
+			fpu.DMul: summaryWith(fpu.DMul, 100, []uint64{0b101}),
+		}),
+		BuildWA("VR20", "sobel", map[fpu.Op]*dta.Summary{
+			fpu.DAdd: summaryWith(fpu.DAdd, 50, []uint64{0xAA}),
+		}),
+	}
+	for _, m := range models {
+		data, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Kind() != m.Kind() || back.Level() != m.Level() {
+			t.Fatalf("round trip lost identity: %s vs %s", back.Describe(), m.Describe())
+		}
+		var shares [fpu.NumOps]float64
+		for op := range shares {
+			shares[op] = 0.01
+		}
+		if math.Abs(back.ExpectedER(shares)-m.ExpectedER(shares)) > 1e-15 {
+			t.Fatal("round trip changed statistics")
+		}
+	}
+	if _, err := Unmarshal([]byte(`{"kind":"XX","body":{}}`)); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if _, err := Unmarshal([]byte(`garbage`)); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, m := range []Model{
+		BuildDA("VR15", 1, 100),
+		BuildIA("VR15", nil),
+		BuildWA("VR15", "mg", nil),
+	} {
+		if m.Describe() == "" {
+			t.Fatal("empty description")
+		}
+	}
+}
+
+func TestSingleInjectorTargets(t *testing.T) {
+	prof := ExecProfile{TotalInstr: 1000}
+	prof.FPOps[fpu.DMul] = 100
+	prof.FPOps[fpu.DAdd] = 50
+
+	// WA: only dmul characterized -> always targets dmul.
+	wa := BuildWA("VR20", "x", map[fpu.Op]*dta.Summary{
+		fpu.DMul: summaryWith(fpu.DMul, 100, []uint64{0xF}),
+		fpu.DAdd: summaryWith(fpu.DAdd, 100, nil), // zero rate
+	})
+	for trial := 0; trial < 50; trial++ {
+		inj := SingleInjector(wa, prof, prng.New(uint64(trial)))
+		if inj == nil {
+			t.Fatal("WA single injector should exist")
+		}
+		fired := 0
+		for i := int64(1); i <= prof.FPOps[fpu.DMul]; i++ {
+			ev := fpEvent(fpu.DMul)
+			ev.Seq = i
+			if mask := inj.OnWriteback(ev); mask != 0 {
+				if mask != 0xF {
+					t.Fatalf("mask %x not from pool", mask)
+				}
+				fired++
+			}
+			// adds must never be hit
+			if mask := inj.OnWriteback(fpEvent(fpu.DAdd)); mask != 0 {
+				t.Fatal("zero-rate op was injected")
+			}
+		}
+		if fired != 1 {
+			t.Fatalf("trial %d: fired %d times, want exactly 1", trial, fired)
+		}
+	}
+
+	// Zero-rate model -> nil injector.
+	empty := BuildWA("VR20", "x", nil)
+	if SingleInjector(empty, prof, prng.New(1)) != nil {
+		t.Fatal("empty WA model must yield nil injector")
+	}
+
+	// DA targets by instruction sequence number.
+	da := BuildDA("VR20", 1, 100)
+	inj := SingleInjector(da, prof, prng.New(3))
+	if inj == nil {
+		t.Fatal("DA single injector should exist")
+	}
+	fired := 0
+	for i := int64(1); i <= prof.TotalInstr; i++ {
+		if mask := inj.OnWriteback(cpu.Event{Seq: i, Width: 32}); mask != 0 {
+			if mask&(mask-1) != 0 {
+				t.Fatal("DA mask must be single-bit")
+			}
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("DA fired %d times", fired)
+	}
+
+	// IA samples masks from the characterized bit distribution.
+	ia := BuildIA("VR20", map[fpu.Op]*dta.Summary{
+		fpu.DSub: summaryWith(fpu.DSub, 100, []uint64{0b110}),
+	})
+	prof2 := ExecProfile{TotalInstr: 100}
+	prof2.FPOps[fpu.DSub] = 10
+	inj = SingleInjector(ia, prof2, prng.New(5))
+	fired = 0
+	for i := 0; i < 10; i++ {
+		if mask := inj.OnWriteback(fpEvent(fpu.DSub)); mask != 0 {
+			if mask&^uint64(0b110) != 0 {
+				t.Fatalf("IA mask %b outside characterized bits", mask)
+			}
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("IA fired %d times", fired)
+	}
+}

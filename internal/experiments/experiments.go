@@ -1,0 +1,284 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections IV-V) from the reproduction's own substrate:
+//
+//	Table I   — error-model feature matrix
+//	Table II  — benchmark inventory (inputs, dynamic sizes, criteria)
+//	Figure 4  — distribution of the 1000 longest paths across units
+//	Figure 5  — bit-flip multiplicity of faulty instructions per VR level
+//	Figure 6  — BER convergence with DTA sample size (fp-mul of is)
+//	Figure 7  — IA-model per-instruction bit error-injection probabilities
+//	Figure 8  — WA-model per-benchmark bit error-injection probabilities
+//	Figure 9  — injection outcome distributions (Masked/SDC/Crash/Timeout)
+//	Figure 10 — injected error ratios and model divergence (the ~250x)
+//	Section V-C — AVM analysis and voltage-guidance table
+//
+// plus the extension experiments: the Section VI future-work delay
+// sources (temperature, aging, overclocking, process variation), the
+// Voltus-substitute power study, the model-validation check, the
+// pipeline-history and adder-architecture ablations, and the FPU design
+// report. Every experiment also exports machine-readable CSV series.
+//
+// Each experiment is a pure function of a shared lazily-populated
+// environment, so the campaign-heavy figures (9, 10, AVM) reuse one
+// campaign set.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"teva/internal/alu"
+	"teva/internal/campaign"
+	"teva/internal/core"
+	"teva/internal/dta"
+	"teva/internal/errmodel"
+	"teva/internal/fpu"
+	"teva/internal/prng"
+	"teva/internal/stats"
+	"teva/internal/trace"
+	"teva/internal/vscale"
+	"teva/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale selects the workload input class.
+	Scale workloads.Scale
+	// Runs is the injections per campaign cell (the paper's statistical
+	// setting is stats.SampleSize(stats.Z95, 0.03) = 1068).
+	Runs int
+	// Fig4Paths is the path count of Figure 4 (1000 in the paper).
+	Fig4Paths int
+	// Fig6Full is the "full trace" DTA sample size of Figure 6; Fig6Ks
+	// are the sub-sample sizes compared against it, and Fig6Reps is the
+	// number of independent draws averaged per K.
+	Fig6Full int
+	Fig6Ks   []int
+	Fig6Reps int
+}
+
+// DefaultOptions returns the laptop-scale defaults.
+func DefaultOptions() Options {
+	return Options{
+		Scale:     workloads.Small,
+		Runs:      100,
+		Fig4Paths: 1000,
+		Fig6Full:  24000,
+		Fig6Ks:    []int{1000, 4000, 12000},
+		Fig6Reps:  3,
+	}
+}
+
+// PaperOptions restores the paper's statistical settings (much slower).
+func PaperOptions() Options {
+	o := DefaultOptions()
+	o.Runs = stats.SampleSize(stats.Z95, 0.03) // 1068
+	return o
+}
+
+// Env lazily materializes the shared artifacts (workloads, traces,
+// models, campaigns) the experiments draw from.
+type Env struct {
+	F    *core.Framework
+	Opts Options
+
+	ws      []*workloads.Workload
+	traces  map[string]*trace.Trace
+	waSums  map[string]map[fpu.Op]*dta.Summary // key: level/workload
+	daBy    map[string]*errmodel.DAModel
+	iaBy    map[string]*errmodel.IAModel
+	waBy    map[string]*errmodel.WAModel // key: level/workload
+	cells   map[string]*campaign.Result  // key: workload/kind/level
+	intUnit *alu.Unit
+}
+
+// NewEnv creates the environment.
+func NewEnv(f *core.Framework, opts Options) *Env {
+	return &Env{
+		F:      f,
+		Opts:   opts,
+		traces: make(map[string]*trace.Trace),
+		waSums: make(map[string]map[fpu.Op]*dta.Summary),
+		daBy:   make(map[string]*errmodel.DAModel),
+		iaBy:   make(map[string]*errmodel.IAModel),
+		waBy:   make(map[string]*errmodel.WAModel),
+		cells:  make(map[string]*campaign.Result),
+	}
+}
+
+// Levels returns the evaluated voltage-reduction levels.
+func (e *Env) Levels() []vscale.VRLevel { return vscale.PaperLevels() }
+
+// Workloads returns (building once) the benchmark set.
+func (e *Env) Workloads() ([]*workloads.Workload, error) {
+	if e.ws == nil {
+		ws, err := workloads.All(e.Opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		e.ws = ws
+	}
+	return e.ws, nil
+}
+
+// Trace returns (capturing once) a workload's operand trace.
+func (e *Env) Trace(w *workloads.Workload) (*trace.Trace, error) {
+	if tr, ok := e.traces[w.Name]; ok {
+		return tr, nil
+	}
+	tr, err := e.F.CaptureTrace(w)
+	if err != nil {
+		return nil, err
+	}
+	e.traces[w.Name] = tr
+	return tr, nil
+}
+
+// WASummaries returns (computing once) the workload-aware DTA summaries.
+func (e *Env) WASummaries(level vscale.VRLevel, w *workloads.Workload) (map[fpu.Op]*dta.Summary, error) {
+	key := level.Name + "/" + w.Name
+	if s, ok := e.waSums[key]; ok {
+		return s, nil
+	}
+	tr, err := e.Trace(w)
+	if err != nil {
+		return nil, err
+	}
+	s := e.F.WorkloadSummaries(level, tr)
+	e.waSums[key] = s
+	return s, nil
+}
+
+// DAModel returns (building once) the data-agnostic model at a level.
+func (e *Env) DAModel(level vscale.VRLevel) (*errmodel.DAModel, error) {
+	if m, ok := e.daBy[level.Name]; ok {
+		return m, nil
+	}
+	ws, err := e.Workloads()
+	if err != nil {
+		return nil, err
+	}
+	var trs []*trace.Trace
+	for _, w := range ws {
+		tr, err := e.Trace(w)
+		if err != nil {
+			return nil, err
+		}
+		trs = append(trs, tr)
+	}
+	m, err := e.F.DevelopDA(level, trs)
+	if err != nil {
+		return nil, err
+	}
+	e.daBy[level.Name] = m
+	return m, nil
+}
+
+// IAModel returns (building once) the instruction-aware model at a level.
+func (e *Env) IAModel(level vscale.VRLevel) *errmodel.IAModel {
+	if m, ok := e.iaBy[level.Name]; ok {
+		return m
+	}
+	m := e.F.DevelopIA(level)
+	e.iaBy[level.Name] = m
+	return m
+}
+
+// WAModel returns (building once) the workload-aware model for a cell.
+func (e *Env) WAModel(level vscale.VRLevel, w *workloads.Workload) (*errmodel.WAModel, error) {
+	key := level.Name + "/" + w.Name
+	if m, ok := e.waBy[key]; ok {
+		return m, nil
+	}
+	sums, err := e.WASummaries(level, w)
+	if err != nil {
+		return nil, err
+	}
+	m := errmodel.BuildWA(level.Name, w.Name, sums)
+	e.waBy[key] = m
+	return m, nil
+}
+
+// Cell runs (once) the injection campaign for one (workload, model
+// family, level) and caches the result.
+func (e *Env) Cell(w *workloads.Workload, kind errmodel.Kind, level vscale.VRLevel) (*campaign.Result, error) {
+	key := fmt.Sprintf("%s/%s/%s", w.Name, kind, level.Name)
+	if r, ok := e.cells[key]; ok {
+		return r, nil
+	}
+	var m errmodel.Model
+	var err error
+	switch kind {
+	case errmodel.DA:
+		m, err = e.DAModel(level)
+	case errmodel.IA:
+		m = e.IAModel(level)
+	case errmodel.WA:
+		m, err = e.WAModel(level, w)
+	default:
+		err = fmt.Errorf("experiments: unknown model kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Figures 9 and the AVM analysis use the paper's single-injection
+	// statistical discipline.
+	r, err := e.F.EvaluateSingle(w, m, e.Opts.Runs)
+	if err != nil {
+		return nil, err
+	}
+	e.cells[key] = r
+	return r, nil
+}
+
+// IntUnit returns (building once) the integer-side netlists for Figure 4.
+func (e *Env) IntUnit() (*alu.Unit, error) {
+	if e.intUnit == nil {
+		u, err := alu.New(e.F.Lib, e.F.Cfg.Seed+0xA10)
+		if err != nil {
+			return nil, err
+		}
+		e.intUnit = u
+	}
+	return e.intUnit, nil
+}
+
+// ModelKinds returns the three compared families in presentation order.
+func ModelKinds() []errmodel.Kind {
+	return []errmodel.Kind{errmodel.DA, errmodel.IA, errmodel.WA}
+}
+
+// opShares derives the per-op dynamic instruction shares from a trace.
+func opShares(tr *trace.Trace) [fpu.NumOps]float64 {
+	var shares [fpu.NumOps]float64
+	for op := range shares {
+		shares[op] = tr.OpShare(fpu.Op(op))
+	}
+	return shares
+}
+
+// rng returns a derived deterministic source.
+func (e *Env) rng(tag string) *prng.Source {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(tag); i++ {
+		h = (h ^ uint64(tag[i])) * 1099511628211
+	}
+	return prng.New(e.F.Cfg.Seed ^ h)
+}
+
+// header prints a section banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+// sortedKeys is a tiny helper for stable map iteration in reports.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,168 @@
+package fpu
+
+import (
+	"fmt"
+	"math"
+
+	"teva/internal/cell"
+	"teva/internal/sta"
+)
+
+// DefaultCLK is the design's clock period in picoseconds. It matches the
+// paper's reference implementation, whose fastest achieved clock is 4.5ns,
+// and is produced by Eq. 1: the double-precision multiplier's
+// carry-propagate stage is calibrated to exactly this delay.
+const DefaultCLK = 4500
+
+// padPlan holds the calibrated per-stage margin targets as fractions of
+// the clock period. These place each instruction's critical stage where
+// the reference design's dynamic timing profile has it:
+//
+//   - fp-mul.d's CPA stage defines the clock (fraction 1.0);
+//   - fp-sub.d sits high enough to fail under 15% voltage reduction;
+//   - fp-add.d and fp-div.d cross the failure threshold only at 20%;
+//   - rounding stages sit lower still, contributing rare exponent-bit
+//     errors at deep undervolting;
+//   - conversions and the single-precision datapaths are left at their
+//     natural (comfortable) slack and never fail at the studied corners.
+//
+// With the alpha-power delay model, the failure thresholds are
+// CLK/1.174 = 0.852*CLK at VR15 and CLK/1.256 = 0.796*CLK at VR20.
+var padPlan = map[Op]struct{ mant, round float64 }{
+	DMul: {mant: 1.000, round: 0.790},
+	DSub: {mant: 0.920, round: 0.770},
+	DAdd: {mant: 0.870, round: 0.755},
+	DDiv: {mant: 0.865, round: 0.740},
+}
+
+// FPU is the full gate-level floating-point unit: one pipeline per
+// instruction, all calibrated against a common clock.
+type FPU struct {
+	// Lib is the standard-cell library the unit is implemented in.
+	Lib *cell.Library
+	// CLK is the clock period, ps.
+	CLK float64
+	// Seed reproduces the exact placed design.
+	Seed uint64
+
+	pipelines [NumOps]*Pipeline
+}
+
+// New generates and calibrates the FPU. The same seed reproduces the
+// identical design, including interconnect annotation.
+func New(lib *cell.Library, seed uint64) (*FPU, error) {
+	f := &FPU{Lib: lib, CLK: DefaultCLK, Seed: seed}
+	for _, op := range Ops() {
+		plan, padded := padPlan[op]
+		var mantPad, roundPad float64
+		var p *Pipeline
+		var err error
+		// Calibrate iteratively: the detour's own buffer delay shifts the
+		// result, so rebuild until the padded stage lands on target. The
+		// builder is deterministic per seed, so this converges exactly.
+		for iter := 0; iter < 4; iter++ {
+			p, err = buildOp(op, lib, seed, mantPad, roundPad)
+			if err != nil {
+				return nil, err
+			}
+			if !padded {
+				break
+			}
+			mi, ri := criticalStageIndexes(op)
+			reports := p.STA()
+			dm := plan.mant*f.CLK - reports[mi].WorstDelay
+			dr := plan.round*f.CLK - reports[ri].WorstDelay
+			if math.Abs(dm) < 0.5 && math.Abs(dr) < 0.5 {
+				break
+			}
+			mantPad = math.Max(0, mantPad+dm)
+			roundPad = math.Max(0, roundPad+dr)
+		}
+		f.pipelines[op] = p
+	}
+	// The multiplier's CPA stage must set the clock (Eq. 1).
+	if worst := f.ClockPeriod(); math.Abs(worst-f.CLK) > 2 {
+		return nil, fmt.Errorf("fpu: calibrated clock %f ps, want %f", worst, f.CLK)
+	}
+	return f, nil
+}
+
+// buildOp dispatches to the per-kind generator. Seeds are spread so each
+// op gets an independent placement.
+func buildOp(op Op, lib *cell.Library, seed uint64, mantPad, roundPad float64) (*Pipeline, error) {
+	s := seed + uint64(op)*0x1000003
+	switch op.kind() {
+	case kindAdd, kindSub:
+		return buildAddSub(op, lib, s, mantPad, roundPad)
+	case kindMul:
+		return buildMul(op, lib, s, mantPad, roundPad)
+	case kindDiv:
+		return buildDiv(op, lib, s, mantPad, roundPad)
+	case kindI2F:
+		return buildI2F(op, lib, s)
+	case kindF2I:
+		return buildF2I(op, lib, s)
+	}
+	panic("fpu: unknown op kind")
+}
+
+// criticalStageIndexes returns the indexes of the padded mantissa-datapath
+// stage and the round stage for a padded op.
+func criticalStageIndexes(op Op) (mant, round int) {
+	switch op.kind() {
+	case kindAdd, kindSub, kindMul:
+		return 3, 5
+	case kindDiv:
+		return 1, 3
+	}
+	panic("fpu: op has no padded stages")
+}
+
+// Pipeline returns the gate-level pipeline for the op.
+func (f *FPU) Pipeline(op Op) *Pipeline { return f.pipelines[op] }
+
+// StageReports runs STA on every stage of every op, tagged by unit names.
+func (f *FPU) StageReports() []*sta.Report {
+	var all []*sta.Report
+	for _, op := range Ops() {
+		all = append(all, f.pipelines[op].STA()...)
+	}
+	return all
+}
+
+// ClockPeriod evaluates Eq. 1 over all pipeline stages: the maximum
+// worst-case stage delay, which the calibration pins to CLK.
+func (f *FPU) ClockPeriod() float64 {
+	return sta.ClockPeriod(f.StageReports(), 1.0)
+}
+
+// Vary returns a process-variation instance of the FPU: the same design
+// with per-gate lognormal delay factors (sigma, seed select the die).
+// The clock period is unchanged — variation eats into the signoff margin,
+// which is exactly how silicon experiences it.
+func (f *FPU) Vary(sigma float64, seed uint64) *FPU {
+	die := &FPU{Lib: f.Lib, CLK: f.CLK, Seed: f.Seed}
+	for op, p := range f.pipelines {
+		vp := &Pipeline{Op: p.Op, lib: p.lib}
+		for i, s := range p.Stages {
+			vp.Stages = append(vp.Stages, &Stage{
+				Name:   s.Name,
+				N:      s.N.Vary(sigma, seed+uint64(op)*131+uint64(i)*17),
+				Repeat: s.Repeat,
+				in:     s.in,
+				out:    s.out,
+			})
+		}
+		die.pipelines[op] = vp
+	}
+	return die
+}
+
+// NumGates returns the total gate count of the unit.
+func (f *FPU) NumGates() int {
+	var n int
+	for _, op := range Ops() {
+		n += f.pipelines[op].NumGates()
+	}
+	return n
+}

@@ -1,0 +1,247 @@
+package fpu
+
+import (
+	"math"
+	"testing"
+
+	"teva/internal/cell"
+	"teva/internal/prng"
+	"teva/internal/softfp"
+)
+
+var testFPU = mustFPU()
+
+func mustFPU() *FPU {
+	f, err := New(cell.Default(), 0xF00D)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// randOperand draws an operand appropriate for the op, mixing specials,
+// magnitude-correlated values and raw patterns.
+func randOperand(op Op, src *prng.Source) uint64 {
+	if op.kind() == kindI2F {
+		return uint64(src.Uint32())
+	}
+	f := op.Format()
+	w := f.Width()
+	switch src.Intn(10) {
+	case 0:
+		switch src.Intn(6) {
+		case 0:
+			return 0
+		case 1:
+			return f.Zero(1)
+		case 2:
+			return f.Inf(0)
+		case 3:
+			return f.Inf(1)
+		case 4:
+			return f.QNaN()
+		default:
+			if op.Double() {
+				return math.Float64bits(1)
+			}
+			return uint64(math.Float32bits(1))
+		}
+	case 1, 2, 3:
+		// Moderate magnitudes: exercises alignment and cancellation.
+		v := (src.Float64() - 0.5) * 1000
+		if op.Double() {
+			return math.Float64bits(v)
+		}
+		return uint64(math.Float32bits(float32(v)))
+	default:
+		return src.Uint64() & (1<<w - 1)
+	}
+}
+
+func TestPipelinesMatchGolden(t *testing.T) {
+	src := prng.New(0xBEEF)
+	for _, op := range Ops() {
+		p := testFPU.Pipeline(op)
+		trials := 4000
+		if op.kind() == kindDiv {
+			trials = 800 // long pipelines are slower to simulate
+		}
+		for i := 0; i < trials; i++ {
+			a := randOperand(op, src)
+			b := randOperand(op, src)
+			got, _ := p.Exec(a, b)
+			want := op.Golden(a, b)
+			f := op.Format()
+			if op.kind() != kindF2I && f.IsNaNBits(got) && f.IsNaNBits(want) {
+				continue
+			}
+			if got != want {
+				t.Fatalf("%s(%#x, %#x) = %#x, want %#x", op, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestDirectedCases(t *testing.T) {
+	f64 := func(v float64) uint64 { return math.Float64bits(v) }
+	cases := []struct {
+		op   Op
+		a, b uint64
+	}{
+		{DAdd, f64(1), f64(1)},
+		{DAdd, f64(1), f64(-1)},
+		{DAdd, f64(0.1), f64(0.2)},
+		{DAdd, f64(1e308), f64(1e308)},          // overflow
+		{DAdd, f64(1), f64(1e-30)},              // full alignment shift
+		{DAdd, f64(-0.0), f64(-0.0)},            // -0 preservation
+		{DSub, f64(1), f64(1)},                  // exact cancellation
+		{DSub, f64(1.0000000000000002), f64(1)}, // catastrophic cancellation
+		{DSub, f64(3), f64(-7)},
+		{DMul, f64(3), f64(7)},
+		{DMul, f64(1e-200), f64(1e-200)}, // underflow flush
+		{DMul, f64(1e200), f64(1e200)},   // overflow
+		{DMul, f64(math.Pi), f64(math.E)},
+		{DDiv, f64(1), f64(3)},
+		{DDiv, f64(7), f64(0.5)},
+		{DDiv, f64(1), f64(0)}, // divzero
+		{DDiv, f64(0), f64(0)}, // invalid
+		{DF2I, f64(2.5), 0},
+		{DF2I, f64(-2.5), 0},
+		{DF2I, f64(3e9), 0},                   // saturate
+		{DF2I, f64(-2147483648), 0},           // exact MinInt32
+		{DI2F, uint64(uint32(0x80000000)), 0}, // MinInt32
+		{DI2F, 12345, 0},
+		{SI2F, 0xFFFFFFFF, 0}, // -1
+	}
+	for _, tc := range cases {
+		p := testFPU.Pipeline(tc.op)
+		got, _ := p.Exec(tc.a, tc.b)
+		want := tc.op.Golden(tc.a, tc.b)
+		f := tc.op.Format()
+		if tc.op.kind() != kindF2I && f.IsNaNBits(got) && f.IsNaNBits(want) {
+			continue
+		}
+		if got != want {
+			t.Errorf("%s(%#x, %#x) = %#x, want %#x", tc.op, tc.a, tc.b, got, want)
+		}
+	}
+}
+
+func TestCalibratedClock(t *testing.T) {
+	clk := testFPU.ClockPeriod()
+	if math.Abs(clk-DefaultCLK) > 2 {
+		t.Fatalf("Eq.1 clock %v, want %v", clk, DefaultCLK)
+	}
+}
+
+func TestStageMarginOrdering(t *testing.T) {
+	// The calibrated static profile: dmul sets the clock; the other
+	// padded double-precision datapaths are strictly ordered below it
+	// (sub > add > div, matching their error-proneness in the paper's
+	// Figure 7); conversions and single-precision datapaths retain large
+	// static slack, below even the VR20 dynamic-failure threshold.
+	worst := func(op Op) float64 {
+		d, _ := testFPU.Pipeline(op).WorstStageDelay()
+		return d
+	}
+	clk := testFPU.CLK
+	vr20 := clk / 1.256
+	if d := worst(DMul); math.Abs(d-clk) > 2 {
+		t.Errorf("dmul worst stage %v, want ~%v", d, clk)
+	}
+	if !(worst(DMul) > worst(DSub) && worst(DSub) > worst(DAdd) && worst(DAdd) > worst(DDiv)) {
+		t.Errorf("padded stage ordering violated: mul=%v sub=%v add=%v div=%v",
+			worst(DMul), worst(DSub), worst(DAdd), worst(DDiv))
+	}
+	if d := worst(DDiv); d <= vr20 {
+		t.Errorf("ddiv worst stage %v should exceed the VR20 threshold %v", d, vr20)
+	}
+	for _, op := range []Op{DI2F, DF2I, SAdd, SSub, SMul, SDiv, SI2F, SF2I} {
+		if d := worst(op); d >= vr20 {
+			t.Errorf("%s worst stage %v should be below the VR20 threshold %v", op, d, vr20)
+		}
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	f2, err := New(cell.Default(), 0xF00D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range Ops() {
+		a, b := testFPU.Pipeline(op), f2.Pipeline(op)
+		if a.NumGates() != b.NumGates() || a.Latency() != b.Latency() {
+			t.Fatalf("%s: same seed produced different pipelines", op)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if got := testFPU.Pipeline(DAdd).Latency(); got != 6 {
+		t.Fatalf("dadd latency %d, want 6 (Figure 3)", got)
+	}
+	if got := testFPU.Pipeline(DMul).Latency(); got != 6 {
+		t.Fatalf("dmul latency %d, want 6", got)
+	}
+	w := widthsOf(softfp.Binary64)
+	if got := testFPU.Pipeline(DDiv).Latency(); got != 2+w.SW+1 {
+		t.Fatalf("ddiv latency %d, want %d", got, 2+w.SW+1)
+	}
+}
+
+func TestGateCountsRealistic(t *testing.T) {
+	total := testFPU.NumGates()
+	if total < 10000 {
+		t.Fatalf("FPU has only %d gates; generation is degenerate", total)
+	}
+	if testFPU.Pipeline(DMul).NumGates() <= testFPU.Pipeline(SAdd).NumGates() {
+		t.Fatal("double multiplier should dwarf single adder")
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	if DAdd.String() != "fp-add.d" || SF2I.String() != "f2i.s" {
+		t.Fatal("op names wrong")
+	}
+	if !DMul.Double() || SMul.Double() {
+		t.Fatal("precision flags wrong")
+	}
+	if DI2F.OperandWidth() != 32 || DI2F.ResultWidth() != 64 {
+		t.Fatal("i2f widths wrong")
+	}
+	if DF2I.OperandWidth() != 64 || DF2I.ResultWidth() != 32 {
+		t.Fatal("f2i widths wrong")
+	}
+	if DAdd.NumOperands() != 2 || DF2I.NumOperands() != 1 {
+		t.Fatal("operand counts wrong")
+	}
+	if len(Ops()) != 12 {
+		t.Fatal("there must be 12 implemented instructions")
+	}
+}
+
+func TestVariedFPUFunctionalAndTimingShift(t *testing.T) {
+	die := testFPU.Vary(0.05, 7)
+	// Logic preserved.
+	src := prng.New(0xD1E)
+	for i := 0; i < 200; i++ {
+		a, b := src.Uint64(), src.Uint64()
+		g1, _ := testFPU.Pipeline(DMul).Exec(a, b)
+		g2, _ := die.Pipeline(DMul).Exec(a, b)
+		if g1 != g2 {
+			t.Fatal("process variation changed the logic function")
+		}
+	}
+	// Timing shifted.
+	d0, _ := testFPU.Pipeline(DMul).WorstStageDelay()
+	d1, _ := die.Pipeline(DMul).WorstStageDelay()
+	if d0 == d1 {
+		t.Fatal("variation left STA unchanged")
+	}
+	if math.Abs(d1-d0) > 0.25*d0 {
+		t.Fatalf("5%% sigma shifted worst delay by %v (from %v): implausible", d1-d0, d0)
+	}
+	if die.CLK != testFPU.CLK {
+		t.Fatal("signoff clock must not change per die")
+	}
+}

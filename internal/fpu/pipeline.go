@@ -1,0 +1,160 @@
+package fpu
+
+import (
+	"fmt"
+
+	"teva/internal/cell"
+	"teva/internal/logicsim"
+	"teva/internal/netlist"
+	"teva/internal/sta"
+)
+
+type libT = *cell.Library
+
+// Stage is one pipeline rank: a combinational netlist between two register
+// boundaries, possibly iterated (the divider's recurrence stage).
+type Stage struct {
+	// Name labels the stage ("s4-cpa").
+	Name string
+	// N is the stage's combinational netlist.
+	N *netlist.Netlist
+	// Repeat is how many consecutive cycles the stage executes (1 for
+	// ordinary stages, mantissa-width+4 for the divide recurrence).
+	Repeat int
+	// in and out are the register schemas on either side.
+	in, out *schema
+}
+
+// Latency returns the number of cycles the stage occupies.
+func (s *Stage) Latency() int { return s.Repeat }
+
+// Pipeline is the gate-level implementation of one FPU instruction.
+type Pipeline struct {
+	// Op is the implemented instruction.
+	Op Op
+	// Stages in execution order.
+	Stages []*Stage
+	lib    libT
+}
+
+// Latency returns the pipeline's total cycle count.
+func (p *Pipeline) Latency() int {
+	var n int
+	for _, s := range p.Stages {
+		n += s.Repeat
+	}
+	return n
+}
+
+// NumGates returns the total gate count across stages (iterated stages
+// counted once, as in hardware).
+func (p *Pipeline) NumGates() int {
+	var n int
+	for _, s := range p.Stages {
+		n += s.N.NumGates()
+	}
+	return n
+}
+
+// stageSpec describes a stage to the compiler.
+type stageSpec struct {
+	name   string
+	repeat int
+	build  func(c *sb)
+}
+
+// compile builds the pipeline's stage netlists, checking schema continuity
+// between consecutive stages and that iterated stages preserve their
+// schema.
+func compile(op Op, lib libT, seed uint64, in *schema, specs []stageSpec) (*Pipeline, error) {
+	p := &Pipeline{Op: op, lib: lib}
+	cur := in
+	for i, spec := range specs {
+		name := fmt.Sprintf("fpu/%s/%s", op, spec.name)
+		c := newStageBuilder(name, lib, seed+uint64(i)*0x9e37, cur)
+		c.SetUnit(name)
+		spec.build(c)
+		n, out, err := c.finish()
+		if err != nil {
+			return nil, fmt.Errorf("fpu: %s: %w", name, err)
+		}
+		repeat := spec.repeat
+		if repeat == 0 {
+			repeat = 1
+		}
+		if repeat > 1 && !out.equal(cur) {
+			return nil, fmt.Errorf("fpu: %s: iterated stage changes schema", name)
+		}
+		p.Stages = append(p.Stages, &Stage{
+			Name: spec.name, N: n, Repeat: repeat, in: cur, out: out,
+		})
+		cur = out
+	}
+	last := p.Stages[len(p.Stages)-1]
+	if got, want := last.out.total, op.ResultWidth(); got != want {
+		return nil, fmt.Errorf("fpu: %s: final stage emits %d bits, want %d", op, got, want)
+	}
+	return p, nil
+}
+
+// Exec runs the pipeline functionally (zero delay) and returns the result
+// encoding along with every register rank's values, in order: rank 0 is
+// the pipeline's input vector, rank i the output of the i-th executed
+// cycle. The ranks are what the dynamic timing analysis replays with
+// delays. Operands are raw encodings in the low bits.
+func (p *Pipeline) Exec(a, b uint64) (uint64, [][]bool) {
+	in := p.packInputs(a, b)
+	ranks := [][]bool{in}
+	cur := in
+	for _, s := range p.Stages {
+		sim := logicsim.New(s.N)
+		for r := 0; r < s.Repeat; r++ {
+			sim.Run(cur)
+			cur = sim.Outputs(nil)
+			ranks = append(ranks, cur)
+		}
+	}
+	return unpackBits(cur, p.Op.ResultWidth()), ranks
+}
+
+// Result extracts the result encoding from the final register rank.
+func (p *Pipeline) Result(finalRank []bool) uint64 {
+	return unpackBits(finalRank, p.Op.ResultWidth())
+}
+
+// packInputs builds the rank-0 vector for the operands.
+func (p *Pipeline) packInputs(a, b uint64) []bool {
+	in := make([]bool, p.Stages[0].in.total)
+	w := p.Op.OperandWidth()
+	logicsim.PackInputs(in, 0, w, a)
+	if p.Op.NumOperands() == 2 {
+		logicsim.PackInputs(in, w, w, b)
+	}
+	return in
+}
+
+func unpackBits(values []bool, width int) uint64 {
+	return logicsim.UnpackOutputs(values, 0, width)
+}
+
+// STA analyzes every stage and returns the reports in stage order.
+func (p *Pipeline) STA() []*sta.Report {
+	reports := make([]*sta.Report, len(p.Stages))
+	for i, s := range p.Stages {
+		reports[i] = sta.Analyze(s.N, p.lib.ClockToQ, p.lib.Setup)
+	}
+	return reports
+}
+
+// WorstStageDelay returns the slowest stage's STA delay and its index.
+func (p *Pipeline) WorstStageDelay() (float64, int) {
+	var worst float64
+	idx := 0
+	for i, r := range p.STA() {
+		if r.WorstDelay > worst {
+			worst = r.WorstDelay
+			idx = i
+		}
+	}
+	return worst, idx
+}

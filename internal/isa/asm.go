@@ -1,0 +1,270 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates MRV assembly source into a Program. The syntax is
+// the conventional two-section (.text/.data) RISC style with labels,
+// numeric and ABI register names, the data directives .word/.byte/
+// .double/.float/.space/.asciiz/.align, and a small set of pseudo
+// instructions (li, la, mv, nop, j, jr, ret, call, beqz/bnez, bgt/ble/
+// bgtu/bleu, neg, not, subi).
+func Assemble(source string) (*Program, error) {
+	a := &assembler{
+		symbols: make(map[string]uint32),
+	}
+	if err := a.run(source); err != nil {
+		return nil, err
+	}
+	return &Program{
+		Text:    a.text,
+		Data:    a.data,
+		Symbols: a.symbols,
+		Entry:   TextBase,
+	}, nil
+}
+
+// MustAssemble panics on assembly errors; used by the built-in workloads
+// whose sources are generated programmatically.
+func MustAssemble(source string) *Program {
+	p, err := Assemble(source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	symbols map[string]uint32
+	text    []uint32
+	data    []byte
+	inData  bool
+	pass    int
+	textPC  uint32
+	dataPC  uint32
+	line    int
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) run(source string) error {
+	lines := strings.Split(source, "\n")
+	for a.pass = 1; a.pass <= 2; a.pass++ {
+		a.inData = false
+		a.textPC = TextBase
+		a.dataPC = DataBase
+		a.text = a.text[:0]
+		a.data = a.data[:0]
+		for i, raw := range lines {
+			a.line = i + 1
+			if err := a.doLine(raw); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// doLine processes one source line (label, directive, or instruction).
+func (a *assembler) doLine(raw string) error {
+	// Strip comments. '#' inside char/string literals is not supported by
+	// the workloads, so a plain scan suffices.
+	if i := strings.IndexAny(raw, "#;"); i >= 0 {
+		raw = raw[:i]
+	}
+	if i := strings.Index(raw, "//"); i >= 0 {
+		raw = raw[:i]
+	}
+	line := strings.TrimSpace(raw)
+	for {
+		colon := strings.Index(line, ":")
+		if colon < 0 {
+			break
+		}
+		label := strings.TrimSpace(line[:colon])
+		if !isIdent(label) {
+			break
+		}
+		if a.pass == 1 {
+			if _, dup := a.symbols[label]; dup {
+				return a.errf("duplicate label %q", label)
+			}
+			a.symbols[label] = a.here()
+		}
+		line = strings.TrimSpace(line[colon+1:])
+	}
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.directive(line)
+	}
+	return a.instruction(line)
+}
+
+func (a *assembler) here() uint32 {
+	if a.inData {
+		return a.dataPC
+	}
+	return a.textPC
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			i > 0 && r >= '0' && r <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// directive handles .text/.data and the data-emitting directives.
+func (a *assembler) directive(line string) error {
+	name, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".text":
+		a.inData = false
+		return nil
+	case ".data":
+		a.inData = true
+		return nil
+	case ".globl", ".global", ".option", ".file", ".type", ".size":
+		return nil // accepted and ignored
+	}
+	if !a.inData {
+		return a.errf("directive %s outside .data", name)
+	}
+	switch name {
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			v, err := a.intValue(f)
+			if err != nil {
+				return err
+			}
+			a.emitData(uint64(uint32(v)), 4)
+		}
+	case ".byte":
+		for _, f := range splitOperands(rest) {
+			v, err := a.intValue(f)
+			if err != nil {
+				return err
+			}
+			a.emitData(uint64(uint32(v)), 1)
+		}
+	case ".double":
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return a.errf("bad double %q", f)
+			}
+			a.emitData(math.Float64bits(v), 8)
+		}
+	case ".float":
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				return a.errf("bad float %q", f)
+			}
+			a.emitData(uint64(math.Float32bits(float32(v))), 4)
+		}
+	case ".space":
+		n, err := a.intValue(rest)
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return a.errf("negative .space")
+		}
+		for i := int32(0); i < n; i++ {
+			a.emitData(0, 1)
+		}
+	case ".align":
+		n, err := a.intValue(rest)
+		if err != nil {
+			return err
+		}
+		align := uint32(1) << uint(n)
+		for a.dataPC%align != 0 {
+			a.emitData(0, 1)
+		}
+	case ".asciiz", ".string":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf("bad string %s", rest)
+		}
+		for _, b := range []byte(s) {
+			a.emitData(uint64(b), 1)
+		}
+		a.emitData(0, 1)
+	default:
+		return a.errf("unknown directive %s", name)
+	}
+	return nil
+}
+
+func (a *assembler) emitData(v uint64, bytes int) {
+	for i := 0; i < bytes; i++ {
+		a.data = append(a.data, byte(v>>uint(8*i)))
+	}
+	a.dataPC += uint32(bytes)
+}
+
+// emit appends one encoded instruction.
+func (a *assembler) emit(in Inst) {
+	a.text = append(a.text, in.Encode())
+	a.textPC += 4
+}
+
+// intValue parses an integer literal or character constant.
+func (a *assembler) intValue(s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' {
+		u, err := strconv.Unquote(s)
+		if err != nil || len(u) != 1 {
+			return 0, a.errf("bad char literal %s", s)
+		}
+		return int32(u[0]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, a.errf("bad integer %q", s)
+	}
+	if v < math.MinInt32 || v > math.MaxUint32 {
+		return 0, a.errf("integer %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// symValue resolves a label (pass 2) or returns a placeholder (pass 1).
+func (a *assembler) symValue(s string) (uint32, error) {
+	if v, ok := a.symbols[s]; ok {
+		return v, nil
+	}
+	if a.pass == 1 {
+		return 0, nil
+	}
+	return 0, a.errf("undefined label %q", s)
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -1,0 +1,627 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Integer ABI register aliases.
+var intRegs = buildIntRegs()
+
+func buildIntRegs() map[string]uint8 {
+	m := map[string]uint8{
+		"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+		"t0": 5, "t1": 6, "t2": 7, "fp": 8, "s0": 8, "s1": 9,
+	}
+	for i := 0; i <= 7; i++ {
+		m["a"+strconv.Itoa(i)] = uint8(10 + i)
+	}
+	for i := 2; i <= 11; i++ {
+		m["s"+strconv.Itoa(i)] = uint8(16 + i)
+	}
+	for i := 3; i <= 6; i++ {
+		m["t"+strconv.Itoa(i)] = uint8(25 + i)
+	}
+	for i := 0; i < 32; i++ {
+		m["x"+strconv.Itoa(i)] = uint8(i)
+	}
+	return m
+}
+
+// FP ABI register aliases.
+var fpRegs = buildFPRegs()
+
+func buildFPRegs() map[string]uint8 {
+	m := make(map[string]uint8, 64)
+	for i := 0; i < 32; i++ {
+		m["f"+strconv.Itoa(i)] = uint8(i)
+	}
+	for i := 0; i <= 7; i++ {
+		m["ft"+strconv.Itoa(i)] = uint8(i)
+		m["fa"+strconv.Itoa(i)] = uint8(10 + i)
+	}
+	m["ft8"], m["ft9"], m["ft10"], m["ft11"] = 28, 29, 30, 31
+	m["fs0"], m["fs1"] = 8, 9
+	for i := 2; i <= 11; i++ {
+		m["fs"+strconv.Itoa(i)] = uint8(16 + i)
+	}
+	return m
+}
+
+func (a *assembler) intReg(s string) (uint8, error) {
+	if r, ok := intRegs[s]; ok {
+		return r, nil
+	}
+	return 0, a.errf("bad integer register %q", s)
+}
+
+func (a *assembler) fpReg(s string) (uint8, error) {
+	if r, ok := fpRegs[s]; ok {
+		return r, nil
+	}
+	return 0, a.errf("bad fp register %q", s)
+}
+
+// memOperand parses "offset(base)"; the offset may be empty or a literal.
+func (a *assembler) memOperand(s string) (int32, uint8, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	var off int32
+	if head := strings.TrimSpace(s[:open]); head != "" {
+		v, err := a.intValue(head)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	base, err := a.intReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	return off, base, err
+}
+
+// immOrSym resolves an operand that may be a literal or a label address.
+func (a *assembler) immOrSym(s string) (int32, error) {
+	if v, err := a.intValue(s); err == nil {
+		return v, nil
+	}
+	if isIdent(s) {
+		v, err := a.symValue(s)
+		return int32(v), err
+	}
+	return 0, a.errf("bad immediate %q", s)
+}
+
+func checkImm12(a *assembler, v int32) error {
+	if v < -2048 || v > 2047 {
+		return a.errf("immediate %d out of 12-bit range", v)
+	}
+	return nil
+}
+
+// rTypes maps R-format integer mnemonics to (funct3, funct7).
+var rTypes = map[string][2]uint8{
+	"add": {F3AddSub, F7Base}, "sub": {F3AddSub, F7Alt},
+	"sll": {F3Sll, F7Base}, "slt": {F3Slt, F7Base}, "sltu": {F3Sltu, F7Base},
+	"xor": {F3Xor, F7Base}, "srl": {F3SrlSra, F7Base}, "sra": {F3SrlSra, F7Alt},
+	"or": {F3Or, F7Base}, "and": {F3And, F7Base},
+	"mul": {F3Mul, F7MulD}, "mulh": {F3Mulh, F7MulD},
+	"div": {F3Div, F7MulD}, "divu": {F3Divu, F7MulD},
+	"rem": {F3Rem, F7MulD}, "remu": {F3Remu, F7MulD},
+}
+
+// iTypes maps I-format ALU mnemonics to funct3 (shifts carry funct7 in
+// the immediate's high bits).
+var iTypes = map[string]uint8{
+	"addi": F3AddSub, "slti": F3Slt, "sltiu": F3Sltu,
+	"xori": F3Xor, "ori": F3Or, "andi": F3And,
+}
+
+var branchTypes = map[string]uint8{
+	"beq": F3Beq, "bne": F3Bne, "blt": F3Blt, "bge": F3Bge,
+	"bltu": F3Bltu, "bgeu": F3Bgeu,
+}
+
+// fpBinary maps 3-fp-operand mnemonics to FPFunc.
+var fpBinary = map[string]FPFunc{
+	"fadd.d": FPAddD, "fsub.d": FPSubD, "fmul.d": FPMulD, "fdiv.d": FPDivD,
+	"fadd.s": FPAddS, "fsub.s": FPSubS, "fmul.s": FPMulS, "fdiv.s": FPDivS,
+}
+
+// fpCompare maps fp-compare mnemonics (integer rd) to FPFunc.
+var fpCompare = map[string]FPFunc{
+	"feq.d": FPEqD, "flt.d": FPLtD, "fle.d": FPLeD,
+}
+
+// fpUnary maps fp->fp single-operand mnemonics to FPFunc.
+var fpUnary = map[string]FPFunc{
+	"fmv.d": FPMv, "fmv.s": FPMv, "fneg.d": FPNegD, "fabs.d": FPAbsD,
+	"fcvt.s.d": FPCvtSD, "fcvt.d.s": FPCvtDS,
+}
+
+// instruction assembles one mnemonic line, expanding pseudo instructions.
+func (a *assembler) instruction(line string) error {
+	mnem, rest, _ := strings.Cut(line, " ")
+	mnem = strings.ToLower(strings.TrimSpace(mnem))
+	ops := splitOperands(rest)
+	n := func(want int) error {
+		if len(ops) != want {
+			return a.errf("%s expects %d operands, got %d", mnem, want, len(ops))
+		}
+		return nil
+	}
+
+	if ft, ok := rTypes[mnem]; ok {
+		if err := n(3); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.intReg(ops[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.intReg(ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: OpInt, Rd: rd, Rs1: rs1, Rs2: rs2, Funct3: ft[0], Funct7: ft[1]})
+		return nil
+	}
+
+	if f3, ok := iTypes[mnem]; ok {
+		if err := n(3); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.intReg(ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.immOrSym(ops[2])
+		if err != nil {
+			return err
+		}
+		if err := checkImm12(a, imm); err != nil {
+			return err
+		}
+		a.emit(Inst{Op: OpIntImm, Rd: rd, Rs1: rs1, Funct3: f3, Imm: imm})
+		return nil
+	}
+
+	switch mnem {
+	case "slli", "srli", "srai":
+		if err := n(3); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.intReg(ops[1])
+		if err != nil {
+			return err
+		}
+		sh, err := a.intValue(ops[2])
+		if err != nil {
+			return err
+		}
+		if sh < 0 || sh > 31 {
+			return a.errf("shift amount %d out of range", sh)
+		}
+		f3 := uint8(F3Sll)
+		imm := sh
+		if mnem != "slli" {
+			f3 = F3SrlSra
+			if mnem == "srai" {
+				imm |= int32(F7Alt) << 5
+			}
+		}
+		a.emit(Inst{Op: OpIntImm, Rd: rd, Rs1: rs1, Funct3: f3, Imm: imm})
+		return nil
+
+	case "lw", "lb", "lbu":
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		f3 := map[string]uint8{"lw": F3Word, "lb": F3Byte, "lbu": F3ByteU}[mnem]
+		a.emit(Inst{Op: OpLoad, Rd: rd, Rs1: base, Funct3: f3, Imm: off})
+		return nil
+
+	case "sw", "sb":
+		if err := n(2); err != nil {
+			return err
+		}
+		rs2, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		f3 := uint8(F3Word)
+		if mnem == "sb" {
+			f3 = F3Byte
+		}
+		a.emit(Inst{Op: OpStore, Rs1: base, Rs2: rs2, Funct3: f3, Imm: off})
+		return nil
+
+	case "fld", "flw":
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.fpReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		f3 := uint8(F3FDbl)
+		if mnem == "flw" {
+			f3 = F3FWord
+		}
+		a.emit(Inst{Op: OpFLoad, Rd: rd, Rs1: base, Funct3: f3, Imm: off})
+		return nil
+
+	case "fsd", "fsw":
+		if err := n(2); err != nil {
+			return err
+		}
+		rs2, err := a.fpReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		f3 := uint8(F3FDbl)
+		if mnem == "fsw" {
+			f3 = F3FWord
+		}
+		a.emit(Inst{Op: OpFStore, Rs1: base, Rs2: rs2, Funct3: f3, Imm: off})
+		return nil
+	}
+
+	if f3, ok := branchTypes[mnem]; ok {
+		return a.branch(f3, ops, false)
+	}
+	switch mnem {
+	case "bgt", "ble", "bgtu", "bleu":
+		f3 := map[string]uint8{"bgt": F3Blt, "ble": F3Bge, "bgtu": F3Bltu, "bleu": F3Bgeu}[mnem]
+		return a.branch(f3, ops, true)
+	case "beqz", "bnez":
+		if err := n(2); err != nil {
+			return err
+		}
+		f3 := uint8(F3Beq)
+		if mnem == "bnez" {
+			f3 = F3Bne
+		}
+		return a.branch(f3, []string{ops[0], "zero", ops[1]}, false)
+	}
+
+	if fn, ok := fpBinary[mnem]; ok {
+		if err := n(3); err != nil {
+			return err
+		}
+		rd, err := a.fpReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.fpReg(ops[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.fpReg(ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: OpFP, Rd: rd, Rs1: rs1, Rs2: rs2, Funct7: uint8(fn)})
+		return nil
+	}
+	if fn, ok := fpCompare[mnem]; ok {
+		if err := n(3); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.fpReg(ops[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.fpReg(ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: OpFP, Rd: rd, Rs1: rs1, Rs2: rs2, Funct7: uint8(fn)})
+		return nil
+	}
+	if fn, ok := fpUnary[mnem]; ok {
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.fpReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.fpReg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: OpFP, Rd: rd, Rs1: rs1, Funct7: uint8(fn)})
+		return nil
+	}
+
+	switch mnem {
+	case "fcvt.d.w", "fcvt.s.w": // int reg -> fp reg
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.fpReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.intReg(ops[1])
+		if err != nil {
+			return err
+		}
+		fn := FPI2FD
+		if mnem == "fcvt.s.w" {
+			fn = FPI2FS
+		}
+		a.emit(Inst{Op: OpFP, Rd: rd, Rs1: rs1, Funct7: uint8(fn)})
+		return nil
+	case "fcvt.w.d", "fcvt.w.s": // fp reg -> int reg
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.fpReg(ops[1])
+		if err != nil {
+			return err
+		}
+		fn := FPF2ID
+		if mnem == "fcvt.w.s" {
+			fn = FPF2IS
+		}
+		a.emit(Inst{Op: OpFP, Rd: rd, Rs1: rs1, Funct7: uint8(fn)})
+		return nil
+	case "fmv.x.d":
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.fpReg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: OpFP, Rd: rd, Rs1: rs1, Funct7: uint8(FPMvXD)})
+		return nil
+	case "fmv.d.x":
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.fpReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.intReg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: OpFP, Rd: rd, Rs1: rs1, Funct7: uint8(FPMvDX)})
+		return nil
+
+	case "lui":
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.immOrSym(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: OpLui, Rd: rd, Imm: imm << 12})
+		return nil
+
+	case "jal":
+		if len(ops) == 1 {
+			ops = []string{"ra", ops[0]}
+		}
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		target, err := a.symValue(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: OpJal, Rd: rd, Imm: a.relTo(target)})
+		return nil
+
+	case "jalr":
+		if err := n(3); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.intReg(ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.intValue(ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: OpJalr, Rd: rd, Rs1: rs1, Imm: imm})
+		return nil
+
+	case "ecall":
+		a.emit(Inst{Op: OpSys})
+		return nil
+
+	// Pseudo instructions.
+	case "nop":
+		a.emit(Inst{Op: OpIntImm, Funct3: F3AddSub})
+		return nil
+	case "mv":
+		if err := n(2); err != nil {
+			return err
+		}
+		return a.instruction(fmt.Sprintf("addi %s, %s, 0", ops[0], ops[1]))
+	case "neg":
+		if err := n(2); err != nil {
+			return err
+		}
+		return a.instruction(fmt.Sprintf("sub %s, zero, %s", ops[0], ops[1]))
+	case "not":
+		if err := n(2); err != nil {
+			return err
+		}
+		return a.instruction(fmt.Sprintf("xori %s, %s, -1", ops[0], ops[1]))
+	case "subi":
+		if err := n(3); err != nil {
+			return err
+		}
+		v, err := a.intValue(ops[2])
+		if err != nil {
+			return err
+		}
+		return a.instruction(fmt.Sprintf("addi %s, %s, %d", ops[0], ops[1], -v))
+	case "seqz":
+		if err := n(2); err != nil {
+			return err
+		}
+		return a.instruction(fmt.Sprintf("sltiu %s, %s, 1", ops[0], ops[1]))
+	case "snez":
+		if err := n(2); err != nil {
+			return err
+		}
+		return a.instruction(fmt.Sprintf("sltu %s, zero, %s", ops[0], ops[1]))
+	case "j":
+		if err := n(1); err != nil {
+			return err
+		}
+		return a.instruction("jal zero, " + ops[0])
+	case "jr":
+		if err := n(1); err != nil {
+			return err
+		}
+		return a.instruction(fmt.Sprintf("jalr zero, %s, 0", ops[0]))
+	case "ret":
+		return a.instruction("jalr zero, ra, 0")
+	case "call":
+		if err := n(1); err != nil {
+			return err
+		}
+		return a.instruction("jal ra, " + ops[0])
+	case "li":
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.immOrSym(ops[1])
+		if err != nil {
+			return err
+		}
+		a.expandLI(rd, v)
+		return nil
+	case "la":
+		if err := n(2); err != nil {
+			return err
+		}
+		rd, err := a.intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		addr, err := a.symValue(ops[1])
+		if err != nil {
+			return err
+		}
+		a.expandLI(rd, int32(addr))
+		return nil
+	}
+	return a.errf("unknown mnemonic %q", mnem)
+}
+
+// expandLI emits the lui/addi pair for an arbitrary 32-bit constant.
+// Always two instructions, so pass-1 sizing is stable for labels that
+// resolve later.
+func (a *assembler) expandLI(rd uint8, v int32) {
+	hi := (uint32(v) + 0x800) >> 12
+	lo := v - int32(hi<<12)
+	a.emit(Inst{Op: OpLui, Rd: rd, Imm: int32(hi << 12)})
+	a.emit(Inst{Op: OpIntImm, Rd: rd, Rs1: rd, Funct3: F3AddSub, Imm: lo})
+}
+
+// branch emits a conditional branch; swap reverses operand order (bgt is
+// blt with swapped sources).
+func (a *assembler) branch(f3 uint8, ops []string, swap bool) error {
+	if len(ops) != 3 {
+		return a.errf("branch expects 3 operands")
+	}
+	rs1, err := a.intReg(ops[0])
+	if err != nil {
+		return err
+	}
+	rs2, err := a.intReg(ops[1])
+	if err != nil {
+		return err
+	}
+	if swap {
+		rs1, rs2 = rs2, rs1
+	}
+	target, err := a.symValue(ops[2])
+	if err != nil {
+		return err
+	}
+	off := a.relTo(target)
+	if a.pass == 2 && (off < -4096 || off > 4095) {
+		return a.errf("branch target out of range (%d)", off)
+	}
+	a.emit(Inst{Op: OpBranch, Rs1: rs1, Rs2: rs2, Funct3: f3, Imm: off})
+	return nil
+}
+
+// relTo computes the PC-relative offset to target from the instruction
+// being emitted.
+func (a *assembler) relTo(target uint32) int32 {
+	return int32(target) - int32(a.textPC)
+}

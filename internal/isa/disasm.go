@@ -1,0 +1,129 @@
+package isa
+
+import "fmt"
+
+// regName returns the ABI name for an integer register.
+func regName(r uint8) string {
+	names := [32]string{
+		"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+		"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+		"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+		"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+	}
+	return names[r&31]
+}
+
+func fpRegName(r uint8) string { return fmt.Sprintf("f%d", r&31) }
+
+var fpFuncNames = [numFPFuncs]string{
+	"fadd.d", "fsub.d", "fmul.d", "fdiv.d", "fcvt.d.w", "fcvt.w.d",
+	"fadd.s", "fsub.s", "fmul.s", "fdiv.s", "fcvt.s.w", "fcvt.w.s",
+	"fmv.d", "fneg.d", "fabs.d", "feq.d", "flt.d", "fle.d",
+	"fmv.x.d", "fmv.d.x", "fcvt.s.d", "fcvt.d.s",
+}
+
+// Disassemble renders a decoded instruction as assembly text.
+func Disassemble(in Inst) string {
+	switch in.Op {
+	case OpInt:
+		name := "?"
+		if in.Funct7 == F7MulD {
+			name = map[uint8]string{F3Mul: "mul", F3Mulh: "mulh", F3Div: "div",
+				F3Divu: "divu", F3Rem: "rem", F3Remu: "remu"}[in.Funct3]
+		} else {
+			switch in.Funct3 {
+			case F3AddSub:
+				name = "add"
+				if in.Funct7 == F7Alt {
+					name = "sub"
+				}
+			case F3Sll:
+				name = "sll"
+			case F3Slt:
+				name = "slt"
+			case F3Sltu:
+				name = "sltu"
+			case F3Xor:
+				name = "xor"
+			case F3SrlSra:
+				name = "srl"
+				if in.Funct7 == F7Alt {
+					name = "sra"
+				}
+			case F3Or:
+				name = "or"
+			case F3And:
+				name = "and"
+			}
+		}
+		return fmt.Sprintf("%s %s, %s, %s", name, regName(in.Rd), regName(in.Rs1), regName(in.Rs2))
+	case OpIntImm:
+		switch in.Funct3 {
+		case F3Sll:
+			return fmt.Sprintf("slli %s, %s, %d", regName(in.Rd), regName(in.Rs1), in.Imm&31)
+		case F3SrlSra:
+			name := "srli"
+			if in.Imm>>5&0x7f == int32(F7Alt) {
+				name = "srai"
+			}
+			return fmt.Sprintf("%s %s, %s, %d", name, regName(in.Rd), regName(in.Rs1), in.Imm&31)
+		}
+		name := map[uint8]string{F3AddSub: "addi", F3Slt: "slti", F3Sltu: "sltiu",
+			F3Xor: "xori", F3Or: "ori", F3And: "andi"}[in.Funct3]
+		return fmt.Sprintf("%s %s, %s, %d", name, regName(in.Rd), regName(in.Rs1), in.Imm)
+	case OpLoad:
+		name := map[uint8]string{F3Word: "lw", F3Byte: "lb", F3ByteU: "lbu"}[in.Funct3]
+		return fmt.Sprintf("%s %s, %d(%s)", name, regName(in.Rd), in.Imm, regName(in.Rs1))
+	case OpStore:
+		name := "sw"
+		if in.Funct3 == F3Byte {
+			name = "sb"
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", name, regName(in.Rs2), in.Imm, regName(in.Rs1))
+	case OpFLoad:
+		name := "fld"
+		if in.Funct3 == F3FWord {
+			name = "flw"
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", name, fpRegName(in.Rd), in.Imm, regName(in.Rs1))
+	case OpFStore:
+		name := "fsd"
+		if in.Funct3 == F3FWord {
+			name = "fsw"
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", name, fpRegName(in.Rs2), in.Imm, regName(in.Rs1))
+	case OpBranch:
+		name := map[uint8]string{F3Beq: "beq", F3Bne: "bne", F3Blt: "blt",
+			F3Bge: "bge", F3Bltu: "bltu", F3Bgeu: "bgeu"}[in.Funct3]
+		return fmt.Sprintf("%s %s, %s, pc%+d", name, regName(in.Rs1), regName(in.Rs2), in.Imm)
+	case OpLui:
+		return fmt.Sprintf("lui %s, %#x", regName(in.Rd), uint32(in.Imm)>>12)
+	case OpAuipc:
+		return fmt.Sprintf("auipc %s, %#x", regName(in.Rd), uint32(in.Imm)>>12)
+	case OpJal:
+		return fmt.Sprintf("jal %s, pc%+d", regName(in.Rd), in.Imm)
+	case OpJalr:
+		return fmt.Sprintf("jalr %s, %s, %d", regName(in.Rd), regName(in.Rs1), in.Imm)
+	case OpSys:
+		return "ecall"
+	case OpFP:
+		fn := FPFunc(in.Funct7)
+		if fn >= numFPFuncs {
+			return fmt.Sprintf(".word %#08x", in.Raw)
+		}
+		name := fpFuncNames[fn]
+		switch fn {
+		case FPAddD, FPSubD, FPMulD, FPDivD, FPAddS, FPSubS, FPMulS, FPDivS:
+			return fmt.Sprintf("%s %s, %s, %s", name, fpRegName(in.Rd), fpRegName(in.Rs1), fpRegName(in.Rs2))
+		case FPI2FD, FPI2FS, FPMvDX:
+			return fmt.Sprintf("%s %s, %s", name, fpRegName(in.Rd), regName(in.Rs1))
+		case FPF2ID, FPF2IS, FPMvXD:
+			return fmt.Sprintf("%s %s, %s", name, regName(in.Rd), fpRegName(in.Rs1))
+		case FPEqD, FPLtD, FPLeD:
+			return fmt.Sprintf("%s %s, %s, %s", name, regName(in.Rd), fpRegName(in.Rs1), fpRegName(in.Rs2))
+		default:
+			return fmt.Sprintf("%s %s, %s", name, fpRegName(in.Rd), fpRegName(in.Rs1))
+		}
+	}
+	return fmt.Sprintf(".word %#08x", in.Raw)
+}

@@ -1,0 +1,35 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"teva/internal/isa"
+)
+
+// ExampleAssemble assembles a small program and disassembles its first
+// instructions.
+func ExampleAssemble() {
+	prog, err := isa.Assemble(`
+.data
+greeting: .asciiz "hi"
+.text
+main:
+    addi t0, zero, 2
+    mul  t1, t0, t0
+    li   a0, 10
+    li   a1, 0
+    ecall
+`)
+	if err != nil {
+		panic(err)
+	}
+	for _, raw := range prog.Text[:2] {
+		in, _ := isa.Decode(raw)
+		fmt.Println(isa.Disassemble(in))
+	}
+	fmt.Printf("data bytes: %d\n", len(prog.Data))
+	// Output:
+	// addi t0, zero, 2
+	// mul t1, t0, t0
+	// data bytes: 3
+}

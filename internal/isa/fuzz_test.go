@@ -1,0 +1,54 @@
+package isa
+
+import "testing"
+
+// FuzzDecode checks that instruction decoding is total (never panics) and
+// that successful decodes re-encode to a word that decodes identically
+// (unused fields may canonicalize, so we compare decoded forms).
+func FuzzDecode(f *testing.F) {
+	seeds := []uint32{
+		0, 0xffffffff, 0x00000033, 0x00000013, 0x00000063,
+		0x0000006f, 0x00000053, 0xfff00313, 0x40b50533,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		in, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		re, err := Decode(in.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of %#x failed: %v", raw, err)
+		}
+		if re.Op != in.Op || re.Rd != in.Rd || re.Rs1 != in.Rs1 ||
+			re.Rs2 != in.Rs2 || re.Funct3 != in.Funct3 || re.Imm != in.Imm {
+			t.Fatalf("decode/encode unstable: %+v vs %+v", in, re)
+		}
+		// Disassembly must be total too.
+		_ = Disassemble(in)
+	})
+}
+
+// FuzzAssemble checks the assembler never panics on arbitrary source text
+// and that successfully assembled programs decode cleanly.
+func FuzzAssemble(f *testing.F) {
+	f.Add(".text\nmain: addi t0, zero, 1\n")
+	f.Add(".data\nx: .word 1, 2, 3\n.text\nlw t0, 0(a0)\n")
+	f.Add(".text\nli a0, 10\nli a1, 0\necall\n")
+	f.Add("label without colon addi")
+	f.Add(".data\ns: .asciiz \"hi\\n\"\n")
+	f.Add(".text\nx: j x\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for i, raw := range p.Text {
+			if _, err := Decode(raw); err != nil {
+				t.Fatalf("assembled word %d (%#x) undecodable: %v", i, raw, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,237 @@
+// Package isa defines MRV, the 32-bit RISC instruction set the evaluation
+// workloads are compiled to, together with its binary encoding, assembler
+// and disassembler. MRV stands in for the paper's software platform: a
+// general-purpose load/store architecture whose floating-point
+// instructions map 1-to-1 onto the 12 operations of the gate-level FPU
+// (the paper relies on the same 1-to-1 correspondence between its gem5
+// ARM model and the OpenRISC FPU).
+//
+// The machine has 32 32-bit integer registers (x0 hardwired to zero) and
+// 32 64-bit floating-point registers. Instructions are 32 bits, in
+// R/I/S/B/U/J formats.
+package isa
+
+import "fmt"
+
+// Opcode is the major opcode (bits 6:0).
+type Opcode uint8
+
+// Major opcodes.
+const (
+	OpLoad   Opcode = 0x03 // lb, lbu, lw
+	OpFLoad  Opcode = 0x07 // flw, fld
+	OpIntImm Opcode = 0x13 // addi, slti, xori, ...
+	OpAuipc  Opcode = 0x17
+	OpStore  Opcode = 0x23 // sb, sw
+	OpFStore Opcode = 0x27 // fsw, fsd
+	OpInt    Opcode = 0x33 // add, sub, mul, div, ...
+	OpLui    Opcode = 0x37
+	OpFP     Opcode = 0x53 // all floating-point register ops
+	OpBranch Opcode = 0x63
+	OpJalr   Opcode = 0x67
+	OpJal    Opcode = 0x6F
+	OpSys    Opcode = 0x73 // ecall
+)
+
+// ALU funct3 values (OpInt/OpIntImm).
+const (
+	F3AddSub = 0 // funct7 bit 5 selects sub (register form)
+	F3Sll    = 1
+	F3Slt    = 2
+	F3Sltu   = 3
+	F3Xor    = 4
+	F3SrlSra = 5 // funct7 bit 5 selects sra
+	F3Or     = 6
+	F3And    = 7
+)
+
+// funct7 values for OpInt.
+const (
+	F7Base = 0x00
+	F7Alt  = 0x20 // sub, sra
+	F7MulD = 0x01 // mul/div/rem group (funct3 selects)
+)
+
+// Mul/div funct3 values under F7MulD.
+const (
+	F3Mul  = 0
+	F3Mulh = 1
+	F3Div  = 4
+	F3Divu = 5
+	F3Rem  = 6
+	F3Remu = 7
+)
+
+// Load/store funct3 values.
+const (
+	F3Byte  = 0 // lb / sb
+	F3Word  = 2 // lw / sw
+	F3ByteU = 4 // lbu
+	F3FWord = 2 // flw / fsw
+	F3FDbl  = 3 // fld / fsd
+)
+
+// Branch funct3 values.
+const (
+	F3Beq  = 0
+	F3Bne  = 1
+	F3Blt  = 4
+	F3Bge  = 5
+	F3Bltu = 6
+	F3Bgeu = 7
+)
+
+// FPFunc is the funct7 field of OpFP instructions. Values 0-11 are the 12
+// FPU operations in internal/fpu order; the rest are register-file and
+// compare operations that never traverse the timing-critical FPU datapath
+// (and therefore are not subject to timing-error injection).
+type FPFunc uint8
+
+const (
+	FPAddD FPFunc = iota
+	FPSubD
+	FPMulD
+	FPDivD
+	FPI2FD // fcvt.d.w: rs1 is an integer register
+	FPF2ID // fcvt.w.d: rd is an integer register
+	FPAddS
+	FPSubS
+	FPMulS
+	FPDivS
+	FPI2FS
+	FPF2IS
+	FPMv   // fmv rd, rs1 (fp to fp copy)
+	FPNegD // sign-bit flip; implemented outside the FPU datapath
+	FPAbsD
+	FPEqD // writes integer rd
+	FPLtD
+	FPLeD
+	FPMvXD  // fmv.x.d: low 32 bits of fp reg to int reg
+	FPMvDX  // fmv.d.x: int reg to low 32 bits of fp reg (high zeroed)
+	FPCvtSD // fcvt.s.d: narrow double to single (via softfp)
+	FPCvtDS // fcvt.d.s: widen single to double
+	numFPFuncs
+)
+
+// IsFPUDatapath reports whether the FP function exercises one of the 12
+// gate-level FPU pipelines (and is therefore an injection target).
+func (f FPFunc) IsFPUDatapath() bool { return f < 12 }
+
+// Syscall codes (in a0 at ecall).
+const (
+	SysPrintInt  = 1  // print a1 as signed decimal
+	SysPrintFP   = 2  // print fa0 as %g
+	SysPrintChar = 3  // print a1 as a byte
+	SysPrintStr  = 4  // print NUL-terminated string at a1
+	SysCycles    = 5  // a0 <- low 32 bits of the cycle counter
+	SysExit      = 10 // halt with exit code a1
+)
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op     Opcode
+	Rd     uint8
+	Rs1    uint8
+	Rs2    uint8
+	Funct3 uint8
+	Funct7 uint8
+	Imm    int32 // sign-extended immediate (format-dependent)
+	Raw    uint32
+}
+
+// Encode packs the instruction fields into its 32-bit form.
+func (in Inst) Encode() uint32 {
+	op := uint32(in.Op)
+	rd := uint32(in.Rd) & 31
+	rs1 := uint32(in.Rs1) & 31
+	rs2 := uint32(in.Rs2) & 31
+	f3 := uint32(in.Funct3) & 7
+	f7 := uint32(in.Funct7) & 127
+	imm := uint32(in.Imm)
+	switch in.Op {
+	case OpInt, OpFP:
+		return f7<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+	case OpIntImm, OpLoad, OpFLoad, OpJalr, OpSys:
+		return imm<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+	case OpStore, OpFStore:
+		return (imm>>5&0x7f)<<25 | rs2<<20 | rs1<<15 | f3<<12 | (imm&0x1f)<<7 | op
+	case OpBranch:
+		return (imm>>12&1)<<31 | (imm>>5&0x3f)<<25 | rs2<<20 | rs1<<15 |
+			f3<<12 | (imm>>1&0xf)<<8 | (imm>>11&1)<<7 | op
+	case OpLui, OpAuipc:
+		return imm&0xfffff000 | rd<<7 | op
+	case OpJal:
+		return (imm>>20&1)<<31 | (imm>>1&0x3ff)<<21 | (imm>>11&1)<<20 |
+			(imm>>12&0xff)<<12 | rd<<7 | op
+	}
+	panic(fmt.Sprintf("isa: cannot encode opcode %#x", uint8(in.Op)))
+}
+
+// signExtend returns v's low n bits sign-extended.
+func signExtend(v uint32, n uint) int32 {
+	shift := 32 - n
+	return int32(v<<shift) >> shift
+}
+
+// Decode unpacks a 32-bit instruction word. It returns an error for
+// unknown opcodes (an illegal-instruction trap in the simulator).
+func Decode(raw uint32) (Inst, error) {
+	in := Inst{
+		Op:     Opcode(raw & 0x7f),
+		Rd:     uint8(raw >> 7 & 31),
+		Funct3: uint8(raw >> 12 & 7),
+		Rs1:    uint8(raw >> 15 & 31),
+		Rs2:    uint8(raw >> 20 & 31),
+		Funct7: uint8(raw >> 25 & 127),
+		Raw:    raw,
+	}
+	switch in.Op {
+	case OpInt, OpFP:
+		// no immediate
+	case OpIntImm, OpLoad, OpFLoad, OpJalr, OpSys:
+		in.Imm = signExtend(raw>>20, 12)
+	case OpStore, OpFStore:
+		in.Imm = signExtend(raw>>25<<5|raw>>7&0x1f, 12)
+	case OpBranch:
+		v := raw >> 31 << 12
+		v |= raw >> 7 & 1 << 11
+		v |= raw >> 25 & 0x3f << 5
+		v |= raw >> 8 & 0xf << 1
+		in.Imm = signExtend(v, 13)
+	case OpLui, OpAuipc:
+		in.Imm = int32(raw & 0xfffff000)
+	case OpJal:
+		v := raw >> 31 << 20
+		v |= raw >> 12 & 0xff << 12
+		v |= raw >> 20 & 1 << 11
+		v |= raw >> 21 & 0x3ff << 1
+		in.Imm = signExtend(v, 21)
+	default:
+		return in, fmt.Errorf("isa: illegal opcode %#02x in %#08x", uint8(in.Op), raw)
+	}
+	return in, nil
+}
+
+// Program is an assembled binary image.
+type Program struct {
+	// Text is the instruction stream, loaded at TextBase.
+	Text []uint32
+	// Data is the initialized data segment, loaded at DataBase.
+	Data []byte
+	// Symbols maps labels to addresses (diagnostics and tooling).
+	Symbols map[string]uint32
+	// Entry is the initial PC.
+	Entry uint32
+}
+
+// Segment layout constants.
+const (
+	// TextBase is where the instruction stream is loaded.
+	TextBase = 0x0000_1000
+	// DataBase is where the data segment is loaded.
+	DataBase = 0x0010_0000
+	// StackTop is the initial stack pointer (grows down).
+	StackTop = 0x00F0_0000
+	// DefaultMemSize is the simulator's default memory size.
+	DefaultMemSize = 16 << 20
+)

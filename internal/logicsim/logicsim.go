@@ -1,0 +1,94 @@
+// Package logicsim evaluates a netlist functionally with zero delay. It is
+// the "first instance" of the paper's dynamic timing analysis (Section
+// III-A.1): the nominal-voltage golden simulation whose outputs define
+// correct behaviour.
+package logicsim
+
+import "teva/internal/netlist"
+
+// Sim is a reusable zero-delay evaluator for one netlist.
+type Sim struct {
+	n      *netlist.Netlist
+	values []bool
+	inBuf  []bool
+}
+
+// New returns a simulator for the netlist.
+func New(n *netlist.Netlist) *Sim {
+	s := &Sim{n: n, values: make([]bool, n.NumNets())}
+	s.values[netlist.Const1] = true
+	return s
+}
+
+// Run evaluates the netlist for the given primary-input assignment, which
+// must match len(n.Inputs()).
+func (s *Sim) Run(inputs []bool) {
+	ins := s.n.Inputs()
+	if len(inputs) != len(ins) {
+		panic("logicsim: input width mismatch")
+	}
+	for i, net := range ins {
+		s.values[net] = inputs[i]
+	}
+	gates := s.n.Gates()
+	if cap(s.inBuf) < 4 {
+		s.inBuf = make([]bool, 4)
+	}
+	for gi := range gates {
+		g := &gates[gi]
+		buf := s.inBuf[:len(g.Inputs)]
+		for i, in := range g.Inputs {
+			buf[i] = s.values[in]
+		}
+		s.values[g.Output] = g.Eval(buf)
+	}
+}
+
+// Value returns the value of a net after Run.
+func (s *Sim) Value(net netlist.NetID) bool { return s.values[net] }
+
+// ReadBus packs a bus into a uint64 (LSB first); the bus must be at most
+// 64 bits wide.
+func (s *Sim) ReadBus(bus netlist.Bus) uint64 {
+	if len(bus) > 64 {
+		panic("logicsim: bus wider than 64 bits")
+	}
+	var v uint64
+	for i, net := range bus {
+		if s.values[net] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Outputs copies the primary-output values into dst (allocating when nil).
+func (s *Sim) Outputs(dst []bool) []bool {
+	outs := s.n.Outputs()
+	if dst == nil {
+		dst = make([]bool, len(outs))
+	}
+	for i, net := range outs {
+		dst[i] = s.values[net]
+	}
+	return dst
+}
+
+// PackInputs writes value into inputs[offset:offset+width] LSB-first; a
+// convenience for driving input vectors from integers.
+func PackInputs(inputs []bool, offset, width int, value uint64) {
+	for i := 0; i < width; i++ {
+		inputs[offset+i] = value>>uint(i)&1 == 1
+	}
+}
+
+// UnpackOutputs reads width bits LSB-first from values[offset:].
+func UnpackOutputs(values []bool, offset, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		if values[offset+i] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,129 @@
+package logicsim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"teva/internal/cell"
+	"teva/internal/logicsim"
+	"teva/internal/netlist"
+)
+
+func adder(t *testing.T, w int) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("add", cell.Default(), 1)
+	x := b.Input(w)
+	y := b.Input(w)
+	sum, cout := b.RippleAdder(x, y, netlist.Const0)
+	b.Output(append(append(netlist.Bus{}, sum...), cout))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRunEvaluatesFunctionally(t *testing.T) {
+	const w = 16
+	n := adder(t, w)
+	sim := logicsim.New(n)
+	in := make([]bool, 2*w)
+	if err := quick.Check(func(a, b uint16) bool {
+		logicsim.PackInputs(in, 0, w, uint64(a))
+		logicsim.PackInputs(in, w, w, uint64(b))
+		sim.Run(in)
+		out := sim.Outputs(nil)
+		got := logicsim.UnpackOutputs(out, 0, w+1)
+		return got == uint64(a)+uint64(b)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReusableAcrossRuns(t *testing.T) {
+	const w = 8
+	n := adder(t, w)
+	sim := logicsim.New(n)
+	in := make([]bool, 2*w)
+	// Alternate extreme vectors; state must not leak between runs.
+	for i := 0; i < 100; i++ {
+		a := uint64(0)
+		if i%2 == 0 {
+			a = 255
+		}
+		logicsim.PackInputs(in, 0, w, a)
+		logicsim.PackInputs(in, w, w, 255-a)
+		sim.Run(in)
+		if got := logicsim.UnpackOutputs(sim.Outputs(nil), 0, w); got != 255 {
+			t.Fatalf("iteration %d: %d", i, got)
+		}
+	}
+}
+
+func TestOutputsReuseBuffer(t *testing.T) {
+	n := adder(t, 4)
+	sim := logicsim.New(n)
+	in := make([]bool, 8)
+	sim.Run(in)
+	buf := make([]bool, len(n.Outputs()))
+	got := sim.Outputs(buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("Outputs should fill the provided buffer")
+	}
+}
+
+func TestValueAndReadBus(t *testing.T) {
+	b := netlist.NewBuilder("bus", cell.Default(), 2)
+	x := b.Input(8)
+	y := b.NotBus(x)
+	b.Output(y)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := logicsim.New(n)
+	in := make([]bool, 8)
+	logicsim.PackInputs(in, 0, 8, 0b10110010)
+	sim.Run(in)
+	if got := sim.ReadBus(netlist.Bus(n.Outputs())); got != 0b01001101 {
+		t.Fatalf("ReadBus = %08b", got)
+	}
+	if sim.Value(netlist.Const1) != true || sim.Value(netlist.Const0) != false {
+		t.Fatal("constant nets wrong")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	if err := quick.Check(func(v uint64, off uint8) bool {
+		offset := int(off % 8)
+		buf := make([]bool, 64+offset)
+		logicsim.PackInputs(buf, offset, 64, v)
+		return logicsim.UnpackOutputs(buf, offset, 64) == v
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	n := adder(t, 4)
+	sim := logicsim.New(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong input width")
+		}
+	}()
+	sim.Run(make([]bool, 3))
+}
+
+func TestReadBusTooWidePanics(t *testing.T) {
+	n := adder(t, 4)
+	sim := logicsim.New(n)
+	sim.Run(make([]bool, 8))
+	wide := make(netlist.Bus, 65)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >64-bit bus")
+		}
+	}()
+	sim.ReadBus(wide)
+}

@@ -1,0 +1,254 @@
+// Package netlist represents gate-level combinational circuits and provides
+// a builder for generating them structurally. It substitutes for the
+// synthesis + place-and-route products of the paper's ASIC flow (Section
+// III-A): a Verilog gate-level netlist plus SDF delay annotation. Circuits
+// are generated from RTL-equivalent Go constructors; each gate instance
+// carries per-pin delays taken from the standard-cell library plus a
+// deterministic per-net interconnect component standing in for extracted
+// wire parasitics.
+package netlist
+
+import (
+	"fmt"
+
+	"teva/internal/cell"
+)
+
+// NetID identifies a net (wire) in a netlist. Nets 0 and 1 are the constant
+// low/high nets of every netlist.
+type NetID int32
+
+// Constant nets present in every netlist.
+const (
+	Const0 NetID = 0
+	Const1 NetID = 1
+)
+
+// GateID identifies a gate instance.
+type GateID int32
+
+// Gate is one placed cell instance.
+type Gate struct {
+	// Kind is the library cell.
+	Kind cell.Kind
+	// Inputs are the nets driving each input pin.
+	Inputs []NetID
+	// Output is the net driven by this gate.
+	Output NetID
+	// Eval is the resolved logic function (sum vs carry variant for HA/FA).
+	Eval func(in []bool) bool
+	// Delays are the annotated per-pin delays: library cell delay plus the
+	// interconnect component of the output net, in picoseconds at the
+	// nominal corner.
+	Delays []cell.PinDelay
+	// Energy is the dynamic energy per output transition, fJ.
+	Energy float64
+	// Unit tags the functional unit / pipeline stage the gate belongs to
+	// (used to group Figure 4's path distribution).
+	Unit string
+}
+
+// Netlist is a combinational circuit: a DAG of gates between primary
+// inputs (pipeline register outputs) and primary outputs (pipeline
+// register inputs).
+type Netlist struct {
+	// Name labels the circuit ("fpu/dmul/stage3").
+	Name string
+	// Lib is the library the gates were drawn from.
+	Lib *cell.Library
+
+	gates   []Gate
+	numNets int
+	inputs  []NetID
+	outputs []NetID
+
+	// derived structures, built by Finalize
+	driver []GateID   // per net, -1 for inputs/constants
+	fanout [][]GateID // per net
+	topo   []GateID   // gates in topological order
+	level  []int32    // per gate, longest input depth
+}
+
+// NumNets returns the number of nets, including the two constants.
+func (n *Netlist) NumNets() int { return n.numNets }
+
+// NumGates returns the number of gate instances.
+func (n *Netlist) NumGates() int { return len(n.gates) }
+
+// Gates returns the gate slice in topological order (after Finalize the
+// storage order is topological). Callers must not mutate it.
+func (n *Netlist) Gates() []Gate { return n.gates }
+
+// Gate returns the gate with the given id.
+func (n *Netlist) Gate(id GateID) *Gate { return &n.gates[id] }
+
+// Inputs returns the primary input nets.
+func (n *Netlist) Inputs() []NetID { return n.inputs }
+
+// Outputs returns the primary output nets.
+func (n *Netlist) Outputs() []NetID { return n.outputs }
+
+// Driver returns the gate driving the net, or -1 for primary inputs and
+// constants.
+func (n *Netlist) Driver(id NetID) GateID { return n.driver[id] }
+
+// Fanout returns the gates reading the net. Callers must not mutate it.
+func (n *Netlist) Fanout(id NetID) []GateID { return n.fanout[id] }
+
+// Level returns the logic depth of a gate (0 for gates fed only by inputs
+// or constants).
+func (n *Netlist) Level(id GateID) int { return int(n.level[id]) }
+
+// Stats summarizes a netlist for reports.
+type Stats struct {
+	Gates    int
+	Nets     int
+	Inputs   int
+	Outputs  int
+	MaxDepth int
+	ByKind   map[cell.Kind]int
+}
+
+// Stats computes summary statistics.
+func (n *Netlist) Stats() Stats {
+	s := Stats{
+		Gates:   len(n.gates),
+		Nets:    n.numNets,
+		Inputs:  len(n.inputs),
+		Outputs: len(n.outputs),
+		ByKind:  make(map[cell.Kind]int),
+	}
+	for i := range n.gates {
+		s.ByKind[n.gates[i].Kind]++
+		if d := int(n.level[i]) + 1; d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d gates, %d nets, %d in, %d out, depth %d",
+		s.Gates, s.Nets, s.Inputs, s.Outputs, s.MaxDepth)
+}
+
+// finalize validates the structure, orders gates topologically and builds
+// the derived driver/fanout/level tables. The builder calls it from Build.
+func (n *Netlist) finalize() error {
+	n.driver = make([]GateID, n.numNets)
+	for i := range n.driver {
+		n.driver[i] = -1
+	}
+	for gi := range n.gates {
+		out := n.gates[gi].Output
+		if out == Const0 || out == Const1 {
+			return fmt.Errorf("netlist %s: gate %d drives a constant net", n.Name, gi)
+		}
+		if n.driver[out] != -1 {
+			return fmt.Errorf("netlist %s: net %d has multiple drivers", n.Name, out)
+		}
+		n.driver[out] = GateID(gi)
+	}
+	isInput := make([]bool, n.numNets)
+	isInput[Const0], isInput[Const1] = true, true
+	for _, in := range n.inputs {
+		if n.driver[in] != -1 {
+			return fmt.Errorf("netlist %s: primary input net %d is gate-driven", n.Name, in)
+		}
+		isInput[in] = true
+	}
+	n.fanout = make([][]GateID, n.numNets)
+	for gi := range n.gates {
+		for _, in := range n.gates[gi].Inputs {
+			if n.driver[in] == -1 && !isInput[in] {
+				return fmt.Errorf("netlist %s: gate %d reads undriven net %d", n.Name, gi, in)
+			}
+			n.fanout[in] = append(n.fanout[in], GateID(gi))
+		}
+	}
+	for _, out := range n.outputs {
+		if n.driver[out] == -1 && !isInput[out] {
+			return fmt.Errorf("netlist %s: primary output net %d undriven", n.Name, out)
+		}
+	}
+
+	// Kahn topological sort over gates.
+	pending := make([]int32, len(n.gates))
+	ready := make([]GateID, 0, len(n.gates))
+	for gi := range n.gates {
+		cnt := int32(0)
+		for _, in := range n.gates[gi].Inputs {
+			if n.driver[in] != -1 {
+				cnt++
+			}
+		}
+		pending[gi] = cnt
+		if cnt == 0 {
+			ready = append(ready, GateID(gi))
+		}
+	}
+	n.topo = make([]GateID, 0, len(n.gates))
+	n.level = make([]int32, len(n.gates))
+	for len(ready) > 0 {
+		g := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		n.topo = append(n.topo, g)
+		for _, fo := range n.fanout[n.gates[g].Output] {
+			if lvl := n.level[g] + 1; lvl > n.level[fo] {
+				n.level[fo] = lvl
+			}
+			pending[fo]--
+			if pending[fo] == 0 {
+				ready = append(ready, fo)
+			}
+		}
+	}
+	if len(n.topo) != len(n.gates) {
+		return fmt.Errorf("netlist %s: combinational cycle (%d of %d gates ordered)",
+			n.Name, len(n.topo), len(n.gates))
+	}
+	n.reorderTopological()
+	return nil
+}
+
+// reorderTopological permutes gate storage into topological order so
+// simulators can iterate the slice directly. All GateID-bearing tables are
+// remapped.
+func (n *Netlist) reorderTopological() {
+	perm := make([]GateID, len(n.gates)) // old id -> new id
+	newGates := make([]Gate, len(n.gates))
+	for newID, oldID := range n.topo {
+		perm[oldID] = GateID(newID)
+		newGates[newID] = n.gates[oldID]
+	}
+	newLevel := make([]int32, len(n.gates))
+	for oldID, lvl := range n.level {
+		newLevel[perm[oldID]] = lvl
+	}
+	n.gates = newGates
+	n.level = newLevel
+	for net, d := range n.driver {
+		if d != -1 {
+			n.driver[net] = perm[d]
+		}
+	}
+	for net, fo := range n.fanout {
+		for i, g := range fo {
+			fo[i] = perm[g]
+		}
+		n.fanout[net] = fo
+	}
+	for i := range n.topo {
+		n.topo[i] = GateID(i)
+	}
+}
+
+// TotalEnergy sums the per-transition energies of all gates, a proxy for
+// the circuit's switched capacitance used in power comparisons.
+func (n *Netlist) TotalEnergy() float64 {
+	var sum float64
+	for i := range n.gates {
+		sum += n.gates[i].Energy
+	}
+	return sum
+}

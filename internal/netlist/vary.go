@@ -1,0 +1,38 @@
+package netlist
+
+import (
+	"math"
+
+	"teva/internal/cell"
+	"teva/internal/prng"
+)
+
+// Vary returns a copy of the netlist whose every gate carries a
+// per-instance random delay multiplier — intra-die process variation,
+// the fourth delay-increase source of the paper's Section VI. Factors are
+// lognormal with the given sigma (e.g. 0.03 for a 3% spread) so they are
+// positive and mildly right-skewed like measured per-transistor
+// variation. The same (sigma, seed) reproduces the same die; different
+// seeds are different dies of the same design.
+//
+// Logic function, structure and derived tables are shared with the
+// original (they are immutable); only the per-gate delay annotation is
+// cloned.
+func (n *Netlist) Vary(sigma float64, seed uint64) *Netlist {
+	if sigma < 0 {
+		panic("netlist: negative variation sigma")
+	}
+	src := prng.New(seed)
+	out := *n // shallow copy shares driver/fanout/topo/level
+	out.gates = make([]Gate, len(n.gates))
+	copy(out.gates, n.gates)
+	for gi := range out.gates {
+		factor := math.Exp(src.NormFloat64() * sigma)
+		delays := make([]cell.PinDelay, len(out.gates[gi].Delays))
+		for pin, d := range out.gates[gi].Delays {
+			delays[pin] = cell.PinDelay{Rise: d.Rise * factor, Fall: d.Fall * factor}
+		}
+		out.gates[gi].Delays = delays
+	}
+	return &out
+}

@@ -1,0 +1,172 @@
+// Package power performs gate-level dynamic power analysis of the
+// generated units, substituting for the Cadence Voltus step of the
+// paper's flow (Section IV-B.1). Energy comes from switching activity:
+// operand streams are driven through the netlists with the timing engine
+// counting every gate-output transition weighted by the cell's
+// per-transition energy.
+//
+// The analysis backs two of the paper's observations: floating-point
+// operations "emerge as a major contributor to the energy consumption
+// (>30%)" of FP-heavy workloads, and dynamic energy scales with the
+// square of the supply voltage (the saving undervolting buys).
+package power
+
+import (
+	"teva/internal/alu"
+	"teva/internal/fpu"
+	"teva/internal/logicsim"
+	"teva/internal/prng"
+	"teva/internal/timingsim"
+	"teva/internal/trace"
+	"teva/internal/vscale"
+)
+
+// Profile holds the characterized per-operation dynamic energies at the
+// nominal corner, in femtojoules.
+type Profile struct {
+	// PerOp is the mean dynamic energy of one FPU instruction, across
+	// all pipeline stages (iterated stages counted per cycle).
+	PerOp [fpu.NumOps]float64
+	// IntOp is the mean dynamic energy of one integer ALU operation
+	// (ALU + AGU activity), the per-instruction baseline of the core
+	// model.
+	IntOp float64
+	// FPUGates and IntGates are the unit sizes.
+	FPUGates, IntGates int
+}
+
+// Characterize measures per-op energies by driving `samples` random
+// operand pairs per instruction through the gate-level units.
+func Characterize(f *fpu.FPU, intU *alu.Unit, samples int, seed uint64) *Profile {
+	if samples < 2 {
+		samples = 2
+	}
+	src := prng.New(seed)
+	p := &Profile{FPUGates: f.NumGates(), IntGates: intU.NumGates()}
+	for _, op := range fpu.Ops() {
+		n := samples
+		if op == fpu.DDiv || op == fpu.SDiv {
+			n = samples/8 + 2
+		}
+		p.PerOp[op] = opEnergy(f, op, n, src.Split())
+	}
+	p.IntOp = intEnergy(intU, samples, src.Split())
+	return p
+}
+
+// opEnergy runs back-to-back operations through every pipeline stage,
+// accumulating switching energy.
+func opEnergy(f *fpu.FPU, op fpu.Op, samples int, src *prng.Source) float64 {
+	pipe := f.Pipeline(op)
+	mask := ^uint64(0)
+	if w := op.OperandWidth(); w < 64 {
+		mask = 1<<uint(w) - 1
+	}
+	// Per expanded cycle: a fast timing engine and the previous input.
+	var sims []*timingsim.FastSim
+	var prevs [][]bool
+	for _, s := range pipe.Stages {
+		for r := 0; r < s.Repeat; r++ {
+			sims = append(sims, timingsim.NewFast(s.N, 1.0))
+			prevs = append(prevs, make([]bool, len(s.N.Inputs())))
+		}
+	}
+	var total float64
+	var counted int
+	for i := 0; i < samples; i++ {
+		a, b := src.Uint64()&mask, src.Uint64()&mask
+		in := packOperands(pipe, a, b)
+		ci := 0
+		var opEnergy float64
+		for _, s := range pipe.Stages {
+			for r := 0; r < s.Repeat; r++ {
+				sample := sims[ci].Run(prevs[ci], in, 0, timingsim.MaxDeadline)
+				opEnergy += sample.EnergyFJ
+				copy(prevs[ci], in)
+				in = append([]bool(nil), sample.Settled...)
+				ci++
+			}
+		}
+		if i > 0 { // the first op warms the pipeline from the zero state
+			total += opEnergy
+			counted++
+		}
+	}
+	return total / float64(counted)
+}
+
+// packOperands builds the rank-0 input vector for a pipeline.
+func packOperands(p *fpu.Pipeline, a, b uint64) []bool {
+	op := p.Op
+	in := make([]bool, len(p.Stages[0].N.Inputs()))
+	w := op.OperandWidth()
+	logicsim.PackInputs(in, 0, w, a)
+	if op.NumOperands() == 2 {
+		logicsim.PackInputs(in, w, w, b)
+	}
+	return in
+}
+
+// intEnergy measures the integer side: an ALU add plus an AGU add per
+// operation (the dominant per-instruction switching of the core model).
+func intEnergy(u *alu.Unit, samples int, src *prng.Source) float64 {
+	aluSim := timingsim.NewFast(u.ALU, 1.0)
+	aguSim := timingsim.NewFast(u.AGU, 1.0)
+	aluPrev := make([]bool, len(u.ALU.Inputs()))
+	aguPrev := make([]bool, len(u.AGU.Inputs()))
+	var total float64
+	var counted int
+	for i := 0; i < samples; i++ {
+		aluIn := make([]bool, len(aluPrev))
+		for j := 0; j < 64; j++ { // operands only; function code stays add
+			aluIn[j] = src.Bool()
+		}
+		aguIn := make([]bool, len(aguPrev))
+		for j := range aguIn {
+			aguIn[j] = src.Bool()
+		}
+		e := aluSim.Run(aluPrev, aluIn, 0, timingsim.MaxDeadline).EnergyFJ
+		e += aguSim.Run(aguPrev, aguIn, 0, timingsim.MaxDeadline).EnergyFJ
+		copy(aluPrev, aluIn)
+		copy(aguPrev, aguIn)
+		if i > 0 {
+			total += e
+			counted++
+		}
+	}
+	return total / float64(counted)
+}
+
+// Breakdown is the estimated energy split of one workload execution.
+type Breakdown struct {
+	// FPUEnergyFJ and IntEnergyFJ are the dynamic energy totals.
+	FPUEnergyFJ, IntEnergyFJ float64
+	// FPUShare is the FPU's fraction of the total.
+	FPUShare float64
+	// TotalFJ is the whole-run dynamic energy at nominal voltage.
+	TotalFJ float64
+}
+
+// WorkloadBreakdown combines the profile with a workload trace: every
+// FPU-datapath instruction pays its characterized energy; every other
+// instruction pays the integer baseline.
+func (p *Profile) WorkloadBreakdown(tr *trace.Trace) Breakdown {
+	var b Breakdown
+	var fpInstr int64
+	for op, count := range tr.OpCounts {
+		b.FPUEnergyFJ += float64(count) * p.PerOp[op]
+		fpInstr += count
+	}
+	b.IntEnergyFJ = float64(tr.TotalInstr-fpInstr) * p.IntOp
+	b.TotalFJ = b.FPUEnergyFJ + b.IntEnergyFJ
+	if b.TotalFJ > 0 {
+		b.FPUShare = b.FPUEnergyFJ / b.TotalFJ
+	}
+	return b
+}
+
+// AtVoltage scales a nominal-corner energy to a reduced supply using the
+// quadratic dynamic-energy law.
+func AtVoltage(energyFJ float64, m vscale.Model, supply float64) float64 {
+	return energyFJ * m.DynamicPowerRatio(supply)
+}

@@ -1,0 +1,111 @@
+package power
+
+import (
+	"testing"
+
+	"teva/internal/alu"
+	"teva/internal/cell"
+	"teva/internal/fpu"
+	"teva/internal/trace"
+	"teva/internal/vscale"
+	"teva/internal/workloads"
+)
+
+var (
+	testFPU *fpu.FPU
+	testALU *alu.Unit
+	testPro *Profile
+)
+
+func setup(t testing.TB) *Profile {
+	t.Helper()
+	if testPro != nil {
+		return testPro
+	}
+	lib := cell.Default()
+	f, err := fpu.New(lib, 0xF00D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := alu.New(lib, 0xA10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFPU, testALU = f, u
+	testPro = Characterize(f, u, 40, 5)
+	return testPro
+}
+
+func TestPerOpEnergiesPositiveAndOrdered(t *testing.T) {
+	p := setup(t)
+	for _, op := range fpu.Ops() {
+		if p.PerOp[op] <= 0 {
+			t.Fatalf("%s energy %v", op, p.PerOp[op])
+		}
+	}
+	// The double multiplier swings the largest datapath; the iterative
+	// divider runs the most cycles. Both dwarf a conversion.
+	if p.PerOp[fpu.DMul] <= p.PerOp[fpu.DI2F] {
+		t.Fatalf("dmul %v should exceed i2f %v", p.PerOp[fpu.DMul], p.PerOp[fpu.DI2F])
+	}
+	if p.PerOp[fpu.DDiv] <= p.PerOp[fpu.DAdd] {
+		t.Fatalf("ddiv %v should exceed dadd %v", p.PerOp[fpu.DDiv], p.PerOp[fpu.DAdd])
+	}
+	// Double precision costs more than single.
+	if p.PerOp[fpu.DMul] <= p.PerOp[fpu.SMul] {
+		t.Fatal("dmul should exceed smul")
+	}
+	// Any FPU op dwarfs an integer op.
+	if p.PerOp[fpu.DAdd] <= p.IntOp {
+		t.Fatalf("dadd %v should exceed integer op %v", p.PerOp[fpu.DAdd], p.IntOp)
+	}
+	if p.IntOp <= 0 || p.FPUGates == 0 || p.IntGates == 0 {
+		t.Fatalf("profile incomplete: %+v", p)
+	}
+}
+
+func TestWorkloadBreakdownFPShare(t *testing.T) {
+	p := setup(t)
+	w, err := workloads.ByName("srad_v1", workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Capture(w, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.WorkloadBreakdown(tr)
+	if b.TotalFJ <= 0 || b.FPUEnergyFJ <= 0 || b.IntEnergyFJ <= 0 {
+		t.Fatalf("breakdown %+v", b)
+	}
+	// The paper cites FP as a major (>30%) energy contributor for
+	// FP-heavy codes; srad is the most FP-intensive benchmark.
+	if b.FPUShare < 0.3 {
+		t.Fatalf("srad FPU energy share %.2f below 30%%", b.FPUShare)
+	}
+	if b.FPUShare >= 1 {
+		t.Fatalf("FPU share %v must be a fraction", b.FPUShare)
+	}
+}
+
+func TestAtVoltageQuadratic(t *testing.T) {
+	m := vscale.Default45nm()
+	e := AtVoltage(100, m, m.VddNominal)
+	if e != 100 {
+		t.Fatalf("nominal scaling %v", e)
+	}
+	e = AtVoltage(100, m, 0.88)
+	if e <= 50 || e >= 100 {
+		t.Fatalf("VR20 energy %v out of band", e)
+	}
+}
+
+func TestCharacterizeDeterministic(t *testing.T) {
+	p := setup(t)
+	p2 := Characterize(testFPU, testALU, 40, 5)
+	for op := range p.PerOp {
+		if p.PerOp[op] != p2.PerOp[op] {
+			t.Fatal("characterization not reproducible")
+		}
+	}
+}

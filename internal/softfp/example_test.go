@@ -1,0 +1,27 @@
+package softfp_test
+
+import (
+	"fmt"
+	"math"
+
+	"teva/internal/softfp"
+)
+
+// ExampleFormat_Add adds two doubles through the bit-accurate software
+// model the gate-level FPU is validated against.
+func ExampleFormat_Add() {
+	f := softfp.Binary64
+	sum, flags := f.Add(math.Float64bits(0.1), math.Float64bits(0.2))
+	fmt.Printf("%.17g inexact=%v\n", math.Float64frombits(sum), flags.Has(softfp.FlagInexact))
+	// Output:
+	// 0.30000000000000004 inexact=true
+}
+
+// ExampleFormat_Div shows the exception flags on a division by zero.
+func ExampleFormat_Div() {
+	f := softfp.Binary64
+	q, flags := f.Div(math.Float64bits(1), f.Zero(0))
+	fmt.Printf("%v divzero=%v\n", math.Float64frombits(q), flags.Has(softfp.FlagDivZero))
+	// Output:
+	// +Inf divzero=true
+}

@@ -1,0 +1,73 @@
+package softfp
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzCheck64 compares one binary64 operation against native hardware
+// arithmetic, skipping the documented flush-to-zero deviations.
+func fuzzCheck64(t *testing.T, name string, soft func(a, b uint64) (uint64, Flags),
+	native func(a, b float64) float64, ab, bb uint64) {
+	t.Helper()
+	a, b := math.Float64frombits(ab), math.Float64frombits(bb)
+	if isDenorm64(ab) || isDenorm64(bb) {
+		return
+	}
+	want := native(a, b)
+	if isDenorm64(math.Float64bits(want)) {
+		return
+	}
+	got, _ := soft(ab, bb)
+	if Binary64.IsNaNBits(got) && math.IsNaN(want) {
+		return
+	}
+	if got != math.Float64bits(want) {
+		t.Fatalf("%s(%g, %g) = %#x, want %#x", name, a, b, got, math.Float64bits(want))
+	}
+}
+
+// FuzzArith64 cross-checks add/sub/mul/div against the host FPU.
+func FuzzArith64(f *testing.F) {
+	f.Add(math.Float64bits(1.5), math.Float64bits(2.25))
+	f.Add(math.Float64bits(1e308), math.Float64bits(1e308))
+	f.Add(math.Float64bits(-0.0), math.Float64bits(0.0))
+	f.Add(math.Float64bits(math.Inf(1)), math.Float64bits(math.Inf(-1)))
+	f.Add(uint64(0x7ff8000000000001), uint64(1))
+	f.Add(math.Float64bits(1.0000000000000002), math.Float64bits(1))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		fuzzCheck64(t, "add", Binary64.Add, func(x, y float64) float64 { return x + y }, a, b)
+		fuzzCheck64(t, "sub", Binary64.Sub, func(x, y float64) float64 { return x - y }, a, b)
+		fuzzCheck64(t, "mul", Binary64.Mul, func(x, y float64) float64 { return x * y }, a, b)
+		fuzzCheck64(t, "div", Binary64.Div, func(x, y float64) float64 { return x / y }, a, b)
+	})
+}
+
+// FuzzConversions cross-checks the int conversions.
+func FuzzConversions(f *testing.F) {
+	f.Add(int32(0), uint64(0))
+	f.Add(int32(math.MinInt32), math.Float64bits(3e9))
+	f.Add(int32(-1), math.Float64bits(-2.5))
+	f.Fuzz(func(t *testing.T, x int32, fb uint64) {
+		got, _ := Binary64.FromInt32(x)
+		if got != math.Float64bits(float64(x)) {
+			t.Fatalf("FromInt32(%d) = %#x", x, got)
+		}
+		v := math.Float64frombits(fb)
+		gotI, _ := Binary64.ToInt32(fb)
+		var want int32
+		switch {
+		case math.IsNaN(v):
+			want = 0
+		case v >= math.MaxInt32:
+			want = math.MaxInt32
+		case v <= math.MinInt32:
+			want = math.MinInt32
+		default:
+			want = int32(v)
+		}
+		if gotI != want {
+			t.Fatalf("ToInt32(%g) = %d, want %d", v, gotI, want)
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// Package sta performs static timing analysis on netlists: worst-case
+// arrival per endpoint, clock-period determination (Eq. 1 of the paper),
+// slack histograms, and enumeration of the K longest register-to-register
+// paths (the analysis behind the paper's Figure 4).
+//
+// Path delay follows the paper's convention: D(P) includes the launching
+// register's clock-to-output delay and the capturing register's setup time.
+package sta
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"teva/internal/netlist"
+)
+
+// Path is one register-to-register timing path.
+type Path struct {
+	// Delay is the total path delay, including clock-to-Q and setup, ps.
+	Delay float64
+	// Nets is the net sequence from the launching input to the endpoint.
+	Nets []netlist.NetID
+	// Unit is the functional-unit tag of the gate driving the endpoint.
+	Unit string
+	// Netlist names the circuit the path belongs to.
+	Netlist string
+}
+
+// Slack returns CLK - Delay for the given clock period.
+func (p Path) Slack(clk float64) float64 { return clk - p.Delay }
+
+// Report is the STA result for one netlist.
+type Report struct {
+	// Netlist names the analyzed circuit.
+	Netlist string
+	// WorstDelay is the longest path delay (with clock-to-Q and setup), ps.
+	WorstDelay float64
+	// EndpointDelay maps each primary output index to its worst delay.
+	EndpointDelay []float64
+	arrival       []float64 // per net, worst arrival (incl. clock-to-Q)
+	n             *netlist.Netlist
+	clkToQ, setup float64
+}
+
+// pinDelayMax returns the worse of a pin's rise/fall delays.
+func pinDelayMax(g *netlist.Gate, pin int) float64 { return g.Delays[pin].Max() }
+
+// Analyze runs STA on the netlist with the given register timing
+// parameters (typically Library.ClockToQ and Library.Setup).
+func Analyze(n *netlist.Netlist, clkToQ, setup float64) *Report {
+	arrival := make([]float64, n.NumNets())
+	for i := range arrival {
+		arrival[i] = math.Inf(-1)
+	}
+	arrival[netlist.Const0] = math.Inf(-1) // constants never transition
+	arrival[netlist.Const1] = math.Inf(-1)
+	for _, in := range n.Inputs() {
+		arrival[in] = clkToQ
+	}
+	gates := n.Gates()
+	for gi := range gates {
+		g := &gates[gi]
+		worst := math.Inf(-1)
+		for pin, in := range g.Inputs {
+			if a := arrival[in]; !math.IsInf(a, -1) {
+				if t := a + pinDelayMax(g, pin); t > worst {
+					worst = t
+				}
+			}
+		}
+		arrival[g.Output] = worst
+	}
+	r := &Report{
+		Netlist:       n.Name,
+		EndpointDelay: make([]float64, len(n.Outputs())),
+		arrival:       arrival,
+		n:             n,
+		clkToQ:        clkToQ,
+		setup:         setup,
+	}
+	for i, out := range n.Outputs() {
+		d := arrival[out]
+		if math.IsInf(d, -1) {
+			d = 0 // constant or input-fed-through endpoint
+		} else {
+			d += setup
+		}
+		r.EndpointDelay[i] = d
+		if d > r.WorstDelay {
+			r.WorstDelay = d
+		}
+	}
+	return r
+}
+
+// SlackHistogram returns per-endpoint slacks for a clock period.
+func (r *Report) SlackHistogram(clk float64) []float64 {
+	slacks := make([]float64, len(r.EndpointDelay))
+	for i, d := range r.EndpointDelay {
+		slacks[i] = clk - d
+	}
+	return slacks
+}
+
+// ClockPeriod implements Eq. 1 over a set of stage reports: the max worst
+// delay across all pipeline stages, optionally padded by a margin factor
+// (1.0 = zero-margin signoff, as in the paper's "fastest CLK achieved").
+func ClockPeriod(reports []*Report, margin float64) float64 {
+	var clk float64
+	for _, r := range reports {
+		if r.WorstDelay > clk {
+			clk = r.WorstDelay
+		}
+	}
+	return clk * margin
+}
+
+// ---------------------------------------------------------------------------
+// K-longest-path enumeration
+
+type pathNode struct {
+	net  netlist.NetID
+	prev *pathNode
+}
+
+type searchItem struct {
+	// bound = delaySoFar + bestToEnd(net): the exact best completion.
+	bound      float64
+	delaySoFar float64
+	node       *pathNode
+}
+
+type searchHeap []searchItem
+
+func (h searchHeap) Len() int           { return len(h) }
+func (h searchHeap) Less(i, j int) bool { return h[i].bound > h[j].bound }
+func (h searchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *searchHeap) Push(x any)        { *h = append(*h, x.(searchItem)) }
+func (h *searchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// TopPaths enumerates the k longest register-to-register paths in
+// descending delay order using best-first search with an exact
+// completion bound (longest-distance-to-endpoint precomputation). The
+// search is exact; a generous expansion budget guards against pathological
+// path explosion and is reported via the truncated return.
+func (r *Report) TopPaths(k int) (paths []Path, truncated bool) {
+	n := r.n
+	isOutput := make([]bool, n.NumNets())
+	for _, out := range n.Outputs() {
+		isOutput[out] = true
+	}
+	// bestToEnd[net]: longest delay from net to any endpoint (0 at
+	// endpoints), -inf when no endpoint is reachable.
+	bestToEnd := make([]float64, n.NumNets())
+	for i := range bestToEnd {
+		if isOutput[netlist.NetID(i)] {
+			bestToEnd[i] = 0
+		} else {
+			bestToEnd[i] = math.Inf(-1)
+		}
+	}
+	gates := n.Gates()
+	for gi := len(gates) - 1; gi >= 0; gi-- {
+		g := &gates[gi]
+		if math.IsInf(bestToEnd[g.Output], -1) {
+			continue
+		}
+		for pin, in := range g.Inputs {
+			if in == netlist.Const0 || in == netlist.Const1 {
+				continue
+			}
+			if t := pinDelayMax(g, pin) + bestToEnd[g.Output]; t > bestToEnd[in] {
+				bestToEnd[in] = t
+			}
+		}
+	}
+
+	h := &searchHeap{}
+	for _, in := range n.Inputs() {
+		if math.IsInf(bestToEnd[in], -1) {
+			continue
+		}
+		heap.Push(h, searchItem{
+			bound:      bestToEnd[in],
+			delaySoFar: 0,
+			node:       &pathNode{net: in},
+		})
+	}
+
+	budget := 400 * k
+	for h.Len() > 0 && len(paths) < k {
+		if budget--; budget < 0 {
+			truncated = true
+			break
+		}
+		it := heap.Pop(h).(searchItem)
+		net := it.node.net
+		if isOutput[net] {
+			paths = append(paths, r.materialize(it))
+		}
+		for _, gid := range n.Fanout(net) {
+			g := n.Gate(gid)
+			for pin, in := range g.Inputs {
+				if in != net {
+					continue
+				}
+				if math.IsInf(bestToEnd[g.Output], -1) {
+					continue
+				}
+				d := it.delaySoFar + pinDelayMax(g, pin)
+				heap.Push(h, searchItem{
+					bound:      d + bestToEnd[g.Output],
+					delaySoFar: d,
+					node:       &pathNode{net: g.Output, prev: it.node},
+				})
+			}
+		}
+	}
+	return paths, truncated
+}
+
+// materialize converts a search item into a Path.
+func (r *Report) materialize(it searchItem) Path {
+	var nets []netlist.NetID
+	for n := it.node; n != nil; n = n.prev {
+		nets = append(nets, n.net)
+	}
+	// Reverse into launch-to-capture order.
+	for i, j := 0, len(nets)-1; i < j; i, j = i+1, j-1 {
+		nets[i], nets[j] = nets[j], nets[i]
+	}
+	unit := ""
+	if d := r.n.Driver(it.node.net); d >= 0 {
+		unit = r.n.Gate(d).Unit
+	}
+	return Path{
+		Delay:   r.clkToQ + it.delaySoFar + r.setup,
+		Nets:    nets,
+		Unit:    unit,
+		Netlist: r.Netlist,
+	}
+}
+
+// TopPathsAcross merges the k longest paths across multiple reports
+// (e.g. all pipeline stages of all functional units), descending by delay.
+func TopPathsAcross(reports []*Report, k int) []Path {
+	var all []Path
+	for _, r := range reports {
+		p, _ := r.TopPaths(k)
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Delay > all[j].Delay })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// UnitDistribution counts paths per functional-unit tag; the quantity
+// plotted in Figure 4.
+func UnitDistribution(paths []Path) map[string]int {
+	dist := make(map[string]int, 8)
+	for _, p := range paths {
+		dist[p.Unit]++
+	}
+	return dist
+}
+
+func (p Path) String() string {
+	return fmt.Sprintf("%s[%s] %.0fps via %d nets", p.Netlist, p.Unit, p.Delay, len(p.Nets))
+}

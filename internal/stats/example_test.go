@@ -1,0 +1,15 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"teva/internal/stats"
+)
+
+// ExampleSampleSize reproduces the paper's statistical setting: 1068
+// injection runs give a 3% error margin at 95% confidence.
+func ExampleSampleSize() {
+	fmt.Println(stats.SampleSize(stats.Z95, 0.03))
+	// Output:
+	// 1068
+}

@@ -1,0 +1,236 @@
+// Package stats provides the statistical machinery the evaluation relies
+// on: statistical-fault-injection sample sizing (Leveugle et al., the
+// source of the paper's 1068-run rule), confidence intervals for observed
+// ratios, and small aggregation helpers used when building figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Z95 is the two-sided 95% confidence z-score used throughout the paper.
+const Z95 = 1.96
+
+// SampleSize returns the number of fault-injection runs needed to estimate
+// an outcome probability within +/-margin at the given z-score, for an
+// (effectively infinite) population with worst-case p=0.5:
+//
+//	n = (z / (2*margin))^2
+//
+// SampleSize(Z95, 0.03) == 1068, matching Section V of the paper.
+func SampleSize(z, margin float64) int {
+	if z <= 0 || margin <= 0 {
+		panic("stats: z and margin must be positive")
+	}
+	return int(math.Ceil((z / (2 * margin)) * (z / (2 * margin))))
+}
+
+// FiniteSampleSize applies the finite-population correction for a campaign
+// over a population of size n (e.g. total dynamic instructions):
+//
+//	n' = n / (1 + (n-1)/N)
+func FiniteSampleSize(z, margin float64, population int64) int {
+	n := float64(SampleSize(z, margin))
+	if population <= 0 {
+		return int(n)
+	}
+	corrected := n / (1 + (n-1)/float64(population))
+	return int(math.Ceil(corrected))
+}
+
+// Proportion is an observed ratio k/n with helpers for confidence bounds.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Value returns k/n, or 0 for an empty sample.
+func (p Proportion) Value() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// Margin returns the half-width of the normal-approximation confidence
+// interval at the given z.
+func (p Proportion) Margin(z float64) float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	v := p.Value()
+	return z * math.Sqrt(v*(1-v)/float64(p.Trials))
+}
+
+// Wilson returns the Wilson score interval at the given z, which behaves
+// sensibly for ratios near 0 or 1 (common for masked/crash probabilities).
+func (p Proportion) Wilson(z float64) (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 0
+	}
+	n := float64(p.Trials)
+	v := p.Value()
+	z2 := z * z
+	den := 1 + z2/n
+	center := (v + z2/(2*n)) / den
+	half := z / den * math.Sqrt(v*(1-v)/n+z2/(4*n*n))
+	return math.Max(0, center-half), math.Min(1, center+half)
+}
+
+func (p Proportion) String() string {
+	return fmt.Sprintf("%d/%d (%.4f)", p.Successes, p.Trials, p.Value())
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of strictly positive xs. Entries <= 0
+// are skipped; it returns 0 when no positive entry exists. Figure 10's
+// "~250x on average" divergence between models is a geometric mean of
+// per-benchmark ratios.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// FoldRatio expresses how far apart two ratios are as a symmetric ">= 1"
+// factor: max(a/b, b/a). The paper reports DA-vs-WA divergence this way
+// ("differs (higher or lower) by ~250x"). Zero values are clamped to floor
+// so that a model injecting zero errors against a non-zero reference still
+// produces a finite, large fold change.
+func FoldRatio(a, b, floor float64) float64 {
+	if floor <= 0 {
+		panic("stats: FoldRatio floor must be positive")
+	}
+	a = math.Max(a, floor)
+	b = math.Max(b, floor)
+	if a > b {
+		return a / b
+	}
+	return b / a
+}
+
+// AbsError returns |ref-est|/|ref| per Eq. 3 of the paper, with the
+// convention that a zero reference contributes |est| scaled by the caller's
+// choice; here a zero reference with zero estimate is 0, and with a
+// non-zero estimate is 1 (100% error).
+func AbsError(ref, est float64) float64 {
+	if ref == 0 {
+		if est == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(ref-est) / math.Abs(ref)
+}
+
+// MeanAbsError averages AbsError over paired slices. It panics on length
+// mismatch.
+func MeanAbsError(ref, est []float64) float64 {
+	if len(ref) != len(est) {
+		panic("stats: MeanAbsError length mismatch")
+	}
+	if len(ref) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range ref {
+		sum += AbsError(ref[i], est[i])
+	}
+	return sum / float64(len(ref))
+}
+
+// Histogram counts values into fixed-width bins spanning [lo, hi). Values
+// outside the range are clamped into the edge bins so totals are preserved.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram returns a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns bin i's share of all observations.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}

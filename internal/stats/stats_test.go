@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleSizePaperValue(t *testing.T) {
+	// The paper runs 1068 executions per benchmark/VR for a 3% error
+	// margin at 95% confidence (Leveugle et al.).
+	if n := SampleSize(Z95, 0.03); n != 1068 {
+		t.Fatalf("SampleSize(1.96, 0.03) = %d, want 1068", n)
+	}
+}
+
+func TestSampleSizeMonotonic(t *testing.T) {
+	if SampleSize(Z95, 0.01) <= SampleSize(Z95, 0.03) {
+		t.Fatal("tighter margin should need more samples")
+	}
+	if SampleSize(2.58, 0.03) <= SampleSize(Z95, 0.03) {
+		t.Fatal("higher confidence should need more samples")
+	}
+}
+
+func TestFiniteSampleSize(t *testing.T) {
+	full := SampleSize(Z95, 0.03)
+	if got := FiniteSampleSize(Z95, 0.03, 1e12); got != full {
+		t.Fatalf("huge population should not reduce n: got %d want %d", got, full)
+	}
+	if got := FiniteSampleSize(Z95, 0.03, 500); got >= full || got > 500 {
+		t.Fatalf("finite correction failed: got %d", got)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	p := Proportion{Successes: 25, Trials: 100}
+	if p.Value() != 0.25 {
+		t.Fatalf("Value = %v", p.Value())
+	}
+	m := p.Margin(Z95)
+	want := 1.96 * math.Sqrt(0.25*0.75/100)
+	if math.Abs(m-want) > 1e-12 {
+		t.Fatalf("Margin = %v want %v", m, want)
+	}
+	lo, hi := p.Wilson(Z95)
+	if lo >= p.Value() || hi <= p.Value() {
+		t.Fatalf("Wilson interval [%v, %v] does not bracket %v", lo, hi, p.Value())
+	}
+	if lo < 0 || hi > 1 {
+		t.Fatalf("Wilson interval out of [0,1]: [%v, %v]", lo, hi)
+	}
+}
+
+func TestProportionEdgeCases(t *testing.T) {
+	empty := Proportion{}
+	if empty.Value() != 0 || empty.Margin(Z95) != 0 {
+		t.Fatal("empty proportion should be zero")
+	}
+	zero := Proportion{Successes: 0, Trials: 50}
+	lo, hi := zero.Wilson(Z95)
+	if lo != 0 || hi <= 0 {
+		t.Fatalf("Wilson for 0/50 = [%v, %v]", lo, hi)
+	}
+	all := Proportion{Successes: 50, Trials: 50}
+	lo, hi = all.Wilson(Z95)
+	if hi != 1 || lo >= 1 {
+		t.Fatalf("Wilson for 50/50 = [%v, %v]", lo, hi)
+	}
+}
+
+func TestMeanMedianStdDev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Fatalf("Median = %v", Median(xs))
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	sd := StdDev(xs)
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(sd-want) > 1e-12 {
+		t.Fatalf("StdDev = %v want %v", sd, want)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-input aggregates should be zero")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("GeoMean = %v want 10", g)
+	}
+	if g := GeoMean([]float64{0, 4, 0}); g != 4 {
+		t.Fatalf("GeoMean skipping non-positive = %v want 4", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean of empty should be 0")
+	}
+}
+
+func TestFoldRatioSymmetric(t *testing.T) {
+	if err := quick.Check(func(a, b uint16) bool {
+		x, y := float64(a)+1, float64(b)+1
+		f1 := FoldRatio(x, y, 1e-9)
+		f2 := FoldRatio(y, x, 1e-9)
+		return f1 == f2 && f1 >= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldRatioFloor(t *testing.T) {
+	if f := FoldRatio(0, 1e-3, 1e-6); math.Abs(f-1000) > 1e-9 {
+		t.Fatalf("FoldRatio(0, 1e-3) with 1e-6 floor = %v, want 1000", f)
+	}
+	if f := FoldRatio(0, 0, 1e-6); f != 1 {
+		t.Fatalf("FoldRatio(0,0) = %v, want 1", f)
+	}
+}
+
+func TestAbsError(t *testing.T) {
+	if AbsError(10, 9) != 0.1 {
+		t.Fatal("AbsError basic")
+	}
+	if AbsError(0, 0) != 0 {
+		t.Fatal("AbsError(0,0)")
+	}
+	if AbsError(0, 5) != 1 {
+		t.Fatal("AbsError(0,x)")
+	}
+	mae := MeanAbsError([]float64{10, 20}, []float64{9, 22})
+	if math.Abs(mae-0.1) > 1e-12 {
+		t.Fatalf("MeanAbsError = %v", mae)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5) // clamps to first bin
+	h.Add(99) // clamps to last bin
+	if h.Total() != 12 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+	if h.BinCenter(0) != 0.5 {
+		t.Fatalf("BinCenter = %v", h.BinCenter(0))
+	}
+	if math.Abs(h.Fraction(1)-1.0/12) > 1e-12 {
+		t.Fatalf("Fraction = %v", h.Fraction(1))
+	}
+}

@@ -1,0 +1,85 @@
+// Package trace captures floating-point operand traces from real workload
+// executions. The workload-aware error model characterizes the target
+// design with dynamic timing analysis over operands "randomly extracted
+// from the executed workload" (Section IV-C.3); this package performs that
+// extraction with per-instruction-type reservoir sampling while the
+// microarchitectural simulator runs the benchmark.
+package trace
+
+import (
+	"fmt"
+
+	"teva/internal/cpu"
+	"teva/internal/dta"
+	"teva/internal/fpu"
+	"teva/internal/prng"
+	"teva/internal/workloads"
+)
+
+// Trace is the operand sample extracted from one workload execution.
+type Trace struct {
+	// Workload names the benchmark.
+	Workload string
+	// Pairs holds the sampled operand pairs per FPU instruction.
+	Pairs [fpu.NumOps][]dta.Pair
+	// OpCounts is the total dynamic count per FPU instruction.
+	OpCounts [fpu.NumOps]int64
+	// TotalInstr is the total dynamic instruction count of the run.
+	TotalInstr int64
+	// Cycles is the error-free execution time.
+	Cycles uint64
+}
+
+// FPTotal returns the total dynamic FPU instruction count.
+func (t *Trace) FPTotal() int64 {
+	var sum int64
+	for _, c := range t.OpCounts {
+		sum += c
+	}
+	return sum
+}
+
+// OpShare returns op's share of all dynamic instructions.
+func (t *Trace) OpShare(op fpu.Op) float64 {
+	if t.TotalInstr == 0 {
+		return 0
+	}
+	return float64(t.OpCounts[op]) / float64(t.TotalInstr)
+}
+
+// capturer is the cpu.Injector that samples operands without injecting.
+type capturer struct {
+	res [fpu.NumOps]*prng.Reservoir[dta.Pair]
+}
+
+func (c *capturer) OnWriteback(ev cpu.Event) uint64 {
+	if ev.FPUDatapath {
+		c.res[ev.FPOp].Offer(dta.Pair{A: ev.A, B: ev.B})
+	}
+	return 0
+}
+
+// Capture runs the workload to completion and extracts up to perOpCap
+// operand pairs per instruction type.
+func Capture(w *workloads.Workload, perOpCap int, seed uint64) (*Trace, error) {
+	src := prng.New(seed)
+	cap := &capturer{}
+	for i := range cap.res {
+		cap.res[i] = prng.NewReservoir[dta.Pair](perOpCap, src.Split())
+	}
+	c := cpu.New(w.Program, cpu.Config{Injector: cap, TrapFPInvalid: true})
+	res := c.Run(1 << 40)
+	if res.Status != cpu.Halted {
+		return nil, fmt.Errorf("trace: %s did not halt: %v (%s)", w.Name, res.Status, res.Reason)
+	}
+	t := &Trace{
+		Workload:   w.Name,
+		TotalInstr: res.Instret,
+		Cycles:     res.Cycles,
+	}
+	for op := range cap.res {
+		t.Pairs[op] = cap.res[op].Items()
+		t.OpCounts[op] = res.FPOps[op]
+	}
+	return t, nil
+}

@@ -1,0 +1,32 @@
+package vscale_test
+
+import (
+	"fmt"
+
+	"teva/internal/vscale"
+)
+
+// ExampleModel_DelayScale shows the delay inflation of the paper's two
+// voltage-reduction corners.
+func ExampleModel_DelayScale() {
+	m := vscale.Default45nm()
+	for _, level := range vscale.PaperLevels() {
+		fmt.Printf("%s: supply %.3f V, delays x%.3f\n",
+			level.Name, m.SupplyAtReduction(level.Reduction), m.ScaleFor(level))
+	}
+	// Output:
+	// VR15: supply 0.935 V, delays x1.174
+	// VR20: supply 0.880 V, delays x1.256
+}
+
+// ExampleModel_Scale composes several delay-increase sources into one
+// stress corner (the paper's Section VI future work).
+func ExampleModel_Scale() {
+	m := vscale.Default45nm()
+	corner := vscale.StressCorner{
+		Name: "hot aged part", SupplyReduction: 0.10, TempC: 85, AgeYears: 3, FreqMult: 1,
+	}
+	fmt.Printf("%s: delays x%.3f\n", corner.Name, m.Scale(corner))
+	// Output:
+	// hot aged part: delays x1.209
+}

@@ -1,0 +1,109 @@
+package vscale
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's conclusion names four further sources of delay increase the
+// framework can assess beyond undervolting: "temperature variations,
+// overclocking, transistor aging, and process fluctuations". This file
+// models each as a multiplicative delay-scale contribution so the same
+// dynamic-timing-analysis path evaluates them.
+
+// Temperature constants: at super-threshold operation in a 45nm-class
+// process, delay increases roughly linearly with junction temperature.
+const (
+	// TempNominalC is the characterization temperature of the library's
+	// typical corner.
+	TempNominalC = 25.0
+	// tempCoeff is the fractional delay increase per degree Celsius.
+	tempCoeff = 0.0011
+)
+
+// TemperatureScale returns the delay inflation of operating at tempC
+// relative to the nominal 25C corner.
+func (m Model) TemperatureScale(tempC float64) float64 {
+	s := 1 + tempCoeff*(tempC-TempNominalC)
+	if s <= 0 {
+		panic(fmt.Sprintf("vscale: temperature %.0fC yields non-positive delay", tempC))
+	}
+	return s
+}
+
+// Aging constants: NBTI/PBTI threshold-voltage drift follows a
+// sub-linear power law in time.
+const (
+	// agingCoeffV is the threshold shift after one year of stress, volts.
+	agingCoeffV = 0.012
+	// agingExponent is the classic BTI time exponent.
+	agingExponent = 0.16
+)
+
+// AgedVth returns the effective threshold voltage after the given years
+// of stress.
+func (m Model) AgedVth(years float64) float64 {
+	if years < 0 {
+		panic("vscale: negative age")
+	}
+	if years == 0 {
+		return m.Vth
+	}
+	return m.Vth + agingCoeffV*math.Pow(years, agingExponent)
+}
+
+// AgingScale returns the delay inflation caused by BTI aging at the
+// nominal supply: the alpha-power law evaluated with the drifted
+// threshold.
+func (m Model) AgingScale(years float64) float64 {
+	aged := Model{VddNominal: m.VddNominal, Vth: m.AgedVth(years), Alpha: m.Alpha}
+	return aged.delayFactor(m.VddNominal) / m.delayFactor(m.VddNominal)
+}
+
+// OverclockScale expresses running the clock freqMult times faster as an
+// equivalent delay inflation: shrinking the period by 1/f is
+// indistinguishable, for slack purposes, from inflating every delay by f.
+func (m Model) OverclockScale(freqMult float64) float64 {
+	if freqMult <= 0 {
+		panic("vscale: non-positive frequency multiplier")
+	}
+	return freqMult
+}
+
+// StressCorner combines the delay-increase sources of Section VI.
+type StressCorner struct {
+	// Name labels the corner for reports.
+	Name string
+	// SupplyReduction is the undervolting fraction (0 for nominal).
+	SupplyReduction float64
+	// TempC is the junction temperature (TempNominalC for nominal).
+	TempC float64
+	// AgeYears is the accumulated BTI stress.
+	AgeYears float64
+	// FreqMult is the overclocking factor (1 for nominal).
+	FreqMult float64
+}
+
+// Nominal returns the no-stress corner.
+func NominalCorner() StressCorner {
+	return StressCorner{Name: "nominal", TempC: TempNominalC, FreqMult: 1}
+}
+
+// Scale returns the corner's combined delay inflation: the product of the
+// independent contributions (the standard first-order composition).
+func (m Model) Scale(sc StressCorner) float64 {
+	s := 1.0
+	if sc.SupplyReduction > 0 {
+		s *= m.DelayScale(m.SupplyAtReduction(sc.SupplyReduction))
+	}
+	if sc.TempC != 0 {
+		s *= m.TemperatureScale(sc.TempC)
+	}
+	if sc.AgeYears > 0 {
+		s *= m.AgingScale(sc.AgeYears)
+	}
+	if sc.FreqMult > 0 {
+		s *= m.OverclockScale(sc.FreqMult)
+	}
+	return s
+}

@@ -1,0 +1,569 @@
+package workloads
+
+import "fmt"
+
+// btParams returns (number of systems, blocks per system) per scale.
+func btParams(scale Scale) (systems, blocks int) {
+	switch scale {
+	case Tiny:
+		return 8, 12
+	case Full:
+		return 96, 48
+	default:
+		return 32, 24
+	}
+}
+
+const btSeed = 0xB70C0DE5
+
+// buildBT emits the bt benchmark (the NAS BT kernel's structure, scaled
+// to 2x2 blocks): a batch of block-tridiagonal systems solved with the
+// block Thomas algorithm — forward elimination with explicit 2x2 block
+// inversion (determinant division, the FP-div-heavy phase) followed by
+// back substitution — then verified in-program by substituting the
+// solution back into the original system. bt is listed alongside the
+// other NAS codes in the paper's Section IV-A; it is provided as an
+// additional workload beyond the seven of Table II.
+func buildBT(scale Scale) (*Workload, error) {
+	systems, blocks := btParams(scale)
+	// Per system: diag blocks D (blocks x 4 doubles), off-diagonals
+	// L and U (blocks x 4 each, L[0] and U[last] unused), rhs
+	// (blocks x 2), solution (blocks x 2).
+	perSys := blocks * 4
+	src := fmt.Sprintf(`
+.data
+.align 3
+outbuf:     .space %[1]d      # solutions: systems * blocks * 2 doubles
+outbuf_end: .word 0
+.align 3
+dmat:       .space %[2]d      # diagonal blocks (working copy)
+lmat:       .space %[2]d      # sub-diagonal blocks
+umat:       .space %[2]d      # super-diagonal blocks
+rhs:        .space %[3]d      # right-hand sides (working copy)
+dmat0:      .space %[2]d      # pristine copies for verification
+lmat0:      .space %[2]d
+umat0:      .space %[2]d
+rhs0:       .space %[3]d
+.align 3
+c_uscale:   .double 9.5367431640625e-07
+c_diag:     .double 8.0
+c_vtol:     .double 1e-14
+`+verifyData+`
+.text
+main:
+    li   s10, 0               # system index
+sys_loop:
+    # ---- generate one system: D blocks diagonally dominant, L/U small.
+    li   s2, %[4]d
+    add  s2, s2, s10          # per-system seed
+    la   t0, c_uscale
+    fld  ft0, 0(t0)
+    la   t0, c_diag
+    fld  ft1, 0(t0)
+    # base offsets for this system
+    li   t0, %[5]d            # bytes per system in block arrays
+    mul  s9, s10, t0          # block-array base offset
+    li   t0, %[6]d            # bytes per system in rhs arrays
+    mul  s8, s10, t0          # rhs base offset
+
+    li   s3, 0                # block index
+gen_blk:
+    li   t0, 32               # bytes per 2x2 block
+    mul  t1, s3, t0
+    add  t1, t1, s9
+    # D block: [8+u, u; u, 8+u'] pattern
+    la   t2, dmat
+    add  t2, t2, t1
+    la   t3, dmat0
+    add  t3, t3, t1
+%[7]s
+    li   t4, 0xfffff
+    and  t4, s2, t4
+    fcvt.d.w fa0, t4
+    fmul.d   fa0, fa0, ft0
+    fadd.d   fa1, fa0, ft1    # 8 + u
+    fsd  fa1, 0(t2)
+    fsd  fa1, 0(t3)
+%[8]s
+    li   t4, 0xfffff
+    and  t4, s2, t4
+    fcvt.d.w fa0, t4
+    fmul.d   fa0, fa0, ft0
+    fsd  fa0, 8(t2)
+    fsd  fa0, 8(t3)
+%[9]s
+    li   t4, 0xfffff
+    and  t4, s2, t4
+    fcvt.d.w fa0, t4
+    fmul.d   fa0, fa0, ft0
+    fsd  fa0, 16(t2)
+    fsd  fa0, 16(t3)
+%[10]s
+    li   t4, 0xfffff
+    and  t4, s2, t4
+    fcvt.d.w fa0, t4
+    fmul.d   fa0, fa0, ft0
+    fadd.d   fa1, fa0, ft1
+    fsd  fa1, 24(t2)
+    fsd  fa1, 24(t3)
+    # L and U blocks: plain u values.
+    la   t2, lmat
+    add  t2, t2, t1
+    la   t3, lmat0
+    add  t3, t3, t1
+    la   t5, umat
+    add  t5, t5, t1
+    la   t6, umat0
+    add  t6, t6, t1
+    li   s4, 0
+gen_lu:
+%[11]s
+    li   t4, 0xfffff
+    and  t4, s2, t4
+    fcvt.d.w fa0, t4
+    fmul.d   fa0, fa0, ft0
+    slli t4, s4, 3
+    add  a2, t2, t4
+    fsd  fa0, 0(a2)
+    add  a2, t3, t4
+    fsd  fa0, 0(a2)
+%[12]s
+    li   t4, 0xfffff
+    and  t4, s2, t4
+    fcvt.d.w fa0, t4
+    fmul.d   fa0, fa0, ft0
+    slli t4, s4, 3
+    add  a2, t5, t4
+    fsd  fa0, 0(a2)
+    add  a2, t6, t4
+    fsd  fa0, 0(a2)
+    addi s4, s4, 1
+    li   t4, 4
+    blt  s4, t4, gen_lu
+    # rhs block: two values in [0,1).
+    li   t0, 16
+    mul  t1, s3, t0
+    add  t1, t1, s8
+    la   t2, rhs
+    add  t2, t2, t1
+    la   t3, rhs0
+    add  t3, t3, t1
+%[13]s
+    li   t4, 0xfffff
+    and  t4, s2, t4
+    fcvt.d.w fa0, t4
+    fmul.d   fa0, fa0, ft0
+    fsd  fa0, 0(t2)
+    fsd  fa0, 0(t3)
+%[14]s
+    li   t4, 0xfffff
+    and  t4, s2, t4
+    fcvt.d.w fa0, t4
+    fmul.d   fa0, fa0, ft0
+    fsd  fa0, 8(t2)
+    fsd  fa0, 8(t3)
+    addi s3, s3, 1
+    li   t0, %[15]d
+    blt  s3, t0, gen_blk
+
+    # ---- forward elimination (block Thomas):
+    # for k = 1..blocks-1:
+    #   M = L[k] * inv(D[k-1])
+    #   D[k] -= M * U[k-1]
+    #   r[k] -= M * r[k-1]
+    li   s3, 1
+fwd_loop:
+    # addr(D[k-1]) in a2, addr(D[k]) in a3, L[k] in a4, U[k-1] in a5
+    li   t0, 32
+    mul  t1, s3, t0
+    add  t1, t1, s9
+    la   a3, dmat
+    add  a3, a3, t1
+    la   a4, lmat
+    add  a4, a4, t1
+    subi t1, t1, 32
+    la   a2, dmat
+    add  a2, a2, t1
+    la   a5, umat
+    add  a5, a5, t1
+    # inv(D[k-1]) = 1/det * [d,-b;-c,a] with D=[a,b;c,d]
+    fld  fa0, 0(a2)           # a
+    fld  fa1, 8(a2)           # b
+    fld  fa2, 16(a2)          # c
+    fld  fa3, 24(a2)          # d
+    fmul.d fa4, fa0, fa3
+    fmul.d fa5, fa1, fa2
+    fsub.d fa4, fa4, fa5      # det
+    fld  ft2, 0(a4)           # L = [la,lb;lc,ld]
+    fld  ft3, 8(a4)
+    fld  ft4, 16(a4)
+    fld  ft5, 24(a4)
+    # M = L * inv(D): row-major 2x2 products, each divided by det.
+    # m00 = (la*d - lb*c)/det, m01 = (-la*b + lb*a)/det
+    fmul.d ft6, ft2, fa3
+    fmul.d ft7, ft3, fa2
+    fsub.d ft6, ft6, ft7
+    fdiv.d fs0, ft6, fa4      # m00
+    fmul.d ft6, ft3, fa0
+    fmul.d ft7, ft2, fa1
+    fsub.d ft6, ft6, ft7
+    fdiv.d fs1, ft6, fa4      # m01
+    fmul.d ft6, ft4, fa3
+    fmul.d ft7, ft5, fa2
+    fsub.d ft6, ft6, ft7
+    fdiv.d fs2, ft6, fa4      # m10
+    fmul.d ft6, ft5, fa0
+    fmul.d ft7, ft4, fa1
+    fsub.d ft6, ft6, ft7
+    fdiv.d fs3, ft6, fa4      # m11
+    # D[k] -= M * U[k-1]
+    fld  fa0, 0(a5)           # u00
+    fld  fa1, 8(a5)
+    fld  fa2, 16(a5)
+    fld  fa3, 24(a5)
+    fld  ft2, 0(a3)
+    fmul.d ft6, fs0, fa0
+    fmul.d ft7, fs1, fa2
+    fadd.d ft6, ft6, ft7
+    fsub.d ft2, ft2, ft6
+    fsd  ft2, 0(a3)
+    fld  ft2, 8(a3)
+    fmul.d ft6, fs0, fa1
+    fmul.d ft7, fs1, fa3
+    fadd.d ft6, ft6, ft7
+    fsub.d ft2, ft2, ft6
+    fsd  ft2, 8(a3)
+    fld  ft2, 16(a3)
+    fmul.d ft6, fs2, fa0
+    fmul.d ft7, fs3, fa2
+    fadd.d ft6, ft6, ft7
+    fsub.d ft2, ft2, ft6
+    fsd  ft2, 16(a3)
+    fld  ft2, 24(a3)
+    fmul.d ft6, fs2, fa1
+    fmul.d ft7, fs3, fa3
+    fadd.d ft6, ft6, ft7
+    fsub.d ft2, ft2, ft6
+    fsd  ft2, 24(a3)
+    # r[k] -= M * r[k-1]
+    li   t0, 16
+    mul  t1, s3, t0
+    add  t1, t1, s8
+    la   a6, rhs
+    add  a6, a6, t1
+    subi t1, t1, 16
+    la   a7, rhs
+    add  a7, a7, t1
+    fld  fa0, 0(a7)
+    fld  fa1, 8(a7)
+    fld  ft2, 0(a6)
+    fmul.d ft6, fs0, fa0
+    fmul.d ft7, fs1, fa1
+    fadd.d ft6, ft6, ft7
+    fsub.d ft2, ft2, ft6
+    fsd  ft2, 0(a6)
+    fld  ft2, 8(a6)
+    fmul.d ft6, fs2, fa0
+    fmul.d ft7, fs3, fa1
+    fadd.d ft6, ft6, ft7
+    fsub.d ft2, ft2, ft6
+    fsd  ft2, 8(a6)
+    addi s3, s3, 1
+    li   t0, %[15]d
+    blt  s3, t0, fwd_loop
+
+    # ---- back substitution:
+    # x[last] = inv(D[last]) r[last]
+    # x[k] = inv(D[k]) (r[k] - U[k] x[k+1])
+    li   s3, %[16]d           # blocks-1
+bs_loop:
+    li   t0, 32
+    mul  t1, s3, t0
+    add  t1, t1, s9
+    la   a2, dmat
+    add  a2, a2, t1
+    la   a5, umat
+    add  a5, a5, t1
+    li   t0, 16
+    mul  t1, s3, t0
+    add  t1, t1, s8
+    la   a6, rhs
+    add  a6, a6, t1
+    # t = r[k]
+    fld  fs0, 0(a6)
+    fld  fs1, 8(a6)
+    li   t0, %[16]d
+    beq  s3, t0, bs_solve     # last block: no U term
+    # t -= U[k] * x[k+1]
+    li   t0, 16
+    addi t2, s3, 1
+    mul  t1, t2, t0
+    add  t1, t1, s8
+    la   a7, outbuf
+    add  a7, a7, t1
+    fld  fa0, 0(a7)
+    fld  fa1, 8(a7)
+    fld  fa2, 0(a5)
+    fld  fa3, 8(a5)
+    fld  fa4, 16(a5)
+    fld  fa5, 24(a5)
+    fmul.d ft6, fa2, fa0
+    fmul.d ft7, fa3, fa1
+    fadd.d ft6, ft6, ft7
+    fsub.d fs0, fs0, ft6
+    fmul.d ft6, fa4, fa0
+    fmul.d ft7, fa5, fa1
+    fadd.d ft6, ft6, ft7
+    fsub.d fs1, fs1, ft6
+bs_solve:
+    # x[k] = inv(D[k]) * t
+    fld  fa0, 0(a2)
+    fld  fa1, 8(a2)
+    fld  fa2, 16(a2)
+    fld  fa3, 24(a2)
+    fmul.d fa4, fa0, fa3
+    fmul.d fa5, fa1, fa2
+    fsub.d fa4, fa4, fa5      # det
+    fmul.d ft6, fa3, fs0
+    fmul.d ft7, fa1, fs1
+    fsub.d ft6, ft6, ft7
+    fdiv.d ft6, ft6, fa4      # x0
+    fmul.d ft7, fa0, fs1
+    fmul.d fa5, fa2, fs0
+    fsub.d ft7, ft7, fa5
+    fdiv.d ft7, ft7, fa4      # x1
+    li   t0, 16
+    mul  t1, s3, t0
+    add  t1, t1, s8
+    la   a7, outbuf
+    add  a7, a7, t1
+    fsd  ft6, 0(a7)
+    fsd  ft7, 8(a7)
+    subi s3, s3, 1
+    bge  s3, zero, bs_loop
+
+    addi s10, s10, 1
+    li   t0, %[17]d
+    blt  s10, t0, sys_loop
+
+    # ---- verification: max |(A x - b)_i| over all systems via the
+    # pristine copies: for each block row k:
+    #   res = D0[k] x[k] + L0[k] x[k-1] + U0[k] x[k+1] - b0[k]
+    fcvt.d.w fs4, zero        # running max |res|
+    li   s10, 0
+v_sys:
+    li   t0, %[5]d
+    mul  s9, s10, t0
+    li   t0, %[6]d
+    mul  s8, s10, t0
+    li   s3, 0
+v_blk:
+    li   t0, 32
+    mul  t1, s3, t0
+    add  t1, t1, s9
+    la   a2, dmat0
+    add  a2, a2, t1
+    li   t0, 16
+    mul  t2, s3, t0
+    add  t2, t2, s8
+    la   a7, outbuf
+    add  a7, a7, t2
+    fld  fa0, 0(a7)           # x[k]0
+    fld  fa1, 8(a7)           # x[k]1
+    fld  fa2, 0(a2)
+    fld  fa3, 8(a2)
+    fld  fa4, 16(a2)
+    fld  fa5, 24(a2)
+    fmul.d fs0, fa2, fa0
+    fmul.d ft6, fa3, fa1
+    fadd.d fs0, fs0, ft6      # row 0 accum
+    fmul.d fs1, fa4, fa0
+    fmul.d ft6, fa5, fa1
+    fadd.d fs1, fs1, ft6      # row 1 accum
+    beqz s3, v_noL
+    la   a2, lmat0
+    add  a2, a2, t1
+    la   a7, outbuf
+    add  a7, a7, t2
+    fld  fa0, -16(a7)         # x[k-1]0
+    fld  fa1, -8(a7)
+    fld  fa2, 0(a2)
+    fld  fa3, 8(a2)
+    fld  fa4, 16(a2)
+    fld  fa5, 24(a2)
+    fmul.d ft6, fa2, fa0
+    fmul.d ft7, fa3, fa1
+    fadd.d ft6, ft6, ft7
+    fadd.d fs0, fs0, ft6
+    fmul.d ft6, fa4, fa0
+    fmul.d ft7, fa5, fa1
+    fadd.d ft6, ft6, ft7
+    fadd.d fs1, fs1, ft6
+v_noL:
+    li   t0, %[16]d
+    beq  s3, t0, v_noU
+    la   a2, umat0
+    add  a2, a2, t1
+    la   a7, outbuf
+    add  a7, a7, t2
+    fld  fa0, 16(a7)          # x[k+1]0
+    fld  fa1, 24(a7)
+    fld  fa2, 0(a2)
+    fld  fa3, 8(a2)
+    fld  fa4, 16(a2)
+    fld  fa5, 24(a2)
+    fmul.d ft6, fa2, fa0
+    fmul.d ft7, fa3, fa1
+    fadd.d ft6, ft6, ft7
+    fadd.d fs0, fs0, ft6
+    fmul.d ft6, fa4, fa0
+    fmul.d ft7, fa5, fa1
+    fadd.d ft6, ft6, ft7
+    fadd.d fs1, fs1, ft6
+v_noU:
+    la   a2, rhs0
+    add  a2, a2, t2
+    fld  fa0, 0(a2)
+    fld  fa1, 8(a2)
+    fsub.d fs0, fs0, fa0
+    fabs.d fs0, fs0
+    fsub.d fs1, fs1, fa1
+    fabs.d fs1, fs1
+    flt.d t0, fs4, fs0
+    beqz t0, v_m1
+    fmv.d fs4, fs0
+v_m1:
+    flt.d t0, fs4, fs1
+    beqz t0, v_m2
+    fmv.d fs4, fs1
+v_m2:
+    addi s3, s3, 1
+    li   t0, %[15]d
+    blt  s3, t0, v_blk
+    addi s10, s10, 1
+    li   t0, %[17]d
+    blt  s10, t0, v_sys
+
+    la   t0, c_vtol
+    fld  fa0, 0(t0)
+    flt.d t1, fs4, fa0
+    bnez t1, verify_pass
+    j    verify_fail
+`+verifyRoutines,
+		systems*blocks*16,                                // [1] outbuf bytes
+		systems*perSys*8,                                 // [2] block array bytes
+		systems*blocks*16,                                // [3] rhs bytes
+		btSeed,                                           // [4]
+		blocks*32,                                        // [5] bytes/system in block arrays
+		blocks*16,                                        // [6] bytes/system in rhs arrays
+		xorshiftGen("s2", "t4"), xorshiftGen("s2", "t4"), // [7] [8]
+		xorshiftGen("s2", "t4"), xorshiftGen("s2", "t4"), // [9] [10]
+		xorshiftGen("s2", "t4"), xorshiftGen("s2", "t4"), // [11] [12]
+		xorshiftGen("s2", "t4"), xorshiftGen("s2", "t4"), // [13] [14]
+		blocks,   // [15]
+		blocks-1, // [16]
+		systems,  // [17]
+	)
+	return finish("bt", "S", "Verification checking", src)
+}
+
+// btReference mirrors the MRV program: generation, block Thomas solve,
+// and the residual check. It returns the solution array and whether
+// verification passes.
+func btReference(scale Scale) ([]float64, bool) {
+	systems, blocks := btParams(scale)
+	const uscale = 9.5367431640625e-07
+	type blk = [4]float64
+	x := make([]float64, systems*blocks*2)
+	maxRes := 0.0
+	for sys := 0; sys < systems; sys++ {
+		seed := uint32(btSeed + sys)
+		next := func() float64 {
+			seed = xorshift32(seed)
+			return float64(int32(seed&0xfffff)) * uscale
+		}
+		d := make([]blk, blocks)
+		l := make([]blk, blocks)
+		u := make([]blk, blocks)
+		r := make([]float64, blocks*2)
+		for k := 0; k < blocks; k++ {
+			d[k][0] = next() + 8.0
+			d[k][1] = next()
+			d[k][2] = next()
+			d[k][3] = next() + 8.0
+			for j := 0; j < 4; j++ {
+				l[k][j] = next()
+				u[k][j] = next()
+			}
+			r[k*2] = next()
+			r[k*2+1] = next()
+		}
+		d0 := append([]blk(nil), d...)
+		r0 := append([]float64(nil), r...)
+		// Forward elimination.
+		for k := 1; k < blocks; k++ {
+			a, b, c2, dd := d[k-1][0], d[k-1][1], d[k-1][2], d[k-1][3]
+			det := a*dd - b*c2
+			la, lb, lc, ld := l[k][0], l[k][1], l[k][2], l[k][3]
+			m00 := (la*dd - lb*c2) / det
+			m01 := (lb*a - la*b) / det
+			m10 := (lc*dd - ld*c2) / det
+			m11 := (ld*a - lc*b) / det
+			up := u[k-1]
+			d[k][0] -= m00*up[0] + m01*up[2]
+			d[k][1] -= m00*up[1] + m01*up[3]
+			d[k][2] -= m10*up[0] + m11*up[2]
+			d[k][3] -= m10*up[1] + m11*up[3]
+			r[k*2] -= m00*r[(k-1)*2] + m01*r[(k-1)*2+1]
+			r[k*2+1] -= m10*r[(k-1)*2] + m11*r[(k-1)*2+1]
+		}
+		// Back substitution.
+		xs := x[sys*blocks*2 : (sys+1)*blocks*2]
+		for k := blocks - 1; k >= 0; k-- {
+			t0, t1 := r[k*2], r[k*2+1]
+			if k != blocks-1 {
+				up := u[k]
+				t0 -= up[0]*xs[(k+1)*2] + up[1]*xs[(k+1)*2+1]
+				t1 -= up[2]*xs[(k+1)*2] + up[3]*xs[(k+1)*2+1]
+			}
+			a, b, c2, dd := d[k][0], d[k][1], d[k][2], d[k][3]
+			det := a*dd - b*c2
+			xs[k*2] = (dd*t0 - b*t1) / det
+			xs[k*2+1] = (a*t1 - c2*t0) / det
+		}
+		// Residual against the pristine system.
+		for k := 0; k < blocks; k++ {
+			res0 := d0[k][0]*xs[k*2] + d0[k][1]*xs[k*2+1]
+			res1 := d0[k][2]*xs[k*2] + d0[k][3]*xs[k*2+1]
+			if k > 0 {
+				res0 += l[k][0]*xs[(k-1)*2] + l[k][1]*xs[(k-1)*2+1]
+				res1 += l[k][2]*xs[(k-1)*2] + l[k][3]*xs[(k-1)*2+1]
+			}
+			if k < blocks-1 {
+				res0 += u[k][0]*xs[(k+1)*2] + u[k][1]*xs[(k+1)*2+1]
+				res1 += u[k][2]*xs[(k+1)*2] + u[k][3]*xs[(k+1)*2+1]
+			}
+			res0 -= r0[k*2]
+			res1 -= r0[k*2+1]
+			maxRes = max3(maxRes, absf(res0), absf(res1))
+		}
+	}
+	return x, maxRes < 1e-14
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max3(a, b, c float64) float64 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}

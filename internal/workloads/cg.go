@@ -1,0 +1,316 @@
+package workloads
+
+import "fmt"
+
+// cgParams returns (matrix dimension, max iterations) per scale.
+func cgParams(scale Scale) (n, maxIter int) {
+	switch scale {
+	case Tiny:
+		return 16, 32
+	case Full:
+		return 96, 192
+	default:
+		return 48, 96
+	}
+}
+
+const cgSeed = 0x00C67A5E
+
+// buildCG emits the conjugate-gradient benchmark (the NAS CG kernel's
+// structure on a dense symmetric positive-definite system): generate a
+// diagonally dominant symmetric matrix, solve Ax = b with CG, then verify
+// the residual in-program and print the NAS-style verdict ("Verification
+// checking" in Table II). The solve loop exits on convergence, so
+// corrupted residuals translate into extra iterations or failed
+// verification — the timeout/SDC paths of the paper.
+func buildCG(scale Scale) (*Workload, error) {
+	n, maxIter := cgParams(scale)
+	src := fmt.Sprintf(`
+.data
+.align 3
+outbuf:     .space %[1]d      # solution vector x (n doubles)
+outbuf_end: .word 0
+.align 3
+mat:        .space %[2]d      # A (n*n doubles)
+vb:         .space %[1]d      # b
+vr:         .space %[1]d      # r
+vp:         .space %[1]d      # p
+vq:         .space %[1]d      # q
+.align 3
+c_uscale:   .double 9.5367431640625e-07   # 2^-20
+c_diag:     .double %[3]d.0
+c_one:      .double 1.0
+c_tol:      .double 1e-24
+c_vtol:     .double 1e-16
+`+verifyData+`
+.text
+main:
+    # Generate the symmetric matrix: upper triangle from xorshift,
+    # mirrored; the diagonal gets +n for dominance.
+    li   s2, %[4]d            # seed
+    la   s6, c_uscale
+    fld  ft0, 0(s6)
+    la   s6, c_diag
+    fld  ft1, 0(s6)
+    li   s3, 0                # i
+geni:
+    mv   s4, s3               # j = i
+genj:%[5]s
+    li   t1, 0xfffff
+    and  t1, s2, t1
+    fcvt.d.w fa0, t1
+    fmul.d   fa0, fa0, ft0    # u in [0,1)
+    bne  s3, s4, offdiag
+    fadd.d fa0, fa0, ft1      # diagonal: n + u
+offdiag:
+    li   t0, %[6]d
+    mul  t1, s3, t0
+    add  t1, t1, s4
+    slli t1, t1, 3
+    la   t2, mat
+    add  t3, t2, t1
+    fsd  fa0, 0(t3)
+    mul  t1, s4, t0
+    add  t1, t1, s3
+    slli t1, t1, 3
+    add  t3, t2, t1
+    fsd  fa0, 0(t3)
+    addi s4, s4, 1
+    blt  s4, t0, genj
+    addi s3, s3, 1
+    blt  s3, t0, geni
+
+    # b = 1, x = 0, r = b, p = b.
+    la   s3, vb
+    la   s4, outbuf
+    la   s5, vr
+    la   s6, vp
+    la   t2, c_one
+    fld  fa0, 0(t2)
+    fcvt.d.w fa1, zero
+    li   s7, %[6]d
+initv:
+    fsd  fa0, 0(s3)
+    fsd  fa1, 0(s4)
+    fsd  fa0, 0(s5)
+    fsd  fa0, 0(s6)
+    addi s3, s3, 8
+    addi s4, s4, 8
+    addi s5, s5, 8
+    addi s6, s6, 8
+    subi s7, s7, 1
+    bnez s7, initv
+
+    # rho = r . r
+    la   a0, vr
+    la   a1, vr
+    call dot
+    fmv.d fs0, fa0            # rho
+
+    li   s11, 0               # iteration counter
+cg_iter:
+    # q = A p
+    la   a0, vp
+    la   a1, vq
+    call matvec
+    # alpha = rho / (p . q)
+    la   a0, vp
+    la   a1, vq
+    call dot
+    fdiv.d fs1, fs0, fa0      # alpha
+    # x += alpha p ; r -= alpha q
+    la   s3, outbuf
+    la   s4, vp
+    la   s5, vr
+    la   s6, vq
+    li   s7, %[6]d
+upd:
+    fld  fa1, 0(s4)
+    fmul.d fa1, fa1, fs1
+    fld  fa2, 0(s3)
+    fadd.d fa2, fa2, fa1
+    fsd  fa2, 0(s3)
+    fld  fa1, 0(s6)
+    fmul.d fa1, fa1, fs1
+    fld  fa2, 0(s5)
+    fsub.d fa2, fa2, fa1
+    fsd  fa2, 0(s5)
+    addi s3, s3, 8
+    addi s4, s4, 8
+    addi s5, s5, 8
+    addi s6, s6, 8
+    subi s7, s7, 1
+    bnez s7, upd
+    # rho' = r . r
+    la   a0, vr
+    la   a1, vr
+    call dot
+    # converged?
+    la   t2, c_tol
+    fld  fa3, 0(t2)
+    flt.d t3, fa0, fa3
+    bnez t3, cg_done
+    # beta = rho' / rho ; rho = rho'
+    fdiv.d fs2, fa0, fs0
+    fmv.d  fs0, fa0
+    # p = r + beta p
+    la   s4, vp
+    la   s5, vr
+    li   s7, %[6]d
+updp:
+    fld  fa1, 0(s4)
+    fmul.d fa1, fa1, fs2
+    fld  fa2, 0(s5)
+    fadd.d fa1, fa2, fa1
+    fsd  fa1, 0(s4)
+    addi s4, s4, 8
+    addi s5, s5, 8
+    subi s7, s7, 1
+    bnez s7, updp
+    addi s11, s11, 1
+    li   t3, %[7]d
+    blt  s11, t3, cg_iter
+
+cg_done:
+    # Verification: err = sum((b - A x)^2) must be below vtol.
+    la   a0, outbuf
+    la   a1, vq
+    call matvec
+    fcvt.d.w fa4, zero        # err
+    la   s3, vb
+    la   s4, vq
+    li   s7, %[6]d
+vloop:
+    fld  fa1, 0(s3)
+    fld  fa2, 0(s4)
+    fsub.d fa1, fa1, fa2
+    fmul.d fa1, fa1, fa1
+    fadd.d fa4, fa4, fa1
+    addi s3, s3, 8
+    addi s4, s4, 8
+    subi s7, s7, 1
+    bnez s7, vloop
+    la   t2, c_vtol
+    fld  fa3, 0(t2)
+    flt.d t3, fa4, fa3
+    bnez t3, verify_pass
+    j    verify_fail
+
+# matvec: a1[i] = sum_j mat[i][j]*a0[j]
+matvec:
+    li   t0, 0                # i
+mv_i:
+    li   t1, %[6]d
+    mul  t2, t0, t1
+    slli t2, t2, 3
+    la   t3, mat
+    add  t3, t3, t2           # &A[i][0]
+    mv   t4, a0               # &src[0]
+    fcvt.d.w fa0, zero
+    li   t5, %[6]d
+mv_j:
+    fld  fa1, 0(t3)
+    fld  fa2, 0(t4)
+    fmul.d fa1, fa1, fa2
+    fadd.d fa0, fa0, fa1
+    addi t3, t3, 8
+    addi t4, t4, 8
+    subi t5, t5, 1
+    bnez t5, mv_j
+    slli t6, t0, 3
+    add  t6, a1, t6
+    fsd  fa0, 0(t6)
+    addi t0, t0, 1
+    li   t1, %[6]d
+    blt  t0, t1, mv_i
+    ret
+
+# dot: fa0 = a0 . a1
+dot:
+    fcvt.d.w fa0, zero
+    li   t0, %[6]d
+    mv   t1, a0
+    mv   t2, a1
+dot_l:
+    fld  fa1, 0(t1)
+    fld  fa2, 0(t2)
+    fmul.d fa1, fa1, fa2
+    fadd.d fa0, fa0, fa1
+    addi t1, t1, 8
+    addi t2, t2, 8
+    subi t0, t0, 1
+    bnez t0, dot_l
+    ret
+`+verifyRoutines,
+		n*8, n*n*8, n, cgSeed, xorshiftGen("s2", "t0"), n, maxIter)
+	return finish("cg", "S", "Verification checking", src)
+}
+
+// cgReference mirrors the MRV CG program; it returns the solution vector
+// and whether in-program verification passes.
+func cgReference(scale Scale) ([]float64, bool) {
+	n, maxIter := cgParams(scale)
+	const uscale = 9.5367431640625e-07
+	seed := uint32(cgSeed)
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			seed = xorshift32(seed)
+			u := float64(int32(seed&0xfffff)) * uscale
+			if i == j {
+				u += float64(n)
+			}
+			a[i*n+j] = u
+			a[j*n+i] = u
+		}
+	}
+	matvec := func(src, dst []float64) {
+		for i := 0; i < n; i++ {
+			acc := 0.0
+			for j := 0; j < n; j++ {
+				acc += a[i*n+j] * src[j]
+			}
+			dst[i] = acc
+		}
+	}
+	dot := func(x, y []float64) float64 {
+		acc := 0.0
+		for i := range x {
+			acc += x[i] * y[i]
+		}
+		return acc
+	}
+	b := make([]float64, n)
+	x := make([]float64, n)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	for i := range b {
+		b[i], r[i], p[i] = 1, 1, 1
+	}
+	rho := dot(r, r)
+	for it := 0; it < maxIter; it++ {
+		matvec(p, q)
+		alpha := rho / dot(p, q)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * q[i]
+		}
+		rho2 := dot(r, r)
+		if rho2 < 1e-24 {
+			break
+		}
+		beta := rho2 / rho
+		rho = rho2
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	matvec(x, q)
+	err := 0.0
+	for i := range b {
+		d := b[i] - q[i]
+		err += d * d
+	}
+	return x, err < 1e-16
+}

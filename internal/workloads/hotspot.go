@@ -1,0 +1,215 @@
+package workloads
+
+import "fmt"
+
+// hotspotParams returns grid dimension and iteration count per scale.
+func hotspotParams(scale Scale) (dim, iters int) {
+	switch scale {
+	case Tiny:
+		return 16, 2
+	case Full:
+		return 96, 16
+	default:
+		return 64, 8
+	}
+}
+
+const hotspotSeed = 0x51CA7E57
+
+// buildHotspot emits the Rodinia hotspot thermal simulation: an iterative
+// 5-point stencil over a temperature grid driven by a per-cell power map,
+// double-buffered, with fixed ambient-temperature boundary. The output is
+// the final temperature grid ("File Output" in Table II).
+func buildHotspot(scale Scale) (*Workload, error) {
+	n, iters := hotspotParams(scale)
+	cells := n * n
+	src := fmt.Sprintf(`
+.data
+.align 3
+outbuf:     .space %[1]d          # final temperatures (doubles)
+outbuf_end: .word 0
+.align 3
+gridB:      .space %[1]d
+power:      .space %[1]d
+.align 3
+c_base:     .double 323.0
+c_tscale:   .double 9.5367431640625e-07   # 2^-20
+c_pscale:   .double 0.1
+c_k1:       .double 0.001
+c_rx:       .double 0.1
+c_ry:       .double 0.12
+c_rz:       .double 0.05
+c_amb:      .double 80.0
+c_ten:      .double 10.0
+.text
+main:
+    # Generate initial temperatures (outbuf doubles as grid A) and power.
+    la   s0, outbuf
+    la   s1, power
+    li   s2, %[4]d
+    li   s3, %[3]d       # cell count
+    la   t2, c_base
+    fld  ft0, 0(t2)      # 323.0
+    la   t2, c_tscale
+    fld  ft1, 0(t2)      # 2^-20
+    la   t2, c_pscale
+    fld  ft2, 0(t2)      # 0.1
+    la   t2, c_ten
+    fld  ft3, 0(t2)      # 10.0
+gen:%[5]s
+    li   t1, 0xfffff
+    and  t1, s2, t1
+    fcvt.d.w fa0, t1
+    fmul.d   fa0, fa0, ft1    # u in [0,1)
+    fmul.d   fa1, fa0, ft3
+    fadd.d   fa1, fa1, ft0    # temp = 323 + 10u
+    fsd  fa1, 0(s0)
+%[6]s
+    li   t1, 0xfffff
+    and  t1, s2, t1
+    fcvt.d.w fa0, t1
+    fmul.d   fa0, fa0, ft1
+    fmul.d   fa0, fa0, ft2    # power = 0.1u
+    fsd  fa0, 0(s1)
+    addi s0, s0, 8
+    addi s1, s1, 8
+    subi s3, s3, 1
+    bnez s3, gen
+
+    # Copy grid A into grid B so boundary cells agree in both buffers.
+    la   s0, outbuf
+    la   s1, gridB
+    li   s3, %[3]d
+copyb:
+    fld  fa0, 0(s0)
+    fsd  fa0, 0(s1)
+    addi s0, s0, 8
+    addi s1, s1, 8
+    subi s3, s3, 1
+    bnez s3, copyb
+
+    la   t2, c_k1
+    fld  fs0, 0(t2)
+    la   t2, c_rx
+    fld  fs1, 0(t2)
+    la   t2, c_ry
+    fld  fs2, 0(t2)
+    la   t2, c_rz
+    fld  fs3, 0(t2)
+    la   t2, c_amb
+    fld  fs4, 0(t2)
+
+    la   s0, outbuf      # src buffer
+    la   s1, gridB       # dst buffer
+    li   s2, %[2]d       # iterations
+iter:
+    li   s3, 1           # y
+hs_y:
+    li   s4, 1           # x
+hs_x:
+    li   t0, %[7]d
+    mul  t1, s3, t0
+    add  t1, t1, s4
+    slli t1, t1, 3       # byte offset
+    add  t2, s0, t1      # &src[y][x]
+    la   t3, power
+    add  t3, t3, t1
+
+    fld  fa0, 0(t2)          # t
+    fld  fa1, %[8]d(t2)      # north (-8N)
+    fld  fa2, %[9]d(t2)      # south (+8N)
+    fld  fa3, -8(t2)         # west
+    fld  fa4, 8(t2)          # east
+    fld  fa5, 0(t3)          # power
+
+    fadd.d ft4, fa1, fa2
+    fsub.d ft4, ft4, fa0
+    fsub.d ft4, ft4, fa0     # tN + tS - 2t
+    fmul.d ft4, ft4, fs2     # * ry
+    fadd.d ft5, fa3, fa4
+    fsub.d ft5, ft5, fa0
+    fsub.d ft5, ft5, fa0     # tE + tW - 2t
+    fmul.d ft5, ft5, fs1     # * rx
+    fsub.d ft6, fs4, fa0     # amb - t
+    fmul.d ft6, ft6, fs3     # * rz
+    fadd.d ft7, fa5, ft4
+    fadd.d ft7, ft7, ft5
+    fadd.d ft7, ft7, ft6
+    fmul.d ft7, ft7, fs0     # * k1
+    fadd.d ft7, fa0, ft7     # t'
+
+    add  t4, s1, t1
+    fsd  ft7, 0(t4)
+
+    addi s4, s4, 1
+    li   t0, %[10]d
+    blt  s4, t0, hs_x
+    addi s3, s3, 1
+    blt  s3, t0, hs_y
+
+    # Swap buffers.
+    mv   t0, s0
+    mv   s0, s1
+    mv   s1, t0
+    subi s2, s2, 1
+    bnez s2, iter
+
+    # Ensure the final state lives in outbuf: with an even iteration
+    # count the source pointer is back at outbuf; otherwise copy.
+    la   t0, outbuf
+    beq  s0, t0, done
+    la   s1, outbuf
+    li   s3, %[3]d
+copyout:
+    fld  fa0, 0(s0)
+    fsd  fa0, 0(s1)
+    addi s0, s0, 8
+    addi s1, s1, 8
+    subi s3, s3, 1
+    bnez s3, copyout
+done:
+`+exitSeq,
+		cells*8, iters, cells, hotspotSeed,
+		xorshiftGen("s2", "t0"), xorshiftGen("s2", "t0"),
+		n, -8*n, 8*n, n-1)
+	return finish("hotspot",
+		fmt.Sprintf("%d %d %d", n, n, iters),
+		"File Output", src)
+}
+
+// hotspotReference mirrors the MRV program's arithmetic exactly.
+func hotspotReference(scale Scale) []float64 {
+	n, iters := hotspotParams(scale)
+	const (
+		k1, rx, ry, rz = 0.001, 0.1, 0.12, 0.05
+		amb            = 80.0
+		tscale         = 9.5367431640625e-07
+	)
+	seed := uint32(hotspotSeed)
+	next := func() float64 {
+		seed = xorshift32(seed)
+		return float64(int32(seed&0xfffff)) * tscale
+	}
+	temp := make([]float64, n*n)
+	power := make([]float64, n*n)
+	for i := range temp {
+		temp[i] = next()*10.0 + 323.0
+		power[i] = next() * 0.1
+	}
+	src := append([]float64(nil), temp...)
+	dst := append([]float64(nil), temp...)
+	for it := 0; it < iters; it++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				i := y*n + x
+				t := src[i]
+				dst[i] = t + ((power[i] +
+					(src[i-n]+src[i+n]-t-t)*ry +
+					(src[i-1]+src[i+1]-t-t)*rx +
+					(amb-t)*rz) * k1)
+			}
+		}
+		src, dst = dst, src
+	}
+	return src
+}

@@ -1,0 +1,208 @@
+package workloads
+
+import "fmt"
+
+// isParams returns (keys, key range) per scale.
+func isParams(scale Scale) (n, maxKey int) {
+	switch scale {
+	case Tiny:
+		return 2048, 512
+	case Full:
+		return 65536, 4096
+	default:
+		return 16384, 2048
+	}
+}
+
+// NPB randlc constants: x0 = 314159265, a = 5^13.
+const (
+	isSeedX = 314159265.0
+	isMultA = 1220703125.0
+)
+
+// randlc46 advances the NPB 46-bit linear congruential generator using
+// only double-precision multiplies, adds and truncations — the reason the
+// paper's Figure 6 draws its fp-mul operand trace from the is benchmark.
+// The truncations mirror the MRV program's f2i/i2f round trips.
+func randlc46(x *float64) float64 {
+	const (
+		r23 = 0x1p-23
+		t23 = 0x1p23
+		r46 = 0x1p-46
+		t46 = 0x1p46
+	)
+	ra := r23 * isMultA
+	a1 := float64(int32(ra))
+	a2 := isMultA - t23*a1
+	x1 := float64(int32(r23 * *x))
+	x2 := *x - t23*x1
+	t1 := a1*x2 + a2*x1
+	t2 := float64(int32(r23 * t1))
+	z := t1 - t23*t2
+	t3 := t23*z + a2*x2
+	t4 := float64(int32(r46 * t3))
+	*x = t3 - t46*t4
+	return r46 * *x
+}
+
+// buildIS emits the NAS integer-sort benchmark: keys drawn from the
+// randlc double-precision generator, a counting sort, and in-program
+// verification (sorted order, population count, and a key checksum
+// compared against the expected value).
+func buildIS(scale Scale) (*Workload, error) {
+	n, maxKey := isParams(scale)
+	// The expected checksum comes from the reference generator.
+	_, checksum := isReference(scale)
+	src := fmt.Sprintf(`
+.data
+.align 3
+outbuf:     .space %[1]d          # sorted keys (n words)
+outbuf_end: .word 0
+counts:     .space %[2]d          # maxKey words
+.align 3
+c_x0:       .double 314159265.0
+c_a:        .double 1220703125.0
+c_r23:      .double 1.1920928955078125e-07
+c_t23:      .double 8388608.0
+c_r46:      .double 1.4210854715202004e-14
+c_t46:      .double 70368744177664.0
+c_range:    .double %[3]d.0
+`+verifyData+`
+.text
+main:
+    la   t0, c_x0
+    fld  fs0, 0(t0)       # x
+    la   t0, c_a
+    fld  fs1, 0(t0)       # a
+    la   t0, c_r23
+    fld  fs3, 0(t0)
+    la   t0, c_t23
+    fld  fs4, 0(t0)
+    la   t0, c_r46
+    fld  fs5, 0(t0)
+    la   t0, c_t46
+    fld  fs6, 0(t0)
+    la   t0, c_range
+    fld  fs7, 0(t0)
+
+    # Precompute a1 = trunc(r23*a), a2 = a - t23*a1.
+    fmul.d fa0, fs3, fs1
+    fcvt.w.d t0, fa0
+    fcvt.d.w fs8, t0      # a1
+    fmul.d fa0, fs4, fs8
+    fsub.d fs9, fs1, fa0  # a2
+
+    li   s0, 0            # i
+    li   s1, 0            # checksum
+keygen:
+    # randlc step.
+    fmul.d fa0, fs3, fs0
+    fcvt.w.d t0, fa0
+    fcvt.d.w fa1, t0      # x1
+    fmul.d fa2, fs4, fa1
+    fsub.d fa2, fs0, fa2  # x2
+    fmul.d fa3, fs8, fa2  # a1*x2
+    fmul.d fa4, fs9, fa1  # a2*x1
+    fadd.d fa3, fa3, fa4  # t1
+    fmul.d fa0, fs3, fa3
+    fcvt.w.d t0, fa0
+    fcvt.d.w fa4, t0      # t2
+    fmul.d fa4, fs4, fa4
+    fsub.d fa4, fa3, fa4  # z
+    fmul.d fa4, fs4, fa4  # t23*z
+    fmul.d fa5, fs9, fa2  # a2*x2
+    fadd.d fa4, fa4, fa5  # t3
+    fmul.d fa0, fs5, fa4
+    fcvt.w.d t0, fa0
+    fcvt.d.w fa5, t0      # t4
+    fmul.d fa5, fs6, fa5
+    fsub.d fs0, fa4, fa5  # x'
+    fmul.d fa0, fs5, fs0  # r in [0,1)
+
+    # key = trunc(r * range); bump its bucket.
+    fmul.d fa0, fa0, fs7
+    fcvt.w.d t1, fa0
+    add  s1, s1, t1       # checksum
+    la   t2, counts
+    slli t3, t1, 2
+    add  t2, t2, t3
+    lw   t4, 0(t2)
+    addi t4, t4, 1
+    sw   t4, 0(t2)
+
+    addi s0, s0, 1
+    li   t0, %[4]d
+    blt  s0, t0, keygen
+
+    # Verify the key checksum against the expected value.
+    li   t0, %[5]d
+    bne  s1, t0, verify_fail
+
+    # Emit sorted keys from the buckets.
+    la   s2, outbuf
+    li   s3, 0            # key value
+    li   s4, 0            # emitted count
+emit_k:
+    la   t2, counts
+    slli t3, s3, 2
+    add  t2, t2, t3
+    lw   t4, 0(t2)
+emit_c:
+    beqz t4, emit_next
+    sw   s3, 0(s2)
+    addi s2, s2, 4
+    addi s4, s4, 1
+    subi t4, t4, 1
+    j    emit_c
+emit_next:
+    addi s3, s3, 1
+    li   t0, %[3]d
+    blt  s3, t0, emit_k
+
+    # Population check.
+    li   t0, %[4]d
+    bne  s4, t0, verify_fail
+
+    # Sorted-order check.
+    la   s2, outbuf
+    lw   t5, 0(s2)
+    li   s5, 1
+chk:
+    slli t3, s5, 2
+    la   t2, outbuf
+    add  t2, t2, t3
+    lw   t6, 0(t2)
+    blt  t6, t5, verify_fail
+    mv   t5, t6
+    addi s5, s5, 1
+    li   t0, %[4]d
+    blt  s5, t0, chk
+    j    verify_pass
+`+verifyRoutines,
+		n*4, maxKey*4, maxKey, n, int32(checksum))
+	return finish("is", "S", "Verification checking", src)
+}
+
+// isReference returns the sorted key array and the generation checksum.
+func isReference(scale Scale) ([]int32, int32) {
+	n, maxKey := isParams(scale)
+	x := isSeedX
+	keys := make([]int32, n)
+	var checksum int32
+	for i := range keys {
+		r := randlc46(&x)
+		keys[i] = int32(r * float64(maxKey))
+		checksum += keys[i]
+	}
+	counts := make([]int32, maxKey)
+	for _, k := range keys {
+		counts[k]++
+	}
+	sorted := make([]int32, 0, n)
+	for k, c := range counts {
+		for j := int32(0); j < c; j++ {
+			sorted = append(sorted, int32(k))
+		}
+	}
+	return sorted, checksum
+}

@@ -1,0 +1,285 @@
+package workloads
+
+import "fmt"
+
+// kmeansParams returns (points, clusters, dims, maxIters) per scale.
+func kmeansParams(scale Scale) (n, k, d, iters int) {
+	switch scale {
+	case Tiny:
+		return 128, 4, 4, 4
+	case Full:
+		return 4096, 16, 4, 20
+	default:
+		return 512, 8, 4, 10
+	}
+}
+
+const kmeansSeed = 0x0C0FFEE5
+
+// buildKMeans emits the k-means clustering benchmark: pseudo-random
+// D-dimensional points, Lloyd iterations (assignment by squared Euclidean
+// distance, centroid recomputation) until assignments stabilize or the
+// iteration cap is hit. The output region holds the final assignment
+// vector followed by the centroids ("Clustering" in Table II).
+func buildKMeans(scale Scale) (*Workload, error) {
+	n, k, d, iters := kmeansParams(scale)
+	src := fmt.Sprintf(`
+.data
+.align 3
+outbuf:     .space %[1]d      # assignments (n bytes, n is 8-aligned)
+centroids:  .space %[2]d      # k*d doubles
+outbuf_end: .word 0
+.align 3
+points:     .space %[3]d      # n*d doubles
+sums:       .space %[2]d
+counts:     .space %[4]d      # k words
+.align 3
+c_scale:    .double 9.5367431640625e-06   # 10 * 2^-20
+.text
+main:
+    # Generate points in [0, 10).
+    la   s0, points
+    li   s1, %[5]d            # n*d values
+    li   s2, %[6]d            # seed
+    la   t2, c_scale
+    fld  ft0, 0(t2)
+genp:%[7]s
+    li   t1, 0xfffff
+    and  t1, s2, t1
+    fcvt.d.w fa0, t1
+    fmul.d   fa0, fa0, ft0
+    fsd  fa0, 0(s0)
+    addi s0, s0, 8
+    subi s1, s1, 1
+    bnez s1, genp
+
+    # Initial centroids: the first k points.
+    la   s0, points
+    la   s1, centroids
+    li   s2, %[8]d            # k*d values
+initc:
+    fld  fa0, 0(s0)
+    fsd  fa0, 0(s1)
+    addi s0, s0, 8
+    addi s1, s1, 8
+    subi s2, s2, 1
+    bnez s2, initc
+
+    # Initialize assignments to 255 so the first pass marks changes.
+    la   s0, outbuf
+    li   s1, %[9]d
+    li   t0, 255
+inita:
+    sb   t0, 0(s0)
+    addi s0, s0, 1
+    subi s1, s1, 1
+    bnez s1, inita
+
+    li   s11, 0               # iteration counter
+lloyd:
+    # Clear sums and counts.
+    la   s0, sums
+    li   s1, %[8]d
+    fcvt.d.w ft1, zero        # 0.0
+clrs:
+    fsd  ft1, 0(s0)
+    addi s0, s0, 8
+    subi s1, s1, 1
+    bnez s1, clrs
+    la   s0, counts
+    li   s1, %[10]d
+clrc:
+    sw   zero, 0(s0)
+    addi s0, s0, 4
+    subi s1, s1, 1
+    bnez s1, clrc
+
+    li   s10, 0               # changed flag
+    li   s5, 0                # i
+assign_loop:
+    # point base: points + i*d*8
+    li   t0, %[11]d
+    mul  t1, s5, t0
+    la   s6, points
+    add  s6, s6, t1           # &p[i][0]
+
+    li   s7, 0                # k index
+    li   s3, 0                # best
+    # bestd initialized on first cluster below
+cluster_loop:
+    li   t0, %[11]d
+    mul  t1, s7, t0
+    la   s8, centroids
+    add  s8, s8, t1           # &c[k][0]
+    fcvt.d.w fa1, zero        # dist = 0
+    li   s9, 0                # j
+dim_loop:
+    slli t2, s9, 3
+    add  t3, s6, t2
+    fld  fa2, 0(t3)
+    add  t3, s8, t2
+    fld  fa3, 0(t3)
+    fsub.d fa4, fa2, fa3
+    fmul.d fa4, fa4, fa4
+    fadd.d fa1, fa1, fa4
+    addi s9, s9, 1
+    li   t2, %[12]d
+    blt  s9, t2, dim_loop
+
+    beqz s7, take             # first cluster: always take
+    flt.d t2, fa1, fs0
+    beqz t2, skip
+take:
+    fmv.d fs0, fa1
+    mv   s3, s7
+skip:
+    addi s7, s7, 1
+    li   t2, %[13]d
+    blt  s7, t2, cluster_loop
+
+    # Record assignment; note changes.
+    la   t2, outbuf
+    add  t2, t2, s5
+    lbu  t3, 0(t2)
+    beq  t3, s3, same
+    li   s10, 1
+    sb   s3, 0(t2)
+same:
+    # counts[best]++ and sums[best][:] += p[i][:]
+    la   t2, counts
+    slli t3, s3, 2
+    add  t2, t2, t3
+    lw   t4, 0(t2)
+    addi t4, t4, 1
+    sw   t4, 0(t2)
+    li   t0, %[11]d
+    mul  t1, s3, t0
+    la   t2, sums
+    add  t2, t2, t1
+    li   s9, 0
+acc_loop:
+    slli t3, s9, 3
+    add  t4, s6, t3
+    fld  fa2, 0(t4)
+    add  t4, t2, t3
+    fld  fa3, 0(t4)
+    fadd.d fa3, fa3, fa2
+    fsd  fa3, 0(t4)
+    addi s9, s9, 1
+    li   t3, %[12]d
+    blt  s9, t3, acc_loop
+
+    addi s5, s5, 1
+    li   t0, %[9]d
+    blt  s5, t0, assign_loop
+
+    # Update centroids: c[k][j] = sums[k][j] / counts[k] (counts > 0).
+    li   s7, 0
+upd_k:
+    la   t2, counts
+    slli t3, s7, 2
+    add  t2, t2, t3
+    lw   t4, 0(t2)
+    beqz t4, upd_next
+    fcvt.d.w fa5, t4
+    li   t0, %[11]d
+    mul  t1, s7, t0
+    la   t2, sums
+    add  t2, t2, t1
+    la   t3, centroids
+    add  t3, t3, t1
+    li   s9, 0
+upd_j:
+    slli t5, s9, 3
+    add  t6, t2, t5
+    fld  fa2, 0(t6)
+    fdiv.d fa2, fa2, fa5
+    add  t6, t3, t5
+    fsd  fa2, 0(t6)
+    addi s9, s9, 1
+    li   t5, %[12]d
+    blt  s9, t5, upd_j
+upd_next:
+    addi s7, s7, 1
+    li   t5, %[13]d
+    blt  s7, t5, upd_k
+
+    addi s11, s11, 1
+    li   t5, %[14]d
+    bge  s11, t5, kdone
+    bnez s10, lloyd
+kdone:
+`+exitSeq,
+		n, k*d*8, n*d*8, k*4,
+		n*d, kmeansSeed, xorshiftGen("s2", "t0"),
+		k*d, n, k, d*8, d, k, iters)
+	return finish("k-means",
+		fmt.Sprintf("%d_%d%df", n, k, d),
+		"Clustering", src)
+}
+
+// kmeansReference mirrors the MRV program exactly: same generator, same
+// iteration structure, same arithmetic order. It returns the assignment
+// vector and centroids.
+func kmeansReference(scale Scale) ([]byte, []float64) {
+	n, k, d, iters := kmeansParams(scale)
+	const scaleC = 9.5367431640625e-06
+	seed := uint32(kmeansSeed)
+	points := make([]float64, n*d)
+	for i := range points {
+		seed = xorshift32(seed)
+		points[i] = float64(int32(seed&0xfffff)) * scaleC
+	}
+	centroids := make([]float64, k*d)
+	copy(centroids, points[:k*d])
+	assign := make([]byte, n)
+	for i := range assign {
+		assign[i] = 255
+	}
+	sums := make([]float64, k*d)
+	counts := make([]int32, k)
+	for it := 0; it < iters; it++ {
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		changed := false
+		for i := 0; i < n; i++ {
+			best := 0
+			var bestd float64
+			for c := 0; c < k; c++ {
+				dist := 0.0
+				for j := 0; j < d; j++ {
+					diff := points[i*d+j] - centroids[c*d+j]
+					dist += diff * diff
+				}
+				if c == 0 || dist < bestd {
+					bestd = dist
+					best = c
+				}
+			}
+			if assign[i] != byte(best) {
+				changed = true
+				assign[i] = byte(best)
+			}
+			counts[best]++
+			for j := 0; j < d; j++ {
+				sums[best*d+j] += points[i*d+j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				centroids[c*d+j] = sums[c*d+j] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign, centroids
+}

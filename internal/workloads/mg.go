@@ -1,0 +1,400 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+)
+
+// mgParams returns (fine dimension, V-cycles) per scale. Dimensions are
+// 2^k+1 so the coarse grid nests exactly.
+func mgParams(scale Scale) (n, cycles int) {
+	switch scale {
+	case Tiny:
+		return 17, 2
+	case Full:
+		return 65, 6
+	default:
+		return 33, 4
+	}
+}
+
+const mgSeed = 0x36C0FFEE
+
+// buildMG emits the multigrid benchmark (the NAS MG kernel's structure on
+// a 2D Poisson problem): Gauss-Seidel smoothing, residual computation,
+// injection restriction, a coarse-grid correction solve, bilinear
+// prolongation, and a final residual-norm verification against the
+// expected value ("Verification checking").
+func buildMG(scale Scale) (*Workload, error) {
+	n, cycles := mgParams(scale)
+	c := (n + 1) / 2
+	h2 := 1.0 / float64((n-1)*(n-1))
+	h2c := 4 * h2
+	h2inv := float64((n - 1) * (n - 1))
+	// Expected squared residual norm from the bit-identical reference.
+	_, norm2 := mgReference(scale)
+	src := fmt.Sprintf(`
+.data
+.align 3
+outbuf:     .space %[1]d      # u (n*n doubles)
+outbuf_end: .word 0
+.align 3
+rhs:        .space %[1]d      # f
+res:        .space %[1]d      # r
+rc:         .space %[2]d      # coarse rhs (c*c doubles)
+ec:         .space %[2]d      # coarse correction
+.align 3
+c_quarter:  .double 0.25
+c_half:     .double 0.5
+c_four:     .double 4.0
+c_one:      .double 1.0
+c_none:     .double -1.0
+c_h2:       .double %[3]v
+c_h2c:      .double %[4]v
+c_h2inv:    .double %[5]v
+c_expect:   .double %[6]v
+c_rtol:     .double 1e-9
+`+verifyData+`
+.text
+main:
+    la   t0, c_quarter
+    fld  fs5, 0(t0)
+    la   t0, c_half
+    fld  fs6, 0(t0)
+    la   t0, c_four
+    fld  fs7, 0(t0)
+    la   t0, c_h2
+    fld  fs8, 0(t0)
+    la   t0, c_h2c
+    fld  fs9, 0(t0)
+    la   t0, c_h2inv
+    fld  fs10, 0(t0)
+
+    # Point sources: 4 positive, 4 negative, at pseudo-random interior
+    # points of f.
+    li   s2, %[7]d
+    la   t0, c_one
+    fld  fa0, 0(t0)
+    li   s3, 0
+srcs:%[8]s
+    li   t1, %[9]d
+    remu t2, s2, t1
+    addi t2, t2, 1        # y
+%[10]s
+    remu t3, s2, t1
+    addi t3, t3, 1        # x
+    li   t4, %[11]d
+    mul  t5, t2, t4
+    add  t5, t5, t3
+    slli t5, t5, 3
+    la   t6, rhs
+    add  t6, t6, t5
+    fsd  fa0, 0(t6)
+    addi s3, s3, 1
+    li   t4, 4
+    bne  s3, t4, srcs_next
+    la   t0, c_none
+    fld  fa0, 0(t0)       # switch to negative sources
+srcs_next:
+    li   t4, 8
+    blt  s3, t4, srcs
+
+    li   s11, %[12]d      # V-cycles
+vcycle:
+    # Pre-smooth u (2 sweeps, fine grid).
+    la   a0, outbuf
+    la   a1, rhs
+    li   a2, %[11]d
+    li   a3, 2
+    fmv.d fs1, fs8
+    call smooth
+    # Residual on the fine grid.
+    call residual
+    # Restrict by injection: rc[y][x] = r[2y][2x].
+    li   t0, 1
+rst_y:
+    li   t1, 1
+rst_x:
+    slli t2, t0, 1
+    li   t3, %[11]d
+    mul  t2, t2, t3
+    slli t4, t1, 1
+    add  t2, t2, t4
+    slli t2, t2, 3
+    la   t3, res
+    add  t3, t3, t2
+    fld  fa0, 0(t3)
+    li   t3, %[13]d
+    mul  t2, t0, t3
+    add  t2, t2, t1
+    slli t2, t2, 3
+    la   t3, rc
+    add  t3, t3, t2
+    fsd  fa0, 0(t3)
+    addi t1, t1, 1
+    li   t3, %[14]d
+    blt  t1, t3, rst_x
+    addi t0, t0, 1
+    blt  t0, t3, rst_y
+    # Clear the coarse correction and solve approximately (8 sweeps).
+    la   t0, ec
+    li   t1, %[15]d
+    fcvt.d.w fa0, zero
+clr_e:
+    fsd  fa0, 0(t0)
+    addi t0, t0, 8
+    subi t1, t1, 1
+    bnez t1, clr_e
+    la   a0, ec
+    la   a1, rc
+    li   a2, %[13]d
+    li   a3, 8
+    fmv.d fs1, fs9
+    call smooth
+    # Prolongate bilinearly and correct u.
+    li   s3, 0            # coarse y
+pro_y:
+    li   s4, 0            # coarse x
+pro_x:
+    li   t0, %[13]d
+    mul  t1, s3, t0
+    add  t1, t1, s4
+    slli t1, t1, 3
+    la   t2, ec
+    add  t2, t2, t1
+    fld  fa0, 0(t2)       # e00
+    fld  fa1, 8(t2)       # e01
+    fld  fa2, %[16]d(t2)  # e10
+    fld  fa3, %[17]d(t2)  # e11
+    # Fine-cell base index (2y, 2x).
+    slli t3, s3, 1
+    li   t4, %[11]d
+    mul  t3, t3, t4
+    slli t5, s4, 1
+    add  t3, t3, t5
+    slli t3, t3, 3
+    la   t4, outbuf
+    add  t4, t4, t3
+    fld  fa4, 0(t4)
+    fadd.d fa4, fa4, fa0
+    fsd  fa4, 0(t4)
+    fadd.d fa5, fa0, fa1
+    fmul.d fa5, fa5, fs6
+    fld  fa4, 8(t4)
+    fadd.d fa4, fa4, fa5
+    fsd  fa4, 8(t4)
+    fadd.d fa5, fa0, fa2
+    fmul.d fa5, fa5, fs6
+    fld  fa4, %[18]d(t4)
+    fadd.d fa4, fa4, fa5
+    fsd  fa4, %[18]d(t4)
+    fadd.d fa5, fa0, fa1
+    fadd.d ft2, fa2, fa3
+    fadd.d fa5, fa5, ft2
+    fmul.d fa5, fa5, fs5
+    fld  fa4, %[19]d(t4)
+    fadd.d fa4, fa4, fa5
+    fsd  fa4, %[19]d(t4)
+    addi s4, s4, 1
+    li   t0, %[20]d
+    blt  s4, t0, pro_x
+    addi s3, s3, 1
+    blt  s3, t0, pro_y
+    # Post-smooth.
+    la   a0, outbuf
+    la   a1, rhs
+    li   a2, %[11]d
+    li   a3, 2
+    fmv.d fs1, fs8
+    call smooth
+    subi s11, s11, 1
+    bnez s11, vcycle
+
+    # Final residual norm^2 and verification.
+    call residual
+    la   t0, res
+    li   t1, %[21]d
+    fcvt.d.w fa0, zero
+nrm:
+    fld  fa1, 0(t0)
+    fmul.d fa1, fa1, fa1
+    fadd.d fa0, fa0, fa1
+    addi t0, t0, 8
+    subi t1, t1, 1
+    bnez t1, nrm
+    la   t0, c_expect
+    fld  fa1, 0(t0)
+    fsub.d fa2, fa0, fa1
+    fabs.d fa2, fa2
+    la   t0, c_rtol
+    fld  fa3, 0(t0)
+    fmul.d fa3, fa3, fa1
+    fabs.d fa3, fa3
+    fle.d t1, fa2, fa3
+    bnez t1, verify_pass
+    j    verify_fail
+
+# smooth: Gauss-Seidel sweeps. a0 grid, a1 rhs, a2 dim, a3 sweeps,
+# fs1 = h^2. Clobbers t0-t6, a4-a5, fa0-fa3.
+smooth:
+sm_sweep:
+    li   t0, 1            # y
+sm_y:
+    li   t1, 1            # x
+sm_x:
+    mul  t2, t0, a2
+    add  t2, t2, t1
+    slli t2, t2, 3
+    add  t3, a0, t2
+    slli a4, a2, 3        # row stride in bytes
+    sub  t4, t3, a4
+    fld  fa0, 0(t4)       # gN
+    add  t4, t3, a4
+    fld  fa1, 0(t4)       # gS
+    fld  fa2, -8(t3)      # gW
+    fld  fa3, 8(t3)       # gE
+    fadd.d fa0, fa0, fa1
+    fadd.d fa0, fa0, fa2
+    fadd.d fa0, fa0, fa3
+    add  t4, a1, t2
+    fld  fa1, 0(t4)
+    fmul.d fa1, fa1, fs1  # h2 * rhs
+    fadd.d fa0, fa0, fa1
+    fmul.d fa0, fa0, fs5  # * 0.25
+    fsd  fa0, 0(t3)
+    addi t1, t1, 1
+    subi t5, a2, 1
+    blt  t1, t5, sm_x
+    addi t0, t0, 1
+    blt  t0, t5, sm_y
+    subi a3, a3, 1
+    bnez a3, sm_sweep
+    ret
+
+# residual: res = rhs - A*u on the fine grid (interior; boundary zero).
+# Uses fixed fine-grid symbols. Clobbers t0-t6, fa0-fa5.
+residual:
+    li   t0, 1
+rs_y:
+    li   t1, 1
+rs_x:
+    li   t2, %[11]d
+    mul  t3, t0, t2
+    add  t3, t3, t1
+    slli t3, t3, 3
+    la   t4, outbuf
+    add  t4, t4, t3
+    fld  fa0, 0(t4)       # u
+    fld  fa1, %[22]d(t4)  # uN
+    fld  fa2, %[23]d(t4)  # uS
+    fld  fa3, -8(t4)      # uW
+    fld  fa4, 8(t4)       # uE
+    fmul.d fa5, fa0, fs7  # 4u
+    fsub.d fa5, fa5, fa1
+    fsub.d fa5, fa5, fa2
+    fsub.d fa5, fa5, fa3
+    fsub.d fa5, fa5, fa4
+    fmul.d fa5, fa5, fs10 # * 1/h^2
+    la   t4, rhs
+    add  t4, t4, t3
+    fld  fa1, 0(t4)
+    fsub.d fa5, fa1, fa5
+    la   t4, res
+    add  t4, t4, t3
+    fsd  fa5, 0(t4)
+    addi t1, t1, 1
+    li   t2, %[9]d
+    addi t2, t2, 1        # n-1
+    blt  t1, t2, rs_x
+    addi t0, t0, 1
+    blt  t0, t2, rs_y
+    ret
+`+verifyRoutines,
+		n*n*8, c*c*8, h2, h2c, h2inv, norm2,
+		mgSeed, xorshiftGen("s2", "t0"), n-2, xorshiftGen("s2", "t0"), n,
+		cycles, c, c-1, c*c, 8*c, 8*c+8, 8*n, 8*n+8, c-1, n*n, -8*n, 8*n)
+	return finish("mg", "S", "Verification checking", src)
+}
+
+// mgReference mirrors the MRV multigrid program exactly; it returns the
+// final fine grid and the squared residual norm used as the verification
+// constant.
+func mgReference(scale Scale) ([]float64, float64) {
+	n, cycles := mgParams(scale)
+	c := (n + 1) / 2
+	h2 := 1.0 / float64((n-1)*(n-1))
+	h2c := 4 * h2
+	h2inv := float64((n - 1) * (n - 1))
+	u := make([]float64, n*n)
+	f := make([]float64, n*n)
+	seed := uint32(mgSeed)
+	val := 1.0
+	for s := 0; s < 8; s++ {
+		seed = xorshift32(seed)
+		y := int(seed%uint32(n-2)) + 1
+		seed = xorshift32(seed)
+		x := int(seed%uint32(n-2)) + 1
+		f[y*n+x] = val
+		if s == 3 {
+			val = -1.0
+		}
+	}
+	smooth := func(g, rhs []float64, dim, sweeps int, hh float64) {
+		for s := 0; s < sweeps; s++ {
+			for y := 1; y < dim-1; y++ {
+				for x := 1; x < dim-1; x++ {
+					i := y*dim + x
+					g[i] = (g[i-dim] + g[i+dim] + g[i-1] + g[i+1] + rhs[i]*hh) * 0.25
+				}
+			}
+		}
+	}
+	r := make([]float64, n*n)
+	residual := func() {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				i := y*n + x
+				au := (u[i]*4 - u[i-n] - u[i+n] - u[i-1] - u[i+1]) * h2inv
+				r[i] = f[i] - au
+			}
+		}
+	}
+	rc := make([]float64, c*c)
+	ec := make([]float64, c*c)
+	for cycle := 0; cycle < cycles; cycle++ {
+		smooth(u, f, n, 2, h2)
+		residual()
+		for y := 1; y < c-1; y++ {
+			for x := 1; x < c-1; x++ {
+				rc[y*c+x] = r[2*y*n+2*x]
+			}
+		}
+		for i := range ec {
+			ec[i] = 0
+		}
+		smooth(ec, rc, c, 8, h2c)
+		for y := 0; y < c-1; y++ {
+			for x := 0; x < c-1; x++ {
+				e00 := ec[y*c+x]
+				e01 := ec[y*c+x+1]
+				e10 := ec[(y+1)*c+x]
+				e11 := ec[(y+1)*c+x+1]
+				fi := 2*y*n + 2*x
+				u[fi] += e00
+				u[fi+1] += (e00 + e01) * 0.5
+				u[fi+n] += (e00 + e10) * 0.5
+				u[fi+n+1] += ((e00 + e01) + (e10 + e11)) * 0.25
+			}
+		}
+		smooth(u, f, n, 2, h2)
+	}
+	residual()
+	norm2 := 0.0
+	for _, v := range r {
+		norm2 += v * v
+	}
+	if math.IsNaN(norm2) {
+		panic("mg reference produced NaN")
+	}
+	return u, norm2
+}

@@ -1,0 +1,166 @@
+package workloads
+
+import "fmt"
+
+// sobelDim returns the square image dimension per scale.
+func sobelDim(scale Scale) int {
+	switch scale {
+	case Tiny:
+		return 24
+	case Full:
+		return 192
+	default:
+		return 96
+	}
+}
+
+const sobelSeed = 0x12345678
+
+// buildSobel emits the Sobel edge-detection benchmark: a pseudo-random
+// grayscale image is convolved with the 3x3 Sobel kernels and the
+// gradient magnitude sqrt(gx^2+gy^2) — computed with a Newton iteration
+// on the FPU — is clamped into the output image. Classification criterion:
+// the output image bytes.
+func buildSobel(scale Scale) (*Workload, error) {
+	n := sobelDim(scale)
+	src := fmt.Sprintf(`
+.data
+outbuf:     .space %[1]d
+outbuf_end: .word 0
+img:        .space %[1]d
+.align 3
+c_half:     .double 0.5
+.text
+main:
+    # Generate the input image with xorshift32.
+    la   s0, img
+    li   s1, %[1]d
+    li   s2, %[3]d
+gen:%[4]s
+    andi t1, s2, 255
+    sb   t1, 0(s0)
+    addi s0, s0, 1
+    subi s1, s1, 1
+    bnez s1, gen
+
+    la   s10, c_half
+    fld  fs0, 0(s10)      # 0.5
+    li   s3, 1            # y
+yloop:
+    li   s4, 1            # x
+xloop:
+    li   t0, %[2]d
+    mul  t1, s3, t0
+    add  t1, t1, s4       # y*N + x
+    la   t2, img
+    add  t2, t2, t1
+
+    # 3x3 neighborhood (p00 top-left).
+    lbu  a2, %[5]d(t2)    # p00 (-N-1)
+    lbu  a3, %[6]d(t2)    # p01 (-N)
+    lbu  a4, %[7]d(t2)    # p02 (-N+1)
+    lbu  a5, -1(t2)       # p10
+    lbu  a6, 1(t2)        # p12
+    lbu  a7, %[8]d(t2)    # p20 (N-1)
+    lbu  s5, %[2]d(t2)    # p21 (N)
+    lbu  s6, %[9]d(t2)    # p22 (N+1)
+
+    # gx = (p02 + 2*p12 + p22) - (p00 + 2*p10 + p20)
+    add  t3, a4, s6
+    slli t4, a6, 1
+    add  t3, t3, t4
+    add  t4, a2, a7
+    slli t5, a5, 1
+    add  t4, t4, t5
+    sub  t3, t3, t4       # gx
+    # gy = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)
+    add  t4, a7, s6
+    slli t5, s5, 1
+    add  t4, t4, t5
+    add  t5, a2, a4
+    slli t6, a3, 1
+    add  t5, t5, t6
+    sub  t4, t4, t5       # gy
+
+    # Flat region: magnitude 0 without touching the divider.
+    or   t5, t3, t4
+    beqz t5, store_zero
+
+    fcvt.d.w fa0, t3
+    fcvt.d.w fa1, t4
+    fmul.d   fa0, fa0, fa0
+    fmul.d   fa1, fa1, fa1
+    fadd.d   fa0, fa0, fa1   # s = gx^2 + gy^2
+
+    # Newton iteration for sqrt(s), 12 steps from x0 = s.
+    fmv.d fa2, fa0
+    li    t5, 12
+newton:
+    fdiv.d fa3, fa0, fa2
+    fadd.d fa2, fa2, fa3
+    fmul.d fa2, fa2, fs0
+    subi  t5, t5, 1
+    bnez  t5, newton
+
+    fcvt.w.d t5, fa2
+    li   t6, 255
+    ble  t5, t6, store
+    mv   t5, t6
+store:
+    la   t6, outbuf
+    add  t6, t6, t1
+    sb   t5, 0(t6)
+    j    next
+store_zero:
+    la   t6, outbuf
+    add  t6, t6, t1
+    sb   zero, 0(t6)
+next:
+    addi s4, s4, 1
+    li   t0, %[10]d
+    blt  s4, t0, xloop
+    addi s3, s3, 1
+    blt  s3, t0, yloop
+`+exitSeq,
+		n*n, n, sobelSeed, xorshiftGen("s2", "t0"),
+		-n-1, -n, -n+1, n-1, n+1, n-1)
+	return finish("sobel",
+		fmt.Sprintf("%d x %d", n, n),
+		"Image Output", src)
+}
+
+// sobelReference computes the expected output image with the same
+// arithmetic the MRV program performs (bit-identical for normal values).
+func sobelReference(scale Scale) []byte {
+	n := sobelDim(scale)
+	img := make([]byte, n*n)
+	seed := uint32(sobelSeed)
+	for i := range img {
+		seed = xorshift32(seed)
+		img[i] = byte(seed & 255)
+	}
+	out := make([]byte, n*n)
+	p := func(y, x int) int32 { return int32(img[y*n+x]) }
+	for y := 1; y < n-1; y++ {
+		for x := 1; x < n-1; x++ {
+			gx := (p(y-1, x+1) + 2*p(y, x+1) + p(y+1, x+1)) -
+				(p(y-1, x-1) + 2*p(y, x-1) + p(y+1, x-1))
+			gy := (p(y+1, x-1) + 2*p(y+1, x) + p(y+1, x+1)) -
+				(p(y-1, x-1) + 2*p(y-1, x) + p(y-1, x+1))
+			if gx == 0 && gy == 0 {
+				continue
+			}
+			s := float64(gx)*float64(gx) + float64(gy)*float64(gy)
+			xv := s
+			for i := 0; i < 12; i++ {
+				xv = (xv + s/xv) * 0.5
+			}
+			v := int32(xv)
+			if v > 255 {
+				v = 255
+			}
+			out[y*n+x] = byte(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package workloads
+
+import "fmt"
+
+// sradParams returns (grid dimension, iterations) per scale.
+func sradParams(scale Scale) (n, iters int) {
+	switch scale {
+	case Tiny:
+		return 16, 2
+	case Full:
+		return 128, 8
+	default:
+		return 64, 4
+	}
+}
+
+const (
+	sradSeed   = 0x5EAD0001
+	sradLambda = 0.5
+)
+
+// buildSRAD emits the Rodinia srad_v1 (speckle-reducing anisotropic
+// diffusion) benchmark: per iteration it derives the speckle statistic
+// q0² from the global mean/variance, computes the per-cell diffusion
+// coefficient (division-heavy), and applies the divergence update. The
+// output is the final image grid ("Image Output").
+func buildSRAD(scale Scale) (*Workload, error) {
+	n, iters := sradParams(scale)
+	cells := n * n
+	src := fmt.Sprintf(`
+.data
+.align 3
+outbuf:     .space %[1]d      # image J (n*n doubles)
+outbuf_end: .word 0
+.align 3
+coef:       .space %[1]d      # diffusion coefficients (boundary stays 0)
+.align 3
+c_uscale:   .double 9.5367431640625e-07
+c_one:      .double 1.0
+c_half:     .double 0.5
+c_quarter:  .double 0.25
+c_sixt:     .double 0.0625
+c_qlam:     .double %[2]v     # lambda/4
+c_cellsinv: .double %[3]v     # 1/(n*n)
+.text
+main:
+    # J = 1 + u.
+    la   s0, outbuf
+    li   s1, %[4]d
+    li   s2, %[5]d
+    la   t2, c_uscale
+    fld  ft0, 0(t2)
+    la   t2, c_one
+    fld  ft1, 0(t2)
+genj:%[6]s
+    li   t1, 0xfffff
+    and  t1, s2, t1
+    fcvt.d.w fa0, t1
+    fmul.d   fa0, fa0, ft0
+    fadd.d   fa0, fa0, ft1
+    fsd  fa0, 0(s0)
+    addi s0, s0, 8
+    subi s1, s1, 1
+    bnez s1, genj
+
+    la   t2, c_half
+    fld  fs5, 0(t2)
+    la   t2, c_quarter
+    fld  fs6, 0(t2)
+    la   t2, c_sixt
+    fld  fs7, 0(t2)
+    la   t2, c_qlam
+    fld  fs8, 0(t2)
+    la   t2, c_cellsinv
+    fld  fs9, 0(t2)
+    la   t2, c_one
+    fld  fs10, 0(t2)
+
+    li   s11, %[7]d       # iterations
+srad_iter:
+    # Pass 0: mean and variance -> q0sqr (fs0).
+    la   s0, outbuf
+    li   s1, %[4]d
+    fcvt.d.w fa0, zero    # sum
+    fcvt.d.w fa1, zero    # sum2
+stats:
+    fld  fa2, 0(s0)
+    fadd.d fa0, fa0, fa2
+    fmul.d fa2, fa2, fa2
+    fadd.d fa1, fa1, fa2
+    addi s0, s0, 8
+    subi s1, s1, 1
+    bnez s1, stats
+    fmul.d fa0, fa0, fs9      # mean
+    fmul.d fa1, fa1, fs9      # E[J^2]
+    fmul.d fa2, fa0, fa0      # mean^2
+    fsub.d fa1, fa1, fa2      # var
+    fdiv.d fs0, fa1, fa2      # q0sqr
+
+    # Pass 1: diffusion coefficient for interior cells.
+    li   s3, 1
+sc_y:
+    li   s4, 1
+sc_x:
+    li   t0, %[8]d
+    mul  t1, s3, t0
+    add  t1, t1, s4
+    slli t1, t1, 3
+    la   t2, outbuf
+    add  t2, t2, t1
+    fld  fa0, 0(t2)           # Jc
+    fld  fa1, %[9]d(t2)       # N
+    fld  fa2, %[10]d(t2)      # S
+    fld  fa3, -8(t2)          # W
+    fld  fa4, 8(t2)           # E
+    fsub.d fa1, fa1, fa0      # dN
+    fsub.d fa2, fa2, fa0      # dS
+    fsub.d fa3, fa3, fa0      # dW
+    fsub.d fa4, fa4, fa0      # dE
+    # G2 = (dN^2+dS^2+dW^2+dE^2)/Jc^2
+    fmul.d fa5, fa1, fa1
+    fmul.d ft2, fa2, fa2
+    fadd.d fa5, fa5, ft2
+    fmul.d ft2, fa3, fa3
+    fadd.d fa5, fa5, ft2
+    fmul.d ft2, fa4, fa4
+    fadd.d fa5, fa5, ft2
+    fmul.d ft3, fa0, fa0
+    fdiv.d fa5, fa5, ft3      # G2
+    # L = (dN+dS+dW+dE)/Jc
+    fadd.d ft2, fa1, fa2
+    fadd.d ft2, ft2, fa3
+    fadd.d ft2, ft2, fa4
+    fdiv.d ft2, ft2, fa0      # L
+    # num = 0.5*G2 - (1/16)*L^2 ; den = 1 + 0.25*L
+    fmul.d ft4, fa5, fs5
+    fmul.d ft5, ft2, ft2
+    fmul.d ft5, ft5, fs7
+    fsub.d ft4, ft4, ft5      # num
+    fmul.d ft5, ft2, fs6
+    fadd.d ft5, ft5, fs10     # den
+    fmul.d ft5, ft5, ft5
+    fdiv.d ft4, ft4, ft5      # qsqr
+    # den2 = (qsqr - q0sqr) / (q0sqr*(1+q0sqr)); c = 1/(1+den2)
+    fsub.d ft5, ft4, fs0
+    fadd.d ft6, fs0, fs10
+    fmul.d ft6, ft6, fs0
+    fdiv.d ft5, ft5, ft6
+    fadd.d ft5, ft5, fs10
+    fdiv.d ft5, fs10, ft5     # c
+    # clamp to [0,1]
+    fcvt.d.w ft6, zero
+    flt.d t3, ft5, ft6
+    beqz t3, noclamplo
+    fmv.d ft5, ft6
+noclamplo:
+    flt.d t3, fs10, ft5
+    beqz t3, noclamphi
+    fmv.d ft5, fs10
+noclamphi:
+    la   t2, coef
+    add  t2, t2, t1
+    fsd  ft5, 0(t2)
+    addi s4, s4, 1
+    li   t0, %[11]d
+    blt  s4, t0, sc_x
+    addi s3, s3, 1
+    blt  s3, t0, sc_y
+
+    # Pass 2: divergence update J += (lambda/4)*(cN*dN + cS*dS + cW*dW + cE*dE),
+    # with cN = cW = c[i][j], cS = c[i+1][j], cE = c[i][j+1].
+    li   s3, 1
+up_y:
+    li   s4, 1
+up_x:
+    li   t0, %[8]d
+    mul  t1, s3, t0
+    add  t1, t1, s4
+    slli t1, t1, 3
+    la   t2, outbuf
+    add  t2, t2, t1
+    fld  fa0, 0(t2)
+    fld  fa1, %[9]d(t2)
+    fld  fa2, %[10]d(t2)
+    fld  fa3, -8(t2)
+    fld  fa4, 8(t2)
+    fsub.d fa1, fa1, fa0
+    fsub.d fa2, fa2, fa0
+    fsub.d fa3, fa3, fa0
+    fsub.d fa4, fa4, fa0
+    la   t3, coef
+    add  t3, t3, t1
+    fld  fa5, 0(t3)           # cN = cW
+    fld  ft2, %[10]d(t3)      # cS
+    fld  ft3, 8(t3)           # cE
+    fmul.d fa1, fa1, fa5
+    fmul.d fa2, fa2, ft2
+    fmul.d fa3, fa3, fa5
+    fmul.d fa4, fa4, ft3
+    fadd.d fa1, fa1, fa2
+    fadd.d fa1, fa1, fa3
+    fadd.d fa1, fa1, fa4
+    fmul.d fa1, fa1, fs8
+    fadd.d fa0, fa0, fa1
+    fsd  fa0, 0(t2)
+    addi s4, s4, 1
+    li   t0, %[11]d
+    blt  s4, t0, up_x
+    addi s3, s3, 1
+    blt  s3, t0, up_y
+
+    subi s11, s11, 1
+    bnez s11, srad_iter
+`+exitSeq,
+		cells*8, sradLambda/4, 1.0/float64(cells), cells, sradSeed,
+		xorshiftGen("s2", "t0"), iters, n, -8*n, 8*n, n-1)
+	return finish("srad_v1",
+		fmt.Sprintf("%d %v %d %d %d", iters, sradLambda, n, n, 1),
+		"Image Output", src)
+}
+
+// sradReference mirrors the MRV program exactly.
+func sradReference(scale Scale) []float64 {
+	n, iters := sradParams(scale)
+	const uscale = 9.5367431640625e-07
+	qlam := sradLambda / 4
+	cellsInv := 1.0 / float64(n*n)
+	seed := uint32(sradSeed)
+	j := make([]float64, n*n)
+	for i := range j {
+		seed = xorshift32(seed)
+		j[i] = float64(int32(seed&0xfffff))*uscale + 1.0
+	}
+	coef := make([]float64, n*n)
+	for it := 0; it < iters; it++ {
+		sum, sum2 := 0.0, 0.0
+		for _, v := range j {
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum * cellsInv
+		esq := sum2 * cellsInv
+		variance := esq - mean*mean
+		q0 := variance / (mean * mean)
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				i := y*n + x
+				jc := j[i]
+				dN := j[i-n] - jc
+				dS := j[i+n] - jc
+				dW := j[i-1] - jc
+				dE := j[i+1] - jc
+				g2 := (dN*dN + dS*dS + dW*dW + dE*dE) / (jc * jc)
+				l := (dN + dS + dW + dE) / jc
+				num := g2*0.5 - (l*l)*0.0625
+				den := l*0.25 + 1.0
+				qsqr := num / (den * den)
+				den2 := (qsqr - q0) / ((q0 + 1.0) * q0)
+				cval := 1.0 / (den2 + 1.0)
+				if cval < 0 {
+					cval = 0
+				} else if cval > 1 {
+					cval = 1
+				}
+				coef[i] = cval
+			}
+		}
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				i := y*n + x
+				jc := j[i]
+				dN := j[i-n] - jc
+				dS := j[i+n] - jc
+				dW := j[i-1] - jc
+				dE := j[i+1] - jc
+				div := dN*coef[i] + dS*coef[i+n] + dW*coef[i] + dE*coef[i+1]
+				j[i] = jc + div*qlam
+			}
+		}
+	}
+	return j
+}

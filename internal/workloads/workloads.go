@@ -1,0 +1,184 @@
+// Package workloads implements the paper's seven evaluation benchmarks
+// (Table II) for the MRV ISA: sobel (image detection), cg, is, mg (NAS),
+// k-means, srad_v1 and hotspot (Rodinia). Each is a self-contained
+// assembly program with deterministic in-program input generation, a
+// declared output region for Masked/SDC classification, and (for the NAS
+// codes) built-in verification printed to the console.
+//
+// Inputs are scaled down from the paper's (which run up to 35 billion
+// instructions on gem5) to laptop-scale dynamic instruction counts; the
+// scaling is recorded per benchmark and surfaced in the regenerated
+// Table II.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"teva/internal/isa"
+)
+
+// Scale selects the input size class.
+type Scale int
+
+// Input size classes. Tiny keeps unit tests fast; Small is the default
+// experiment scale; Full is the largest supported input.
+const (
+	Tiny Scale = iota
+	Small
+	Full
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Full:
+		return "full"
+	}
+	return "unknown"
+}
+
+// Workload is one benchmark instance.
+type Workload struct {
+	// Name is the paper's benchmark name.
+	Name string
+	// Input describes the input configuration (Table II's input column).
+	Input string
+	// Criteria is Table II's classification criteria.
+	Criteria string
+	// Program is the assembled binary.
+	Program *isa.Program
+	// OutStart/OutLen delimit the output memory region compared against
+	// the golden run for SDC detection.
+	OutStart, OutLen uint32
+	// Source is the assembly text (for tooling).
+	Source string
+}
+
+// builderFunc constructs a workload at a scale.
+type builderFunc func(Scale) (*Workload, error)
+
+var registry = map[string]builderFunc{
+	"sobel":   buildSobel,
+	"cg":      buildCG,
+	"k-means": buildKMeans,
+	"srad_v1": buildSRAD,
+	"hotspot": buildHotspot,
+	"is":      buildIS,
+	"mg":      buildMG,
+	"bt":      buildBT,
+}
+
+// Names returns the benchmark names in the paper's Table II order. The
+// additional bt kernel (mentioned in the paper's Section IV-A benchmark
+// list but absent from Table II and the figures) is available through
+// ByName and AllNames.
+func Names() []string {
+	return []string{"sobel", "cg", "k-means", "srad_v1", "hotspot", "is", "mg"}
+}
+
+// AllNames returns every implemented benchmark, including bt.
+func AllNames() []string { return append(Names(), "bt") }
+
+// ByName builds the named workload at the given scale.
+func ByName(name string, scale Scale) (*Workload, error) {
+	b, ok := registry[name]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, known)
+	}
+	return b(scale)
+}
+
+// All builds every benchmark at the given scale.
+func All(scale Scale) ([]*Workload, error) {
+	var out []*Workload
+	for _, name := range Names() {
+		w, err := ByName(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// finish assembles the source and resolves the output region from the
+// outbuf/outbuf_end symbols.
+func finish(name, input, criteria, source string) (*Workload, error) {
+	prog, err := isa.Assemble(source)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", name, err)
+	}
+	start, ok := prog.Symbols["outbuf"]
+	if !ok {
+		return nil, fmt.Errorf("workloads: %s: missing outbuf symbol", name)
+	}
+	end, ok := prog.Symbols["outbuf_end"]
+	if !ok || end < start {
+		return nil, fmt.Errorf("workloads: %s: missing/invalid outbuf_end symbol", name)
+	}
+	return &Workload{
+		Name:     name,
+		Input:    input,
+		Criteria: criteria,
+		Program:  prog,
+		OutStart: start,
+		OutLen:   end - start,
+		Source:   source,
+	}, nil
+}
+
+// exitSeq is the common program epilogue.
+const exitSeq = `
+    li   a0, 10
+    li   a1, 0
+    ecall
+`
+
+// printPass/printFail print the NAS-style verification verdicts.
+const verifyRoutines = `
+# print "VERIFICATION SUCCESSFUL\n" and exit
+verify_pass:
+    la   a1, msg_pass
+    li   a0, 4
+    ecall
+` + exitSeq + `
+# print "VERIFICATION FAILED\n" and exit
+verify_fail:
+    la   a1, msg_fail
+    li   a0, 4
+    ecall
+` + exitSeq
+
+const verifyData = `
+msg_pass: .asciiz "VERIFICATION SUCCESSFUL\n"
+msg_fail: .asciiz "VERIFICATION FAILED\n"
+`
+
+// xorshiftGen emits an inline xorshift32 step: reg = xorshift32(reg),
+// using scratch (must differ from reg).
+func xorshiftGen(reg, scratch string) string {
+	return fmt.Sprintf(`
+    slli %[2]s, %[1]s, 13
+    xor  %[1]s, %[1]s, %[2]s
+    srli %[2]s, %[1]s, 17
+    xor  %[1]s, %[1]s, %[2]s
+    slli %[2]s, %[1]s, 5
+    xor  %[1]s, %[1]s, %[2]s`, reg, scratch)
+}
+
+// xorshift32 is the matching Go-side generator used by reference models.
+func xorshift32(x uint32) uint32 {
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	return x
+}

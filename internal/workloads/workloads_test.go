@@ -1,0 +1,343 @@
+package workloads
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"teva/internal/cpu"
+)
+
+// runWorkload executes a workload to completion with no injection.
+func runWorkload(t *testing.T, w *Workload) (*cpu.CPU, cpu.Result) {
+	t.Helper()
+	c := cpu.New(w.Program, cpu.Config{TrapFPInvalid: true})
+	res := c.Run(500_000_000)
+	if res.Status != cpu.Halted {
+		t.Fatalf("%s: %v (%s) after %d instrs", w.Name, res.Status, res.Reason, res.Instret)
+	}
+	return c, res
+}
+
+func outRegion(c *cpu.CPU, w *Workload) []byte {
+	return c.Mem()[w.OutStart : w.OutStart+w.OutLen]
+}
+
+func TestSobelMatchesReference(t *testing.T) {
+	w, err := ByName("sobel", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, res := runWorkload(t, w)
+	want := sobelReference(Tiny)
+	got := outRegion(c, w)
+	if !bytes.Equal(got, want) {
+		diff := 0
+		for i := range want {
+			if got[i] != want[i] {
+				diff++
+			}
+		}
+		t.Fatalf("sobel output differs from reference in %d/%d bytes", diff, len(want))
+	}
+	if res.FPOps[2] == 0 || res.FPOps[3] == 0 { // DMul, DDiv
+		t.Fatalf("sobel should exercise fp mul and div: %v", res.FPOps)
+	}
+}
+
+func TestHotspotMatchesReference(t *testing.T) {
+	w, err := ByName("hotspot", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, res := runWorkload(t, w)
+	want := hotspotReference(Tiny)
+	got := outRegion(c, w)
+	for i, wf := range want {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(got[i*8+b]) << (8 * b)
+		}
+		if v != mathFloat64bits(wf) {
+			t.Fatalf("hotspot cell %d: %#x want %#x", i, v, mathFloat64bits(wf))
+		}
+	}
+	if res.FPOps[0] == 0 || res.FPOps[2] == 0 {
+		t.Fatalf("hotspot should exercise fadd/fmul: %v", res.FPOps)
+	}
+}
+
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }
+
+func TestKMeansMatchesReference(t *testing.T) {
+	w, err := ByName("k-means", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, res := runWorkload(t, w)
+	wantAssign, wantCentroids := kmeansReference(Tiny)
+	got := outRegion(c, w)
+	for i, a := range wantAssign {
+		if got[i] != a {
+			t.Fatalf("k-means assignment %d: %d want %d", i, got[i], a)
+		}
+	}
+	base := len(wantAssign)
+	for i, cf := range wantCentroids {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(got[base+i*8+b]) << (8 * b)
+		}
+		if v != math.Float64bits(cf) {
+			t.Fatalf("k-means centroid %d: %#x want %#x", i, v, math.Float64bits(cf))
+		}
+	}
+	if res.FPOps[3] == 0 { // DDiv used in centroid update
+		t.Fatalf("k-means should exercise fdiv: %v", res.FPOps)
+	}
+}
+
+func TestCGMatchesReference(t *testing.T) {
+	w, err := ByName("cg", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := runWorkload(t, w)
+	wantX, wantPass := cgReference(Tiny)
+	if !wantPass {
+		t.Fatal("reference CG must converge")
+	}
+	if got := string(c.Output()); got != "VERIFICATION SUCCESSFUL\n" {
+		t.Fatalf("cg console %q", got)
+	}
+	got := outRegion(c, w)
+	for i, xf := range wantX {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(got[i*8+b]) << (8 * b)
+		}
+		if v != math.Float64bits(xf) {
+			t.Fatalf("cg x[%d] = %#x want %#x", i, v, math.Float64bits(xf))
+		}
+	}
+}
+
+func TestISMatchesReference(t *testing.T) {
+	w, err := ByName("is", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, res := runWorkload(t, w)
+	if got := string(c.Output()); got != "VERIFICATION SUCCESSFUL\n" {
+		t.Fatalf("is console %q", got)
+	}
+	sorted, _ := isReference(Tiny)
+	got := outRegion(c, w)
+	for i, k := range sorted {
+		v := int32(uint32(got[i*4]) | uint32(got[i*4+1])<<8 |
+			uint32(got[i*4+2])<<16 | uint32(got[i*4+3])<<24)
+		if v != k {
+			t.Fatalf("is sorted[%d] = %d want %d", i, v, k)
+		}
+	}
+	if res.FPOps[2] < int64(len(sorted)*8) { // DMul-heavy generator
+		t.Fatalf("is should be fp-mul heavy: %v", res.FPOps)
+	}
+}
+
+func TestRandlcMatchesNPBBehaviour(t *testing.T) {
+	// The generator must produce values in [0,1) and a long period
+	// without repetition in a short window.
+	x := isSeedX
+	seen := map[float64]bool{}
+	for i := 0; i < 10000; i++ {
+		r := randlc46(&x)
+		if r < 0 || r >= 1 {
+			t.Fatalf("randlc out of range: %v", r)
+		}
+		if seen[r] {
+			t.Fatalf("randlc repeated after %d draws", i)
+		}
+		seen[r] = true
+	}
+}
+
+func TestSRADMatchesReference(t *testing.T) {
+	w, err := ByName("srad_v1", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, res := runWorkload(t, w)
+	want := sradReference(Tiny)
+	got := outRegion(c, w)
+	for i, wf := range want {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(got[i*8+b]) << (8 * b)
+		}
+		if v != math.Float64bits(wf) {
+			t.Fatalf("srad cell %d: %#x want %#x (%v vs %v)", i, v, math.Float64bits(wf),
+				math.Float64frombits(v), wf)
+		}
+	}
+	if res.FPOps[3] == 0 {
+		t.Fatalf("srad should be fdiv heavy: %v", res.FPOps)
+	}
+}
+
+func TestMGMatchesReference(t *testing.T) {
+	w, err := ByName("mg", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := runWorkload(t, w)
+	if got := string(c.Output()); got != "VERIFICATION SUCCESSFUL\n" {
+		t.Fatalf("mg console %q", got)
+	}
+	want, _ := mgReference(Tiny)
+	got := outRegion(c, w)
+	for i, wf := range want {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(got[i*8+b]) << (8 * b)
+		}
+		if v != math.Float64bits(wf) {
+			t.Fatalf("mg cell %d: %v want %v", i, math.Float64frombits(v), wf)
+		}
+	}
+}
+
+func TestAllWorkloadsBuildAndRun(t *testing.T) {
+	ws, err := All(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 7 {
+		t.Fatalf("expected 7 benchmarks, got %d", len(ws))
+	}
+	for _, w := range ws {
+		if w.OutLen == 0 {
+			t.Errorf("%s: empty output region", w.Name)
+		}
+		_, res := runWorkload(t, w)
+		if res.Instret == 0 || res.Cycles == 0 {
+			t.Errorf("%s: no work executed", w.Name)
+		}
+		var fpTotal int64
+		for _, c := range res.FPOps {
+			fpTotal += c
+		}
+		if fpTotal == 0 {
+			t.Errorf("%s: no FP datapath activity", w.Name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", Tiny); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestScaleStrings(t *testing.T) {
+	if Tiny.String() != "tiny" || Small.String() != "small" || Full.String() != "full" {
+		t.Fatal("scale names")
+	}
+}
+
+func TestBTMatchesReference(t *testing.T) {
+	w, err := ByName("bt", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, res := runWorkload(t, w)
+	if got := string(c.Output()); got != "VERIFICATION SUCCESSFUL\n" {
+		t.Fatalf("bt console %q", got)
+	}
+	want, pass := btReference(Tiny)
+	if !pass {
+		t.Fatal("reference bt must verify")
+	}
+	got := outRegion(c, w)
+	for i, xf := range want {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(got[i*8+b]) << (8 * b)
+		}
+		if v != math.Float64bits(xf) {
+			t.Fatalf("bt x[%d] = %v want %v", i, math.Float64frombits(v), xf)
+		}
+	}
+	if res.FPOps[3] == 0 { // DDiv from the block inversions
+		t.Fatalf("bt should be fdiv heavy: %v", res.FPOps)
+	}
+}
+
+func TestAllNamesIncludesBT(t *testing.T) {
+	names := AllNames()
+	if len(names) != 8 || names[len(names)-1] != "bt" {
+		t.Fatalf("AllNames = %v", names)
+	}
+	if len(Names()) != 7 {
+		t.Fatal("Names must stay the paper's seven")
+	}
+}
+
+func TestSmallScaleMatchesReferences(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-scale verification")
+	}
+	// Every benchmark stays bit-exact against its Go reference at the
+	// experiment scale, not just the unit-test scale.
+	w, err := ByName("sobel", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := runWorkload(t, w)
+	if !bytes.Equal(outRegion(c, w), sobelReference(Small)) {
+		t.Fatal("sobel small-scale output diverges from reference")
+	}
+
+	w, err = ByName("hotspot", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ = runWorkload(t, w)
+	got := outRegion(c, w)
+	for i, wf := range hotspotReference(Small) {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(got[i*8+b]) << (8 * b)
+		}
+		if v != math.Float64bits(wf) {
+			t.Fatalf("hotspot small cell %d diverges", i)
+		}
+	}
+
+	for _, name := range []string{"cg", "is", "mg", "bt"} {
+		w, err := ByName(name, Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := runWorkload(t, w)
+		if gotOut := string(c.Output()); gotOut != "VERIFICATION SUCCESSFUL\n" {
+			t.Fatalf("%s small-scale verification: %q", name, gotOut)
+		}
+	}
+}
+
+func TestFullScaleBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale assembly")
+	}
+	// The Full inputs must at least assemble and declare sane regions.
+	for _, name := range AllNames() {
+		w, err := ByName(name, Full)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.OutLen == 0 || len(w.Program.Text) == 0 {
+			t.Fatalf("%s: degenerate full-scale build", name)
+		}
+	}
+}
