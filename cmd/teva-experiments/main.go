@@ -9,6 +9,13 @@
 //	teva-experiments [-exp all|table1|table2|fig4..fig10|avm|sources|power|history]
 //	                 [-quick] [-full] [-scale tiny|small|full]
 //	                 [-runs N] [-seed N] [-workers N]
+//	                 [-cache-dir DIR] [-progress]
+//
+// With -cache-dir, DTA characterization summaries and campaign cells are
+// persisted to an on-disk artifact store keyed by their full provenance
+// (seed, scale, sample counts, ...), so a re-run with the same settings
+// reloads them instead of re-simulating. -progress periodically reports
+// cells completed, cache hits, and elapsed time to stderr.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"teva/internal/artifact"
 	"teva/internal/core"
 	"teva/internal/experiments"
 	"teva/internal/vscale"
@@ -33,6 +41,8 @@ func main() {
 	seed := flag.Uint64("seed", 0xF00D, "master seed")
 	workers := flag.Int("workers", 0, "parallel workers (0: all cores)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	cacheDir := flag.String("cache-dir", "", "persist DTA summaries and campaign cells in this artifact store")
+	progress := flag.Bool("progress", false, "periodically report matrix progress and cache hits to stderr")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -66,6 +76,13 @@ func main() {
 	if *runs > 0 {
 		opts.Runs = *runs
 	}
+	if *cacheDir != "" {
+		store, err := artifact.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Artifacts = store
+	}
 
 	start := time.Now()
 	fmt.Printf("teva-experiments: scale=%s runs/cell=%d seed=%#x\n",
@@ -78,6 +95,27 @@ func main() {
 		f.FPU.NumGates(), f.FPU.CLK, time.Since(start).Round(time.Millisecond))
 	env := experiments.NewEnv(f, opts)
 	out := os.Stdout
+
+	if *progress {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					p := env.Progress()
+					fmt.Fprintf(os.Stderr,
+						"progress: cells %d/%d (%d from cache) | store: %s | elapsed %s\n",
+						p.CellsDone, p.CellsTotal, p.CellsCached, p.Cache,
+						time.Since(start).Round(time.Second))
+				}
+			}
+		}()
+	}
 
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
@@ -271,6 +309,11 @@ func main() {
 			}
 			return nil
 		})
+	}
+	if *cacheDir != "" {
+		p := env.Progress()
+		fmt.Fprintf(os.Stderr, "artifact cache (%s): %s; campaign cells reloaded %d/%d\n",
+			*cacheDir, p.Cache, p.CellsCached, p.CellsDone)
 	}
 	fmt.Printf("\ntotal wall time: %s\n", time.Since(start).Round(time.Millisecond))
 }

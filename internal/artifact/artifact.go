@@ -1,0 +1,205 @@
+// Package artifact implements a content-addressed on-disk store for the
+// expensive intermediate products of the experiment pipeline: DTA
+// characterization summaries and injection-campaign results. A store maps
+// a canonical key (the full set of inputs that determine an artifact —
+// op, delay scale, seed, sample count for DTA summaries; workload, model
+// kind, voltage level, run count, seed for campaign cells) to a JSON
+// envelope on disk, so a re-run of the experiment matrix reloads every
+// cell instead of recomputing it.
+//
+// Design points:
+//
+//   - Entries are written atomically (temp file + rename), so a killed
+//     run never leaves a half-written artifact behind.
+//   - Every envelope carries a schema version and its own canonical key;
+//     a version mismatch, key mismatch (hash collision) or undecodable
+//     file is treated as a cache miss, never as an error.
+//   - Hit/miss/write counters are kept with atomics so a progress
+//     reporter can poll them from another goroutine.
+//
+// A nil *Store is valid and behaves as an always-miss, drop-writes store,
+// so call sites need no conditionals when caching is disabled.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+)
+
+// SchemaVersion is bumped whenever the serialized payload layout of any
+// artifact kind changes incompatibly (field renames, semantic changes to
+// stored statistics). Entries written under another version are treated
+// as misses, so stale caches age out instead of corrupting results.
+const SchemaVersion = 1
+
+// Key identifies one artifact. Kind namespaces the artifact family; ID is
+// the canonical, human-readable encoding of every input that determines
+// the artifact's content.
+type Key struct {
+	Kind string
+	ID   string
+}
+
+// SummaryKey builds the key for a DTA characterization summary.
+// Source names the operand stream ("random", "wl:is:...", "fig6/K1000/r2"),
+// op the analyzed instruction, scale the delay inflation of the corner,
+// seed the stream seed, samples the analyzed pair count, and exact the
+// timing engine. The scale is encoded in hex float form so the key is
+// exact, not subject to decimal rounding.
+func SummaryKey(source, op string, scale float64, seed uint64, samples int, exact bool) Key {
+	return Key{
+		Kind: "dta-summary",
+		ID: fmt.Sprintf("src=%s|op=%s|scale=%s|seed=%#x|n=%d|exact=%v",
+			source, op, strconv.FormatFloat(scale, 'x', -1, 64), seed, samples, exact),
+	}
+}
+
+// CampaignKey builds the key for one injection-campaign cell. The cfg tag
+// folds in every framework setting that shapes the injected model
+// (characterization sample sizes, workload scale, timing engine), so a
+// cache directory can be shared between -quick and full runs safely.
+func CampaignKey(workload, kind, level string, runs int, seed uint64, single bool, cfg string) Key {
+	return Key{
+		Kind: "campaign",
+		ID: fmt.Sprintf("wl=%s|model=%s|level=%s|runs=%d|seed=%#x|single=%v|cfg=%s",
+			workload, kind, level, runs, seed, single, cfg),
+	}
+}
+
+// filename derives the content-addressed file name: the artifact kind
+// plus a truncated SHA-256 of the canonical ID.
+func (k Key) filename() string {
+	h := sha256.Sum256([]byte(k.Kind + "\x00" + k.ID))
+	return k.Kind + "-" + hex.EncodeToString(h[:12]) + ".json"
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// Hits counts successful loads, Misses failed ones (absent entries
+	// plus the Corrupt subset), Writes persisted artifacts.
+	Hits, Misses, Writes int64
+	// Corrupt counts entries that existed but failed to decode or
+	// carried a stale schema/mismatched key.
+	Corrupt int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses (%d corrupt), %d written",
+		s.Hits, s.Misses, s.Corrupt, s.Writes)
+}
+
+// Store is an on-disk artifact cache rooted at one directory.
+type Store struct {
+	dir                           string
+	hits, misses, writes, corrupt atomic.Int64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory ("" for a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Stats returns a snapshot of the counters (zero for a nil store).
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Writes:  s.writes.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// envelope is the on-disk JSON layout.
+type envelope struct {
+	Schema  int             `json:"schema"`
+	Kind    string          `json:"kind"`
+	ID      string          `json:"id"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Load looks the key up and decodes its payload into out. It returns
+// false on any miss: absent entry, unreadable file, stale schema, key
+// collision, or payload that does not decode into out. Corrupt entries
+// never surface as errors — the caller just recomputes and overwrites.
+func (s *Store) Load(k Key, out any) bool {
+	if s == nil {
+		return false
+	}
+	raw, err := os.ReadFile(filepath.Join(s.dir, k.filename()))
+	if err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	var env envelope
+	if json.Unmarshal(raw, &env) != nil ||
+		env.Schema != SchemaVersion || env.Kind != k.Kind || env.ID != k.ID ||
+		json.Unmarshal(env.Payload, out) != nil {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// Save persists the payload under the key, atomically: the envelope is
+// written to a temp file in the store directory and renamed into place,
+// so concurrent readers see either the old entry or the new one, never a
+// torn write. Saving on a nil store is a no-op.
+func (s *Store) Save(k Key, payload any) error {
+	if s == nil {
+		return nil
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("artifact: marshal %s: %w", k.Kind, err)
+	}
+	raw, err := json.Marshal(envelope{
+		Schema: SchemaVersion, Kind: k.Kind, ID: k.ID, Payload: body,
+	})
+	if err != nil {
+		return fmt.Errorf("artifact: marshal envelope: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("artifact: write %s: %w", k.Kind, werr)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, k.filename())); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}

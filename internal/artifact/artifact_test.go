@@ -1,0 +1,183 @@
+package artifact
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Masks []uint64
+	Hist  []int
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := openStore(t)
+	k := SummaryKey("random", "fp-mul.d", 1.25, 0xF00D, 2000, false)
+	in := payload{Name: "mul", Masks: []uint64{1 << 63, 0xFFFFFFFFFFFFFFFF, 7}, Hist: []int{0, 3, 1}}
+	if err := s.Save(k, in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if !s.Load(k, &out) {
+		t.Fatal("saved entry must load")
+	}
+	if out.Name != in.Name || len(out.Masks) != 3 || out.Masks[1] != 0xFFFFFFFFFFFFFFFF {
+		t.Fatalf("round trip mangled payload: %+v", out)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Writes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMissOnAbsent(t *testing.T) {
+	s := openStore(t)
+	var out payload
+	if s.Load(SummaryKey("random", "fp-add.d", 1.0, 1, 10, false), &out) {
+		t.Fatal("absent entry must miss")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDistinctKeysDistinctEntries(t *testing.T) {
+	s := openStore(t)
+	k1 := SummaryKey("random", "fp-mul.d", 1.25, 1, 100, false)
+	k2 := SummaryKey("random", "fp-mul.d", 1.25, 1, 200, false) // only n differs
+	k3 := CampaignKey("is", "WA", "VR20", 100, 1, true, "r2000")
+	if err := s.Save(k1, payload{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(k2, payload{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(k3, payload{Name: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	for want, k := range map[string]Key{"a": k1, "b": k2, "c": k3} {
+		if !s.Load(k, &out) || out.Name != want {
+			t.Fatalf("key %v loaded %q, want %q", k, out.Name, want)
+		}
+	}
+}
+
+func TestCorruptEntryIsMiss(t *testing.T) {
+	s := openStore(t)
+	k := CampaignKey("cg", "DA", "VR15", 24, 7, true, "tiny")
+	if err := s.Save(k, payload{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the entry mid-file.
+	name := filepath.Join(s.Dir(), k.filename())
+	if err := os.WriteFile(name, []byte(`{"schema":1,"kind":"campa`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Load(k, &out) {
+		t.Fatal("corrupt entry must be a miss")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Recovery: overwriting repairs the entry.
+	if err := s.Save(k, payload{Name: "repaired"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Load(k, &out) || out.Name != "repaired" {
+		t.Fatal("overwrite must repair a corrupt entry")
+	}
+}
+
+func TestStaleSchemaIsMiss(t *testing.T) {
+	s := openStore(t)
+	k := SummaryKey("random", "fp-sub.d", 1.1, 3, 50, true)
+	raw, _ := json.Marshal(envelope{Schema: SchemaVersion + 1, Kind: k.Kind, ID: k.ID,
+		Payload: json.RawMessage(`{"Name":"future"}`)})
+	if err := os.WriteFile(filepath.Join(s.Dir(), k.filename()), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Load(k, &out) {
+		t.Fatal("stale schema must be a miss")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestKeyCollisionDetected(t *testing.T) {
+	s := openStore(t)
+	k1 := SummaryKey("a", "op", 1, 1, 1, false)
+	k2 := SummaryKey("b", "op", 1, 1, 1, false)
+	if err := s.Save(k1, payload{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Force k2 onto k1's file to simulate a hash collision: the embedded
+	// canonical ID must reject the load.
+	if err := os.Rename(filepath.Join(s.Dir(), k1.filename()),
+		filepath.Join(s.Dir(), k2.filename())); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Load(k2, &out) {
+		t.Fatal("mismatched canonical ID must be a miss")
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	k := SummaryKey("random", "fp-mul.d", 1, 1, 1, false)
+	if err := s.Save(k, payload{Name: "x"}); err != nil {
+		t.Fatal("nil store Save must be a no-op")
+	}
+	var out payload
+	if s.Load(k, &out) {
+		t.Fatal("nil store must always miss")
+	}
+	if s.Stats() != (Stats{}) || s.Dir() != "" {
+		t.Fatal("nil store stats must be zero")
+	}
+}
+
+func TestOpenEmptyDirErrors(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir must error")
+	}
+}
+
+func TestConcurrentAccessIsSafe(t *testing.T) {
+	s := openStore(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := CampaignKey("w", "IA", "VR15", i%5, uint64(g%3), true, "t")
+				_ = s.Save(k, payload{Name: "x", Hist: []int{g, i}})
+				var out payload
+				s.Load(k, &out)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Writes != 400 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ package campaign
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
@@ -192,6 +193,11 @@ func Run(spec Spec) (*Result, error) {
 	tf := spec.TimeoutFactor
 	if tf == 0 {
 		tf = 2.0
+	}
+	// A negative, NaN or infinite factor would silently turn into a
+	// zero/garbage cycle budget and misclassify every run as Timeout.
+	if math.IsNaN(tf) || math.IsInf(tf, 0) || tf < 0 {
+		return nil, fmt.Errorf("campaign: invalid TimeoutFactor %v (want a positive, finite factor)", tf)
 	}
 	g, err := runGolden(spec.Workload)
 	if err != nil {

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"math"
 	"testing"
 
 	"teva/internal/dta"
@@ -229,5 +230,70 @@ func TestCrashTaxonomy(t *testing.T) {
 	}
 	if res.Outcomes[Crash] > 0 && len(res.CrashKinds) == 0 {
 		t.Fatal("crashes without kinds")
+	}
+}
+
+func TestInvalidTimeoutFactorRejected(t *testing.T) {
+	w := tinyWorkload(t, "sobel")
+	m := errmodel.BuildDA("VR15", 0, 1000)
+	for name, tf := range map[string]float64{
+		"negative":      -1,
+		"tiny negative": -1e-9,
+		"NaN":           math.NaN(),
+		"+Inf":          math.Inf(1),
+		"-Inf":          math.Inf(-1),
+	} {
+		if _, err := Run(Spec{Workload: w, Model: m, Runs: 2, Seed: 1, TimeoutFactor: tf}); err == nil {
+			t.Errorf("%s TimeoutFactor must be rejected", name)
+		}
+	}
+	// Zero still selects the paper's default of 2.0, and an explicit
+	// positive factor still works.
+	for _, tf := range []float64{0, 1.5} {
+		if _, err := Run(Spec{Workload: w, Model: m, Runs: 2, Seed: 1, TimeoutFactor: tf}); err != nil {
+			t.Errorf("TimeoutFactor %v must be accepted: %v", tf, err)
+		}
+	}
+}
+
+func TestCrashKindTaxonomy(t *testing.T) {
+	for _, tc := range []struct {
+		reason string
+		want   string
+	}{
+		{"memory fault at 0x1000", "memory fault"},
+		{"string fault: copy past segment end", "memory fault"},
+		{"misaligned load at 0x3", "misaligned access"},
+		{"jump outside text segment", "wild pc"},
+		{"illegal instruction 0xdeadbeef", "illegal instruction"},
+		{"fp invalid operation", "fp exception"},
+		{"watchdog reset", "other"},
+		{"", "other"},
+	} {
+		if got := crashKind(tc.reason); got != tc.want {
+			t.Errorf("crashKind(%q) = %q, want %q", tc.reason, got, tc.want)
+		}
+	}
+}
+
+func TestSingleInjectionWithNilInjectorIsMasked(t *testing.T) {
+	// A model whose every rate is zero makes SingleInjector return nil
+	// ("this voltage level produces no errors for this application");
+	// each run must then execute injection-free and classify as Masked
+	// without counting toward RunsWithInjection.
+	w := tinyWorkload(t, "sobel")
+	m := errmodel.BuildDA("VR15", 0, 1000)
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 6, Seed: 5, SingleInjection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[Masked] != 6 {
+		t.Fatalf("all runs must be Masked: %v", res.Outcomes)
+	}
+	if res.RunsWithInjection != 0 || res.InjectedErrors != 0 {
+		t.Fatalf("nil injector must not record injections: %+v", res)
+	}
+	if res.AVM() != 0 {
+		t.Fatalf("AVM must be 0, got %v", res.AVM())
 	}
 }

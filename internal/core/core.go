@@ -15,7 +15,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"teva/internal/artifact"
 	"teva/internal/campaign"
 	"teva/internal/cell"
 	"teva/internal/dta"
@@ -45,6 +47,11 @@ type Config struct {
 	// ExactTiming selects the event-driven gate-level engine instead of
 	// the fast levelized engine.
 	ExactTiming bool
+	// Artifacts, when non-nil, persists DTA characterization summaries
+	// across runs: a second run with the same seed and sample sizes
+	// reloads every summary instead of re-simulating. A nil store
+	// disables on-disk caching.
+	Artifacts *artifact.Store
 }
 
 // DefaultConfig returns the scaled-down defaults.
@@ -57,14 +64,26 @@ func DefaultConfig() Config {
 	}
 }
 
-// Framework is an instantiated cross-layer toolflow.
+// Framework is an instantiated cross-layer toolflow. Its methods are safe
+// for concurrent use: the experiment pipeline materializes many cells in
+// parallel, and all of them funnel through the per-level characterization
+// below.
 type Framework struct {
 	Cfg  Config
 	Lib  *cell.Library
 	FPU  *fpu.FPU
 	Volt vscale.Model
-	// cached per-level random-operand summaries (shared by DA and IA).
-	randomSummaries map[string]map[fpu.Op]*dta.Summary
+	// per-level random-operand summaries (shared by DA and IA), built
+	// once per level with single-flight so concurrent model builds at
+	// the same level wait instead of duplicating the DTA work.
+	mu          sync.Mutex
+	randomCalls map[string]*summaryCall
+}
+
+// summaryCall is one single-flight characterization slot.
+type summaryCall struct {
+	once sync.Once
+	sums map[fpu.Op]*dta.Summary
 }
 
 // New builds (and calibrates) the hardware substrate and returns the
@@ -89,11 +108,11 @@ func New(cfg Config) (*Framework, error) {
 		return nil, err
 	}
 	return &Framework{
-		Cfg:             cfg,
-		Lib:             lib,
-		FPU:             f,
-		Volt:            vscale.Default45nm(),
-		randomSummaries: make(map[string]map[fpu.Op]*dta.Summary),
+		Cfg:         cfg,
+		Lib:         lib,
+		FPU:         f,
+		Volt:        vscale.Default45nm(),
+		randomCalls: make(map[string]*summaryCall),
 	}, nil
 }
 
@@ -113,30 +132,51 @@ func randomPairs(op fpu.Op, n int, src *prng.Source) []dta.Pair {
 
 // RandomSummaries runs (or returns cached) DTA over uniformly random
 // operands for every instruction type at the level — the IA model's
-// characterization and Figure 7's data.
+// characterization and Figure 7's data. Each op's operand stream is
+// seeded independently of the others, so per-op summaries are stable
+// cache artifacts regardless of which ops were analyzed before them.
 func (f *Framework) RandomSummaries(level vscale.VRLevel) map[fpu.Op]*dta.Summary {
-	if s, ok := f.randomSummaries[level.Name]; ok {
-		return s
+	f.mu.Lock()
+	call, ok := f.randomCalls[level.Name]
+	if !ok {
+		call = &summaryCall{}
+		f.randomCalls[level.Name] = call
 	}
-	src := prng.New(f.Cfg.Seed ^ 0x1A5EED)
-	out := make(map[fpu.Op]*dta.Summary, fpu.NumOps)
-	for _, op := range fpu.Ops() {
-		n := f.Cfg.RandomOperands
-		if op == fpu.DDiv || op == fpu.SDiv {
-			n /= 8 // the iterative divider is ~50x slower to analyze
+	f.mu.Unlock()
+	call.once.Do(func() {
+		scale := f.Volt.ScaleFor(level)
+		out := make(map[fpu.Op]*dta.Summary, fpu.NumOps)
+		for _, op := range fpu.Ops() {
+			n := f.Cfg.RandomOperands
+			if op == fpu.DDiv || op == fpu.SDiv {
+				n /= 8 // the iterative divider is ~50x slower to analyze
+			}
+			opSeed := f.Cfg.Seed ^ 0x1A5EED ^ hashString("random/"+op.String())
+			key := artifact.SummaryKey("random", op.String(), scale, opSeed, n, f.Cfg.ExactTiming)
+			s := new(dta.Summary)
+			if f.Cfg.Artifacts.Load(key, s) {
+				out[op] = s
+				continue
+			}
+			pairs := randomPairs(op, n, prng.New(opSeed))
+			recs := dta.AnalyzeStreamAt(f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers)
+			out[op] = dta.Summarize(op, recs)
+			// Cache write failures are non-fatal: the summary is simply
+			// recomputed on the next run.
+			_ = f.Cfg.Artifacts.Save(key, out[op])
 		}
-		pairs := randomPairs(op, n, src.Split())
-		recs := dta.AnalyzeStream(f.FPU, op, f.Volt, level, f.Cfg.ExactTiming, pairs, f.Cfg.Workers)
-		out[op] = dta.Summarize(op, recs)
-	}
-	f.randomSummaries[level.Name] = out
-	return out
+		call.sums = out
+	})
+	return call.sums
 }
 
 // WorkloadSummaries runs DTA over operands extracted from the workload
-// trace — the WA model's characterization and Figure 8's data.
+// trace — the WA model's characterization and Figure 8's data. The cache
+// key folds in the trace's content fingerprint, so summaries from a
+// different workload scale or trace seed can never be confused.
 func (f *Framework) WorkloadSummaries(level vscale.VRLevel, tr *trace.Trace) map[fpu.Op]*dta.Summary {
-	src := prng.New(f.Cfg.Seed ^ 0x3A5EED ^ hashString(tr.Workload))
+	scale := f.Volt.ScaleFor(level)
+	source := fmt.Sprintf("wl:%s:%#x", tr.Workload, tr.Fingerprint())
 	out := make(map[fpu.Op]*dta.Summary, fpu.NumOps)
 	for _, op := range fpu.Ops() {
 		pool := tr.Pairs[op]
@@ -150,13 +190,21 @@ func (f *Framework) WorkloadSummaries(level vscale.VRLevel, tr *trace.Trace) map
 		if n < 1 {
 			n = 1
 		}
+		opSeed := f.Cfg.Seed ^ 0x3A5EED ^ hashString(tr.Workload+"/"+op.String())
+		key := artifact.SummaryKey(source, op.String(), scale, opSeed, n, f.Cfg.ExactTiming)
+		s := new(dta.Summary)
+		if f.Cfg.Artifacts.Load(key, s) {
+			out[op] = s
+			continue
+		}
 		pairs := make([]dta.Pair, n)
-		rs := src.Split()
+		rs := prng.New(opSeed)
 		for i := range pairs {
 			pairs[i] = pool[rs.Intn(len(pool))]
 		}
-		recs := dta.AnalyzeStream(f.FPU, op, f.Volt, level, f.Cfg.ExactTiming, pairs, f.Cfg.Workers)
+		recs := dta.AnalyzeStreamAt(f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers)
 		out[op] = dta.Summarize(op, recs)
+		_ = f.Cfg.Artifacts.Save(key, out[op])
 	}
 	return out
 }

@@ -159,11 +159,11 @@ func (a *Analyzer) packInputs(pair Pair) []bool {
 }
 
 // AnalyzeStream runs DTA over a stream of operand pairs, sharding across
-// workers. Pipeline history couples consecutive pairs, so each shard warms
-// up on its first pair (recorded results still cover every pair; the shard
-// boundary transition differs from a strictly serial run, which is
-// statistically immaterial for characterization). Results are returned in
-// input order.
+// workers. Pipeline history couples consecutive pairs, so every shard but
+// the first warms up on the previous shard's last pair — the same
+// transition a strictly serial run would see at that position — which
+// makes the returned records identical for any worker count. Results are
+// returned in input order.
 func AnalyzeStream(f *fpu.FPU, op fpu.Op, model vscale.Model, level vscale.VRLevel, exact bool, pairs []Pair, workers int) []Record {
 	return AnalyzeStreamAt(f, op, model.ScaleFor(level), exact, pairs, workers)
 }
@@ -195,6 +195,12 @@ func AnalyzeStreamAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []P
 		go func(lo, hi int) {
 			defer wg.Done()
 			a := NewAt(f, op, scale, exact)
+			if lo > 0 {
+				// Reproduce the serial history at the shard boundary: the
+				// transition into pairs[lo] starts from the previous pair,
+				// not from a pairs[lo]→pairs[lo] self-transition.
+				a.Warm(pairs[lo-1])
+			}
 			for i := lo; i < hi; i++ {
 				records[i] = a.Analyze(pairs[i])
 			}

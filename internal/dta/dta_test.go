@@ -265,3 +265,25 @@ func TestHigherScaleNeverFewerErrors(t *testing.T) {
 		t.Fatal("deep stress should produce errors")
 	}
 }
+
+func TestAnalyzeStreamWorkerCountInvariant(t *testing.T) {
+	// Regression: shards used to warm up on their own first pair (a
+	// pair→pair self-transition), so shard-boundary records depended on
+	// the worker count. Warming each shard with the previous shard's
+	// last pair makes the stream byte-identical for any sharding. The
+	// pair count is deliberately not a multiple of the worker counts so
+	// shard boundaries land mid-stream.
+	for _, op := range []fpu.Op{fpu.DMul, fpu.DSub} {
+		pairs := randPairs(op, 257, 47)
+		serial := AnalyzeStream(testFPU, op, testModel, vscale.VR20, false, pairs, 1)
+		for _, workers := range []int{2, 3, 8} {
+			parallel := AnalyzeStream(testFPU, op, testModel, vscale.VR20, false, pairs, workers)
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("%s: workers=%d diverges from serial at record %d:\n  serial   %+v\n  parallel %+v",
+						op, workers, i, serial[i], parallel[i])
+				}
+			}
+		}
+	}
+}

@@ -28,8 +28,11 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"teva/internal/alu"
+	"teva/internal/artifact"
 	"teva/internal/campaign"
 	"teva/internal/core"
 	"teva/internal/dta"
@@ -78,33 +81,48 @@ func PaperOptions() Options {
 	return o
 }
 
-// Env lazily materializes the shared artifacts (workloads, traces,
-// models, campaigns) the experiments draw from.
+// Env materializes the shared artifacts (workloads, traces, models,
+// campaigns) the experiments draw from. Every lazily built artifact lives
+// behind a single-flight memo, so the environment is safe for concurrent
+// use and the parallel matrix build (RunCampaigns) never duplicates work:
+// Figures 9, 10 and the AVM analysis all reuse one campaign set, and
+// every DA cell at a level waits on one shared characterization instead
+// of racing it. When the framework carries an artifact store, campaign
+// cells are additionally persisted across process lifetimes.
 type Env struct {
 	F    *core.Framework
 	Opts Options
 
 	ws      []*workloads.Workload
-	traces  map[string]*trace.Trace
-	waSums  map[string]map[fpu.Op]*dta.Summary // key: level/workload
-	daBy    map[string]*errmodel.DAModel
-	iaBy    map[string]*errmodel.IAModel
-	waBy    map[string]*errmodel.WAModel // key: level/workload
-	cells   map[string]*campaign.Result  // key: workload/kind/level
-	intUnit *alu.Unit
+	wsErr   error
+	wsOnce  sync.Once
+	traces  *memo[*trace.Trace]
+	waSums  *memo[map[fpu.Op]*dta.Summary] // key: level/workload
+	daBy    *memo[*errmodel.DAModel]
+	iaBy    *memo[*errmodel.IAModel]
+	waBy    *memo[*errmodel.WAModel] // key: level/workload
+	cells   *memo[*campaign.Result]  // key: workload/kind/level
+	streams *memo[*dta.Summary]      // ad-hoc characterization streams
+	intUnit *memo[*alu.Unit]
+
+	cellsDone   atomic.Int64
+	cellsTotal  atomic.Int64
+	cellsCached atomic.Int64
 }
 
 // NewEnv creates the environment.
 func NewEnv(f *core.Framework, opts Options) *Env {
 	return &Env{
-		F:      f,
-		Opts:   opts,
-		traces: make(map[string]*trace.Trace),
-		waSums: make(map[string]map[fpu.Op]*dta.Summary),
-		daBy:   make(map[string]*errmodel.DAModel),
-		iaBy:   make(map[string]*errmodel.IAModel),
-		waBy:   make(map[string]*errmodel.WAModel),
-		cells:  make(map[string]*campaign.Result),
+		F:       f,
+		Opts:    opts,
+		traces:  newMemo[*trace.Trace](),
+		waSums:  newMemo[map[fpu.Op]*dta.Summary](),
+		daBy:    newMemo[*errmodel.DAModel](),
+		iaBy:    newMemo[*errmodel.IAModel](),
+		waBy:    newMemo[*errmodel.WAModel](),
+		cells:   newMemo[*campaign.Result](),
+		streams: newMemo[*dta.Summary](),
+		intUnit: newMemo[*alu.Unit](),
 	}
 }
 
@@ -113,136 +131,114 @@ func (e *Env) Levels() []vscale.VRLevel { return vscale.PaperLevels() }
 
 // Workloads returns (building once) the benchmark set.
 func (e *Env) Workloads() ([]*workloads.Workload, error) {
-	if e.ws == nil {
-		ws, err := workloads.All(e.Opts.Scale)
-		if err != nil {
-			return nil, err
-		}
-		e.ws = ws
-	}
-	return e.ws, nil
+	e.wsOnce.Do(func() { e.ws, e.wsErr = workloads.All(e.Opts.Scale) })
+	return e.ws, e.wsErr
 }
 
 // Trace returns (capturing once) a workload's operand trace.
 func (e *Env) Trace(w *workloads.Workload) (*trace.Trace, error) {
-	if tr, ok := e.traces[w.Name]; ok {
-		return tr, nil
-	}
-	tr, err := e.F.CaptureTrace(w)
-	if err != nil {
-		return nil, err
-	}
-	e.traces[w.Name] = tr
-	return tr, nil
+	return e.traces.do(w.Name, func() (*trace.Trace, error) {
+		return e.F.CaptureTrace(w)
+	})
 }
 
 // WASummaries returns (computing once) the workload-aware DTA summaries.
 func (e *Env) WASummaries(level vscale.VRLevel, w *workloads.Workload) (map[fpu.Op]*dta.Summary, error) {
-	key := level.Name + "/" + w.Name
-	if s, ok := e.waSums[key]; ok {
-		return s, nil
-	}
-	tr, err := e.Trace(w)
-	if err != nil {
-		return nil, err
-	}
-	s := e.F.WorkloadSummaries(level, tr)
-	e.waSums[key] = s
-	return s, nil
-}
-
-// DAModel returns (building once) the data-agnostic model at a level.
-func (e *Env) DAModel(level vscale.VRLevel) (*errmodel.DAModel, error) {
-	if m, ok := e.daBy[level.Name]; ok {
-		return m, nil
-	}
-	ws, err := e.Workloads()
-	if err != nil {
-		return nil, err
-	}
-	var trs []*trace.Trace
-	for _, w := range ws {
+	return e.waSums.do(level.Name+"/"+w.Name, func() (map[fpu.Op]*dta.Summary, error) {
 		tr, err := e.Trace(w)
 		if err != nil {
 			return nil, err
 		}
-		trs = append(trs, tr)
-	}
-	m, err := e.F.DevelopDA(level, trs)
-	if err != nil {
-		return nil, err
-	}
-	e.daBy[level.Name] = m
-	return m, nil
+		return e.F.WorkloadSummaries(level, tr), nil
+	})
+}
+
+// DAModel returns (building once) the data-agnostic model at a level.
+func (e *Env) DAModel(level vscale.VRLevel) (*errmodel.DAModel, error) {
+	return e.daBy.do(level.Name, func() (*errmodel.DAModel, error) {
+		ws, err := e.Workloads()
+		if err != nil {
+			return nil, err
+		}
+		var trs []*trace.Trace
+		for _, w := range ws {
+			tr, err := e.Trace(w)
+			if err != nil {
+				return nil, err
+			}
+			trs = append(trs, tr)
+		}
+		return e.F.DevelopDA(level, trs)
+	})
 }
 
 // IAModel returns (building once) the instruction-aware model at a level.
 func (e *Env) IAModel(level vscale.VRLevel) *errmodel.IAModel {
-	if m, ok := e.iaBy[level.Name]; ok {
-		return m
-	}
-	m := e.F.DevelopIA(level)
-	e.iaBy[level.Name] = m
+	m, _ := e.iaBy.do(level.Name, func() (*errmodel.IAModel, error) {
+		return e.F.DevelopIA(level), nil
+	})
 	return m
 }
 
 // WAModel returns (building once) the workload-aware model for a cell.
 func (e *Env) WAModel(level vscale.VRLevel, w *workloads.Workload) (*errmodel.WAModel, error) {
-	key := level.Name + "/" + w.Name
-	if m, ok := e.waBy[key]; ok {
-		return m, nil
-	}
-	sums, err := e.WASummaries(level, w)
-	if err != nil {
-		return nil, err
-	}
-	m := errmodel.BuildWA(level.Name, w.Name, sums)
-	e.waBy[key] = m
-	return m, nil
+	return e.waBy.do(level.Name+"/"+w.Name, func() (*errmodel.WAModel, error) {
+		sums, err := e.WASummaries(level, w)
+		if err != nil {
+			return nil, err
+		}
+		return errmodel.BuildWA(level.Name, w.Name, sums), nil
+	})
 }
 
 // Cell runs (once) the injection campaign for one (workload, model
-// family, level) and caches the result.
+// family, level). A cell found in the artifact store is reloaded without
+// building its model at all — on a warm cache the whole matrix resolves
+// without a single simulation.
 func (e *Env) Cell(w *workloads.Workload, kind errmodel.Kind, level vscale.VRLevel) (*campaign.Result, error) {
 	key := fmt.Sprintf("%s/%s/%s", w.Name, kind, level.Name)
-	if r, ok := e.cells[key]; ok {
+	return e.cells.do(key, func() (*campaign.Result, error) {
+		store := e.F.Cfg.Artifacts
+		ak := artifact.CampaignKey(w.Name, string(kind), level.Name,
+			e.Opts.Runs, e.F.Cfg.Seed, true, e.cfgTag())
+		cached := new(campaign.Result)
+		if store.Load(ak, cached) {
+			e.cellsCached.Add(1)
+			e.cellsDone.Add(1)
+			return cached, nil
+		}
+		var m errmodel.Model
+		var err error
+		switch kind {
+		case errmodel.DA:
+			m, err = e.DAModel(level)
+		case errmodel.IA:
+			m = e.IAModel(level)
+		case errmodel.WA:
+			m, err = e.WAModel(level, w)
+		default:
+			err = fmt.Errorf("experiments: unknown model kind %q", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Figures 9 and the AVM analysis use the paper's single-injection
+		// statistical discipline.
+		r, err := e.F.EvaluateSingle(w, m, e.Opts.Runs)
+		if err != nil {
+			return nil, err
+		}
+		_ = store.Save(ak, r)
+		e.cellsDone.Add(1)
 		return r, nil
-	}
-	var m errmodel.Model
-	var err error
-	switch kind {
-	case errmodel.DA:
-		m, err = e.DAModel(level)
-	case errmodel.IA:
-		m = e.IAModel(level)
-	case errmodel.WA:
-		m, err = e.WAModel(level, w)
-	default:
-		err = fmt.Errorf("experiments: unknown model kind %q", kind)
-	}
-	if err != nil {
-		return nil, err
-	}
-	// Figures 9 and the AVM analysis use the paper's single-injection
-	// statistical discipline.
-	r, err := e.F.EvaluateSingle(w, m, e.Opts.Runs)
-	if err != nil {
-		return nil, err
-	}
-	e.cells[key] = r
-	return r, nil
+	})
 }
 
 // IntUnit returns (building once) the integer-side netlists for Figure 4.
 func (e *Env) IntUnit() (*alu.Unit, error) {
-	if e.intUnit == nil {
-		u, err := alu.New(e.F.Lib, e.F.Cfg.Seed+0xA10)
-		if err != nil {
-			return nil, err
-		}
-		e.intUnit = u
-	}
-	return e.intUnit, nil
+	return e.intUnit.do("int", func() (*alu.Unit, error) {
+		return alu.New(e.F.Lib, e.F.Cfg.Seed+0xA10)
+	})
 }
 
 // ModelKinds returns the three compared families in presentation order.

@@ -63,11 +63,14 @@ func Sources(e *Env) ([]SourceRow, error) {
 	var rows []SourceRow
 	for _, c := range corners {
 		scale := m.Scale(c.sc)
-		recs := dta.AnalyzeStreamAt(e.F.FPU, fpu.DMul, scale, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
+		sum := e.cachedSummary("sources/"+c.name, fpu.DMul, scale, len(pairs), func() *dta.Summary {
+			recs := dta.AnalyzeStreamAt(e.F.FPU, fpu.DMul, scale, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
+			return dta.Summarize(fpu.DMul, recs)
+		})
 		rows = append(rows, SourceRow{
 			Name:  c.name,
 			Scale: scale,
-			ER:    dta.Summarize(fpu.DMul, recs).ErrorRatio(),
+			ER:    sum.ErrorRatio(),
 		})
 	}
 	return rows, nil
@@ -158,26 +161,33 @@ func HistoryAblation(e *Env, level vscale.VRLevel) ([]HistoryRow, error) {
 	}
 	var rows []HistoryRow
 	for _, op := range []fpu.Op{fpu.DMul, fpu.DSub, fpu.DAdd} {
+		op := op
 		src := e.rng("history/" + op.String())
 		pairs := make([]dta.Pair, n)
 		for i := range pairs {
 			pairs[i] = dta.Pair{A: src.Uint64(), B: src.Uint64()}
 		}
-		with := dta.AnalyzeStream(e.F.FPU, op, e.F.Volt, level, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
 		scale := e.F.Volt.ScaleFor(level)
-		fixed := make([]dta.Record, len(pairs))
-		// Fixed history: re-warm the analyzer with the same reference
-		// pair before every instruction.
-		a := dta.NewAt(e.F.FPU, op, scale, e.F.Cfg.ExactTiming)
-		ref := dta.Pair{A: 0x3FF0000000000000, B: 0x3FF0000000000000} // 1.0, 1.0
-		for i, p := range pairs {
-			a.Warm(ref)
-			fixed[i] = a.Analyze(p)
-		}
+		with := e.cachedSummary("history/with/"+level.Name, op, scale, n, func() *dta.Summary {
+			recs := dta.AnalyzeStream(e.F.FPU, op, e.F.Volt, level, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
+			return dta.Summarize(op, recs)
+		})
+		fixed := e.cachedSummary("history/fixed/"+level.Name, op, scale, n, func() *dta.Summary {
+			// Fixed history: re-warm the analyzer with the same reference
+			// pair before every instruction.
+			recs := make([]dta.Record, len(pairs))
+			a := dta.NewAt(e.F.FPU, op, scale, e.F.Cfg.ExactTiming)
+			ref := dta.Pair{A: 0x3FF0000000000000, B: 0x3FF0000000000000} // 1.0, 1.0
+			for i, p := range pairs {
+				a.Warm(ref)
+				recs[i] = a.Analyze(p)
+			}
+			return dta.Summarize(op, recs)
+		})
 		rows = append(rows, HistoryRow{
 			Op:           op,
-			WithHistory:  dta.Summarize(op, with).ErrorRatio(),
-			FixedHistory: dta.Summarize(op, fixed).ErrorRatio(),
+			WithHistory:  with.ErrorRatio(),
+			FixedHistory: fixed.ErrorRatio(),
 		})
 	}
 	return rows, nil
@@ -219,9 +229,14 @@ func ProcessVariation(e *Env, dies int, sigma float64) (*ProcessResult, error) {
 	scale := e.F.Volt.ScaleFor(vscale.VR15)
 	res := &ProcessResult{Sigma: sigma}
 	for die := 0; die < dies; die++ {
-		f := e.F.FPU.Vary(sigma, uint64(die)+1)
-		recs := dta.AnalyzeStreamAt(f, fpu.DMul, scale, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
-		res.ERs = append(res.ERs, dta.Summarize(fpu.DMul, recs).ErrorRatio())
+		die := die
+		sum := e.cachedSummary(fmt.Sprintf("process/sigma%g/die%d", sigma, die),
+			fpu.DMul, scale, n, func() *dta.Summary {
+				f := e.F.FPU.Vary(sigma, uint64(die)+1)
+				recs := dta.AnalyzeStreamAt(f, fpu.DMul, scale, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
+				return dta.Summarize(fpu.DMul, recs)
+			})
+		res.ERs = append(res.ERs, sum.ErrorRatio())
 	}
 	sort.Float64s(res.ERs)
 	return res, nil
@@ -286,8 +301,13 @@ func Validate(e *Env, level vscale.VRLevel) ([]ValidationRow, float64, error) {
 			for i := range pairs {
 				pairs[i] = pool[src.Intn(len(pool))]
 			}
-			recs := dta.AnalyzeStream(e.F.FPU, op, e.F.Volt, level, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
-			obs := dta.Summarize(op, recs).ErrorRatio()
+			op := op
+			sum := e.cachedSummary("validate/"+level.Name+"/"+w.Name, op,
+				e.F.Volt.ScaleFor(level), n, func() *dta.Summary {
+					recs := dta.AnalyzeStream(e.F.FPU, op, e.F.Volt, level, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
+					return dta.Summarize(op, recs)
+				})
+			obs := sum.ErrorRatio()
 			rows = append(rows, ValidationRow{Workload: w.Name, Op: op, Predicted: pred, Observed: obs})
 			if pred > 0 {
 				d := (obs - pred) / pred

@@ -7,6 +7,8 @@ import (
 	"teva/internal/campaign"
 	"teva/internal/errmodel"
 	"teva/internal/stats"
+	"teva/internal/vscale"
+	"teva/internal/workloads"
 )
 
 // CampaignSet is the full cross product of (workload, model, level)
@@ -28,24 +30,44 @@ func (cs *CampaignSet) Get(workload string, kind errmodel.Kind, level string) *c
 	return cs.Cells[cellKey(workload, kind, level)]
 }
 
-// RunCampaigns executes (or reuses) every campaign cell.
+// RunCampaigns executes (or reuses) every campaign cell. The full
+// workload × model × level matrix is fanned out over a bounded worker
+// pool; per-cell single-flight inside Env deduplicates the shared model
+// builds, so the matrix scales with cores on a cold cache and resolves
+// without any simulation on a warm one. The assembled set is identical
+// to a serial build: every cell's campaign derives its own seed from
+// (workload, kind, level), independent of scheduling order.
 func RunCampaigns(e *Env) (*CampaignSet, error) {
 	ws, err := e.Workloads()
 	if err != nil {
 		return nil, err
 	}
+	type job struct {
+		w     *workloads.Workload
+		kind  errmodel.Kind
+		level vscale.VRLevel
+	}
+	var jobs []job
 	cs := &CampaignSet{Cells: make(map[string]*campaign.Result)}
 	for _, w := range ws {
 		cs.Order = append(cs.Order, w.Name)
 		for _, level := range e.Levels() {
 			for _, kind := range ModelKinds() {
-				r, err := e.Cell(w, kind, level)
-				if err != nil {
-					return nil, err
-				}
-				cs.Cells[cellKey(w.Name, kind, level.Name)] = r
+				jobs = append(jobs, job{w, kind, level})
 			}
 		}
+	}
+	e.cellsTotal.Store(int64(len(jobs)))
+	results := make([]*campaign.Result, len(jobs))
+	if err := forEachLimit(e.workers(), len(jobs), func(i int) error {
+		r, err := e.Cell(jobs[i].w, jobs[i].kind, jobs[i].level)
+		results[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		cs.Cells[cellKey(j.w.Name, j.kind, j.level.Name)] = results[i]
 	}
 	return cs, nil
 }

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"teva/internal/artifact"
+	"teva/internal/dta"
+	"teva/internal/fpu"
+)
+
+// memo is a generic single-flight lazy map: the first caller of a key
+// computes the value while concurrent callers of the same key block until
+// it is ready, so the parallel experiment pipeline never duplicates a
+// model build, trace capture, or campaign cell. Values (and errors) are
+// retained for the life of the Env.
+type memo[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+func newMemo[V any]() *memo[V] {
+	return &memo[V]{entries: make(map[string]*memoEntry[V])}
+}
+
+// do returns the memoized value for key, computing it with fn exactly
+// once across all goroutines.
+func (m *memo[V]) do(key string, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// forEachLimit runs fn(i) for every i in [0, n) on at most workers
+// goroutines (errgroup-style bounded fan-out). Every task runs to
+// completion; the first error observed is returned.
+func forEachLimit(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// workers returns the pipeline's fan-out width.
+func (e *Env) workers() int {
+	if e.F.Cfg.Workers > 0 {
+		return e.F.Cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Progress is a point-in-time snapshot of the campaign matrix build, for
+// the CLI's periodic -progress reporting.
+type Progress struct {
+	// CellsDone counts campaign cells materialized so far (computed or
+	// reloaded) out of CellsTotal planned by RunCampaigns.
+	CellsDone, CellsTotal int64
+	// CellsCached counts the cells that were reloaded from the artifact
+	// store instead of re-run.
+	CellsCached int64
+	// Cache is the artifact store's counters (DTA summaries included).
+	Cache artifact.Stats
+}
+
+// Progress returns the current matrix-build counters.
+func (e *Env) Progress() Progress {
+	return Progress{
+		CellsDone:   e.cellsDone.Load(),
+		CellsTotal:  e.cellsTotal.Load(),
+		CellsCached: e.cellsCached.Load(),
+		Cache:       e.F.Cfg.Artifacts.Stats(),
+	}
+}
+
+// cfgTag canonically encodes every framework/option setting that shapes
+// model development, so artifacts from different configurations never
+// alias in a shared cache directory.
+func (e *Env) cfgTag() string {
+	c := e.F.Cfg
+	return fmt.Sprintf("scale=%s,ro=%d,wo=%d,da=%d,exact=%v",
+		e.Opts.Scale, c.RandomOperands, c.WorkloadOperands, c.DASample, c.ExactTiming)
+}
+
+// cachedSummary memoizes (in-process and, when a store is configured,
+// on-disk) one ad-hoc DTA characterization stream: the Figure 6
+// convergence draws, the Section VI stress corners, the validation
+// re-measurements, the history ablation, and the process-variation dies
+// all flow through here, so a re-run with the same seed reloads them
+// instead of re-simulating. The tag must uniquely name the stream's
+// provenance (which rng draw, which die, ...); compute performs the
+// actual analysis on a miss.
+func (e *Env) cachedSummary(tag string, op fpu.Op, scale float64, samples int, compute func() *dta.Summary) *dta.Summary {
+	key := fmt.Sprintf("%s|%s|%v|%d", tag, op, scale, samples)
+	s, _ := e.streams.do(key, func() (*dta.Summary, error) {
+		store := e.F.Cfg.Artifacts
+		ak := artifact.SummaryKey(tag+","+e.cfgTag(), op.String(), scale,
+			e.F.Cfg.Seed, samples, e.F.Cfg.ExactTiming)
+		sum := new(dta.Summary)
+		if store.Load(ak, sum) {
+			return sum, nil
+		}
+		sum = compute()
+		_ = store.Save(ak, sum)
+		return sum, nil
+	})
+	return s
+}

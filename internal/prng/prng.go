@@ -6,7 +6,10 @@
 // xoshiro256**, seeded through splitmix64 as its authors recommend.
 package prng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a deterministic random source. It intentionally mirrors a small
 // subset of math/rand so call sites read idiomatically, but it is seedable,
@@ -75,19 +78,25 @@ func (src *Source) Intn(n int) int {
 }
 
 // Uint64n returns a uniform integer in [0, n) using Lemire's multiply-shift
-// rejection method. It panics if n == 0.
+// rejection method (Lemire, "Fast Random Integer Generation in an Interval",
+// 2019): the 64-bit draw is mapped to [0, n) by taking the high word of the
+// 128-bit product draw*n, and only the rare draws falling into the biased
+// low fringe (fewer than n out of 2^64) are rejected and retried — no
+// division on the common path. It panics if n == 0.
 func (src *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("prng: Uint64n with zero n")
 	}
-	// Rejection sampling to remove modulo bias.
-	threshold := -n % n
-	for {
-		v := src.Uint64()
-		if v >= threshold {
-			return v % n
+	hi, lo := bits.Mul64(src.Uint64(), n)
+	if lo < n {
+		// threshold = 2^64 mod n; products with lo below it are the
+		// overrepresented remainder fringe and must be redrawn.
+		threshold := -n % n
+		for lo < threshold {
+			hi, lo = bits.Mul64(src.Uint64(), n)
 		}
 	}
+	return hi
 }
 
 // Float64 returns a uniform float64 in [0, 1).

@@ -47,6 +47,33 @@ func (t *Trace) OpShare(op fpu.Op) float64 {
 	return float64(t.OpCounts[op]) / float64(t.TotalInstr)
 }
 
+// Fingerprint returns a content hash over everything a characterization
+// derives from the trace: dynamic counts and the sampled operand pools
+// themselves. Two traces with equal fingerprints drive identical DTA, so
+// the hash keys on-disk artifacts computed from a trace — a different
+// workload scale, trace seed, or sampler change yields a different
+// fingerprint and therefore a cache miss instead of a stale hit.
+func (t *Trace) Fingerprint() uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xFF
+			h *= 0x100000001b3
+		}
+	}
+	mix(uint64(t.TotalInstr))
+	mix(t.Cycles)
+	for op := range t.Pairs {
+		mix(uint64(t.OpCounts[op]))
+		mix(uint64(len(t.Pairs[op])))
+		for _, p := range t.Pairs[op] {
+			mix(p.A)
+			mix(p.B)
+		}
+	}
+	return h
+}
+
 // capturer is the cpu.Injector that samples operands without injecting.
 type capturer struct {
 	res [fpu.NumOps]*prng.Reservoir[dta.Pair]
