@@ -11,6 +11,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"teva/internal/campaign"
 	"teva/internal/core"
@@ -20,6 +21,7 @@ import (
 	"teva/internal/experiments"
 	"teva/internal/fpu"
 	"teva/internal/isa"
+	"teva/internal/logicsim"
 	"teva/internal/prng"
 	"teva/internal/timingsim"
 	"teva/internal/vscale"
@@ -229,9 +231,9 @@ func benchTimingSim(b *testing.B, exact bool) {
 	stage := p.Stages[3].N // s4-cpa
 	var sim timingsim.Runner
 	if exact {
-		sim = timingsim.NewExact(stage, 1.256)
+		sim = timingsim.NewExact(stage.Compiled(), 1.256)
 	} else {
-		sim = timingsim.NewFast(stage, 1.256)
+		sim = timingsim.NewFast(stage.Compiled(), 1.256)
 	}
 	src := prng.New(7)
 	prev := make([]bool, len(stage.Inputs()))
@@ -245,6 +247,63 @@ func benchTimingSim(b *testing.B, exact bool) {
 		sim.Run(prev, cur, 85, 4400)
 	}
 	b.ReportMetric(float64(stage.NumGates()), "gates")
+}
+
+// BenchmarkLogicSim measures the scalar zero-delay functional engine on
+// the multiplier CPA stage (one vector per circuit walk).
+func BenchmarkLogicSim(b *testing.B) {
+	e := benchEnv(b)
+	stage := e.F.FPU.Pipeline(fpu.DMul).Stages[3].N // s4-cpa
+	sim := logicsim.New(stage.Compiled())
+	src := prng.New(7)
+	in := make([]bool, len(stage.Inputs()))
+	for i := range in {
+		in[i] = src.Bool()
+	}
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(in)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(time.Since(start).Nanoseconds())/float64(b.N), "ns/vector")
+}
+
+// BenchmarkLogicSimWide measures the 64-wide bit-parallel engine on the
+// same stage; ns/vector counts all 64 lanes of each walk.
+func BenchmarkLogicSimWide(b *testing.B) {
+	e := benchEnv(b)
+	stage := e.F.FPU.Pipeline(fpu.DMul).Stages[3].N // s4-cpa
+	sim := logicsim.NewWide(stage.Compiled())
+	src := prng.New(7)
+	in := make([]uint64, len(stage.Inputs()))
+	for i := range in {
+		in[i] = src.Uint64()
+	}
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(in)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(time.Since(start).Nanoseconds())/float64(b.N*64), "ns/vector")
+}
+
+// BenchmarkDTAStreamFAdd measures the sharded DTA stream over 256 fp-add
+// operand pairs on one worker (the characterization hot loop; the golden
+// side runs 64 pairs per circuit walk).
+func BenchmarkDTAStreamFAdd(b *testing.B) {
+	e := benchEnv(b)
+	src := prng.New(11)
+	pairs := make([]dta.Pair, 256)
+	for i := range pairs {
+		pairs[i] = dta.Pair{A: src.Uint64(), B: src.Uint64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dta.AnalyzeStream(e.F.FPU, fpu.DAdd, e.F.Volt, vscale.VR20, false, pairs, 1)
+	}
+	b.ReportMetric(float64(len(pairs)), "dta-ops/op")
 }
 
 // BenchmarkGateLevelDTA measures full-pipeline dynamic timing analysis

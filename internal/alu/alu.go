@@ -97,9 +97,9 @@ func buildAGU(lib *cell.Library, seed uint64) (*netlist.Netlist, error) {
 // StageReports runs STA on all integer units.
 func (u *Unit) StageReports() []*sta.Report {
 	return []*sta.Report{
-		sta.Analyze(u.ALU, u.lib.ClockToQ, u.lib.Setup),
-		sta.Analyze(u.Shifter, u.lib.ClockToQ, u.lib.Setup),
-		sta.Analyze(u.AGU, u.lib.ClockToQ, u.lib.Setup),
+		sta.Analyze(u.ALU.Compiled(), u.lib.ClockToQ, u.lib.Setup),
+		sta.Analyze(u.Shifter.Compiled(), u.lib.ClockToQ, u.lib.Setup),
+		sta.Analyze(u.AGU.Compiled(), u.lib.ClockToQ, u.lib.Setup),
 	}
 }
 

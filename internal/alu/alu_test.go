@@ -29,7 +29,7 @@ const (
 )
 
 func TestALUFunctions(t *testing.T) {
-	sim := logicsim.New(unit.ALU)
+	sim := logicsim.New(unit.ALU.Compiled())
 	in := make([]bool, 67)
 	src := prng.New(3)
 	run := func(x, y uint32, fn uint64) uint32 {
@@ -73,7 +73,7 @@ func TestALUFunctions(t *testing.T) {
 }
 
 func TestShifter(t *testing.T) {
-	sim := logicsim.New(unit.Shifter)
+	sim := logicsim.New(unit.Shifter.Compiled())
 	in := make([]bool, 39)
 	src := prng.New(5)
 	run := func(x uint32, amt uint64, arith, left bool) uint32 {
@@ -106,7 +106,7 @@ func TestShifter(t *testing.T) {
 }
 
 func TestAGU(t *testing.T) {
-	sim := logicsim.New(unit.AGU)
+	sim := logicsim.New(unit.AGU.Compiled())
 	in := make([]bool, 64)
 	src := prng.New(7)
 	for i := 0; i < 3000; i++ {

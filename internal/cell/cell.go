@@ -75,10 +75,9 @@ type Cell struct {
 	// Energy is the dynamic energy per output transition, femtojoules, at
 	// the nominal corner.
 	Energy float64
-	// Eval computes the combinational function. It is nil for DFF.
-	Eval func(in []bool) bool
-	// Sum selects the Sum output function for HA/FA when instantiated for
-	// the sum bit; see Library.Function. Unused elsewhere.
+	// Op is the combinational function (for HA/FA, the sum-output
+	// function; the carry variant comes from CarryOp). OpNone for DFF.
+	Op OpCode
 }
 
 // Library is a fixed set of characterized cells.
@@ -96,76 +95,76 @@ type Library struct {
 // Cell returns the library cell of the given kind.
 func (l *Library) Cell(k Kind) *Cell { return &l.cells[k] }
 
+// MaxFanIn returns the widest data-pin count of any combinational cell in
+// the library. Compiled-circuit consumers size their per-gate input slots
+// from this instead of hard-coding a width, so adding a wider cell widens
+// the simulators automatically (and netlist validation rejects any gate
+// whose pin count disagrees with its opcode's arity).
+func (l *Library) MaxFanIn() int {
+	max := 1
+	for k := Kind(0); k < numKinds; k++ {
+		if k == DFF {
+			continue
+		}
+		if n := l.cells[k].Inputs; n > max {
+			max = n
+		}
+	}
+	return max
+}
+
 // Default returns the repository's 45nm-class typical-corner library.
 // Delay values are representative X1-drive figures (ps) with realistic
 // ratios between simple and complex cells; the absolute unit only sets the
 // CLK scale, which is calibrated in internal/fpu.
 func Default() *Library {
 	l := &Library{Name: "teva45", ClockToQ: 85, Setup: 35}
-	def := func(k Kind, inputs int, energy float64, eval func(in []bool) bool, delays ...PinDelay) {
+	def := func(k Kind, inputs int, energy float64, op OpCode, delays ...PinDelay) {
 		if len(delays) != inputs {
 			panic(fmt.Sprintf("cell: %v has %d inputs but %d delays", k, inputs, len(delays)))
 		}
-		l.cells[k] = Cell{Kind: k, Inputs: inputs, Delays: delays, Energy: energy, Eval: eval}
+		if op.Arity() != inputs {
+			panic(fmt.Sprintf("cell: %v has %d inputs but opcode %v has arity %d", k, inputs, op, op.Arity()))
+		}
+		l.cells[k] = Cell{Kind: k, Inputs: inputs, Delays: delays, Energy: energy, Op: op}
 	}
 	d := func(r, f float64) PinDelay { return PinDelay{Rise: r, Fall: f} }
 
-	def(Inv, 1, 0.4, func(in []bool) bool { return !in[0] }, d(14, 10))
-	def(Buf, 1, 0.6, func(in []bool) bool { return in[0] }, d(28, 26))
-	def(Nand2, 2, 0.7, func(in []bool) bool { return !(in[0] && in[1]) },
-		d(16, 14), d(18, 15))
-	def(Nor2, 2, 0.8, func(in []bool) bool { return !(in[0] || in[1]) },
-		d(22, 12), d(24, 13))
-	def(And2, 2, 1.0, func(in []bool) bool { return in[0] && in[1] },
-		d(30, 28), d(32, 29))
-	def(Or2, 2, 1.1, func(in []bool) bool { return in[0] || in[1] },
-		d(32, 30), d(34, 31))
-	def(Xor2, 2, 1.8, func(in []bool) bool { return in[0] != in[1] },
-		d(42, 40), d(45, 43))
-	def(Xnor2, 2, 1.8, func(in []bool) bool { return in[0] == in[1] },
-		d(43, 41), d(46, 44))
-	def(Mux2, 3, 1.5, func(in []bool) bool {
-		if in[2] {
-			return in[1]
-		}
-		return in[0]
-	}, d(34, 32), d(34, 32), d(40, 38))
-	def(Aoi21, 3, 1.0, func(in []bool) bool { return !((in[0] && in[1]) || in[2]) },
-		d(26, 20), d(27, 21), d(22, 16))
-	def(Oai21, 3, 1.0, func(in []bool) bool { return !((in[0] || in[1]) && in[2]) },
-		d(27, 21), d(28, 22), d(23, 17))
-	def(And3, 3, 1.3, func(in []bool) bool { return in[0] && in[1] && in[2] },
-		d(36, 33), d(38, 35), d(40, 37))
-	def(Or3, 3, 1.4, func(in []bool) bool { return in[0] || in[1] || in[2] },
-		d(38, 35), d(40, 37), d(42, 39))
-	def(Nand3, 3, 0.9, func(in []bool) bool { return !(in[0] && in[1] && in[2]) },
-		d(20, 17), d(22, 19), d(24, 21))
-	def(Nor3, 3, 1.0, func(in []bool) bool { return !(in[0] || in[1] || in[2]) },
-		d(28, 15), d(30, 16), d(32, 17))
-	// HA/FA are instantiated once per output bit; the Eval below is the
+	def(Inv, 1, 0.4, OpInv, d(14, 10))
+	def(Buf, 1, 0.6, OpBuf, d(28, 26))
+	def(Nand2, 2, 0.7, OpNand2, d(16, 14), d(18, 15))
+	def(Nor2, 2, 0.8, OpNor2, d(22, 12), d(24, 13))
+	def(And2, 2, 1.0, OpAnd2, d(30, 28), d(32, 29))
+	def(Or2, 2, 1.1, OpOr2, d(32, 30), d(34, 31))
+	def(Xor2, 2, 1.8, OpXor2, d(42, 40), d(45, 43))
+	def(Xnor2, 2, 1.8, OpXnor2, d(43, 41), d(46, 44))
+	def(Mux2, 3, 1.5, OpMux2, d(34, 32), d(34, 32), d(40, 38))
+	def(Aoi21, 3, 1.0, OpAoi21, d(26, 20), d(27, 21), d(22, 16))
+	def(Oai21, 3, 1.0, OpOai21, d(27, 21), d(28, 22), d(23, 17))
+	def(And3, 3, 1.3, OpAnd3, d(36, 33), d(38, 35), d(40, 37))
+	def(Or3, 3, 1.4, OpOr3, d(38, 35), d(40, 37), d(42, 39))
+	def(Nand3, 3, 0.9, OpNand3, d(20, 17), d(22, 19), d(24, 21))
+	def(Nor3, 3, 1.0, OpNor3, d(28, 15), d(30, 16), d(32, 17))
+	// HA/FA are instantiated once per output bit; the opcode here is the
 	// Sum function, and the netlist builder requests the carry variant via
-	// CarryEval.
-	def(HA, 2, 1.9, func(in []bool) bool { return in[0] != in[1] },
-		d(44, 42), d(46, 44))
-	def(FA, 3, 3.0, func(in []bool) bool { return in[0] != in[1] != in[2] },
-		d(56, 53), d(58, 55), d(48, 45))
-	// DFF: single "delay" entry is clock-to-Q; Eval nil.
+	// CarryOp.
+	def(HA, 2, 1.9, OpXor2, d(44, 42), d(46, 44))
+	def(FA, 3, 3.0, OpXor3, d(56, 53), d(58, 55), d(48, 45))
+	// DFF: single "delay" entry is clock-to-Q; no combinational function.
 	l.cells[DFF] = Cell{Kind: DFF, Inputs: 1, Delays: []PinDelay{d(l.ClockToQ, l.ClockToQ)}, Energy: 2.4}
 	return l
 }
 
-// CarryEval returns the carry-output function for HA/FA cells, or nil for
+// CarryOp returns the carry-output opcode for HA/FA cells, or OpNone for
 // other kinds.
-func CarryEval(k Kind) func(in []bool) bool {
+func CarryOp(k Kind) OpCode {
 	switch k {
 	case HA:
-		return func(in []bool) bool { return in[0] && in[1] }
+		return OpAnd2
 	case FA:
-		return func(in []bool) bool {
-			return (in[0] && in[1]) || (in[2] && (in[0] != in[1]))
-		}
+		return OpMaj3
 	default:
-		return nil
+		return OpNone
 	}
 }
 

@@ -53,7 +53,7 @@ func TestTruthTables(t *testing.T) {
 	for _, tc := range cases {
 		c := lib.Cell(tc.kind)
 		for _, in := range allInputs(c.Inputs) {
-			if got, want := c.Eval(in), tc.want(in); got != want {
+			if got, want := c.Op.EvalSlice(in), tc.want(in); got != want {
 				t.Errorf("%v%v = %v, want %v", tc.kind, in, got, want)
 			}
 		}
@@ -63,34 +63,34 @@ func TestTruthTables(t *testing.T) {
 func TestAdderCells(t *testing.T) {
 	lib := Default()
 	ha := lib.Cell(HA)
-	haCarry := CarryEval(HA)
+	haCarry := CarryOp(HA)
 	for _, in := range allInputs(2) {
 		total := b2i(in[0]) + b2i(in[1])
-		if got := b2i(ha.Eval(in)); got != total&1 {
+		if got := b2i(ha.Op.EvalSlice(in)); got != total&1 {
 			t.Errorf("HA sum%v = %d", in, got)
 		}
-		if got := b2i(haCarry(in)); got != total>>1 {
+		if got := b2i(haCarry.EvalSlice(in)); got != total>>1 {
 			t.Errorf("HA carry%v = %d", in, got)
 		}
 	}
 	fa := lib.Cell(FA)
-	faCarry := CarryEval(FA)
+	faCarry := CarryOp(FA)
 	for _, in := range allInputs(3) {
 		total := b2i(in[0]) + b2i(in[1]) + b2i(in[2])
-		if got := b2i(fa.Eval(in)); got != total&1 {
+		if got := b2i(fa.Op.EvalSlice(in)); got != total&1 {
 			t.Errorf("FA sum%v = %d", in, got)
 		}
-		if got := b2i(faCarry(in)); got != total>>1 {
+		if got := b2i(faCarry.EvalSlice(in)); got != total>>1 {
 			t.Errorf("FA carry%v = %d", in, got)
 		}
 	}
 }
 
 func TestCarryVariantsOnlyForAdders(t *testing.T) {
-	if CarryEval(And2) != nil || CarryDelays(Xor2) != nil {
-		t.Fatal("carry variants must be nil for non-adder cells")
+	if CarryOp(And2) != OpNone || CarryDelays(Xor2) != nil {
+		t.Fatal("carry variants must be absent for non-adder cells")
 	}
-	if CarryEval(FA) == nil || CarryDelays(HA) == nil {
+	if CarryOp(FA) == OpNone || CarryDelays(HA) == nil {
 		t.Fatal("adder cells must have carry variants")
 	}
 }
@@ -151,8 +151,8 @@ func TestSequentialParameters(t *testing.T) {
 	if lib.ClockToQ <= 0 || lib.Setup <= 0 {
 		t.Fatal("register parameters must be positive")
 	}
-	if lib.Cell(DFF).Eval != nil {
-		t.Fatal("DFF must not have a combinational Eval")
+	if lib.Cell(DFF).Op != OpNone {
+		t.Fatal("DFF must not have a combinational opcode")
 	}
 }
 

@@ -1,0 +1,87 @@
+package cell
+
+import "testing"
+
+func TestOpcodeWordMatchesScalar(t *testing.T) {
+	// Every 64-wide kernel must agree lane-by-lane with the scalar
+	// function over the full truth table, replicated across all lanes.
+	for op := OpCode(1); op < NumOpCodes; op++ {
+		n := op.Arity()
+		for _, in := range allInputs(n) {
+			var a, b, c bool
+			var wa, wb, wc uint64
+			bit := func(v bool) uint64 {
+				if v {
+					return ^uint64(0)
+				}
+				return 0
+			}
+			switch n {
+			case 3:
+				c = in[2]
+				wc = bit(c)
+				fallthrough
+			case 2:
+				b = in[1]
+				wb = bit(b)
+				fallthrough
+			case 1:
+				a = in[0]
+				wa = bit(a)
+			}
+			want := bit(op.Eval(a, b, c))
+			if got := op.EvalWord(wa, wb, wc); got != want {
+				t.Fatalf("%v%v: word %016x want %016x", op, in, got, want)
+			}
+			if got := op.EvalSlice(in); got != op.Eval(a, b, c) {
+				t.Fatalf("%v%v: EvalSlice disagrees with Eval", op, in)
+			}
+		}
+	}
+}
+
+func TestOpcodeWordMixedLanes(t *testing.T) {
+	// Lanes must be fully independent: drive each input with a distinct
+	// lane pattern and check every lane against the scalar function.
+	a, b, c := uint64(0xA5A5_5A5A_F00F_0FF0), uint64(0x3C3C_C3C3_1234_5678), uint64(0xFFFF_0000_AAAA_5555)
+	for op := OpCode(1); op < NumOpCodes; op++ {
+		got := op.EvalWord(a, b, c)
+		for lane := 0; lane < 64; lane++ {
+			la := a>>uint(lane)&1 == 1
+			lb := b>>uint(lane)&1 == 1
+			lc := c>>uint(lane)&1 == 1
+			want := op.Eval(la, lb, lc)
+			if (got>>uint(lane)&1 == 1) != want {
+				t.Fatalf("%v lane %d: got %v want %v", op, lane, !want, want)
+			}
+		}
+	}
+}
+
+func TestOpcodeArityMatchesCells(t *testing.T) {
+	lib := Default()
+	for k := Kind(0); k < numKinds; k++ {
+		if k == DFF {
+			continue
+		}
+		c := lib.Cell(k)
+		if c.Op.Arity() != c.Inputs {
+			t.Fatalf("%v: opcode %v arity %d, cell has %d inputs", k, c.Op, c.Op.Arity(), c.Inputs)
+		}
+		if carry := CarryOp(k); carry != OpNone && carry.Arity() != c.Inputs {
+			t.Fatalf("%v: carry opcode %v arity mismatch", k, carry)
+		}
+	}
+	if lib.MaxFanIn() != 3 {
+		t.Fatalf("default library MaxFanIn = %d, want 3", lib.MaxFanIn())
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpXor3.String() != "XOR3" || OpNone.String() != "NONE" {
+		t.Fatal("opcode names wrong")
+	}
+	if OpCode(200).String() == "" {
+		t.Fatal("unknown opcode should still format")
+	}
+}

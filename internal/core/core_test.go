@@ -53,6 +53,9 @@ func TestDefaultsApplied(t *testing.T) {
 }
 
 func TestRandomSummariesCachedAndShaped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random characterization")
+	}
 	f := testFramework
 	s1 := f.RandomSummaries(vscale.VR20)
 	s2 := f.RandomSummaries(vscale.VR20)

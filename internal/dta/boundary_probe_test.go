@@ -8,6 +8,9 @@ import (
 )
 
 func TestProbeShardBoundaryAtStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard-boundary stress probe")
+	}
 	for _, scale := range []float64{1.15, 1.25, 1.4} {
 		pairs := randPairs(fpu.DMul, 601, 47)
 		serial := AnalyzeStreamAt(testFPU, fpu.DMul, scale, false, pairs, 1)

@@ -51,11 +51,15 @@ type Analyzer struct {
 	p     *fpu.Pipeline
 	clk   float64
 	scale float64
-	// Per-cycle (stage-repeat expanded) engines and state.
-	golden  []*logicsim.Sim
+	// Per-cycle (stage-repeat expanded) engines and state. The golden
+	// instance runs on the 64-wide bit-parallel engine: one circuit walk
+	// per cycle evaluates up to 64 operand pairs. Every engine shares the
+	// stage's cached compiled IR, so parallel shards re-derive nothing.
+	golden  []*logicsim.WideSim
 	timing  []timingsim.Runner
 	stages  []*fpu.Stage
-	prevIn  [][]bool // faulty-domain previous input per expanded cycle
+	prevIn  [][]bool   // faulty-domain previous input per expanded cycle
+	wordBuf [][]uint64 // golden-domain 64-lane words per cycle boundary
 	haveHot bool
 }
 
@@ -74,17 +78,21 @@ func NewAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool) *Analyzer {
 	p := f.Pipeline(op)
 	a := &Analyzer{p: p, clk: f.CLK, scale: scale}
 	for _, s := range p.Stages {
+		c := s.N.Compiled()
 		for r := 0; r < s.Repeat; r++ {
 			a.stages = append(a.stages, s)
-			a.golden = append(a.golden, logicsim.New(s.N))
+			a.golden = append(a.golden, logicsim.NewWide(c))
 			if exact {
-				a.timing = append(a.timing, timingsim.NewExact(s.N, scale))
+				a.timing = append(a.timing, timingsim.NewExact(c, scale))
 			} else {
-				a.timing = append(a.timing, timingsim.NewFast(s.N, scale))
+				a.timing = append(a.timing, timingsim.NewFast(c, scale))
 			}
 			a.prevIn = append(a.prevIn, make([]bool, len(s.N.Inputs())))
+			a.wordBuf = append(a.wordBuf, make([]uint64, len(s.N.Inputs())))
 		}
 	}
+	last := a.stages[len(a.stages)-1]
+	a.wordBuf = append(a.wordBuf, make([]uint64, len(last.N.Outputs())))
 	return a
 }
 
@@ -97,53 +105,92 @@ func (a *Analyzer) Scale() float64 { return a.scale }
 // Warm primes the pipeline history with an operand pair without recording
 // a result. Analyze warms automatically with its first pair when the
 // analyzer is cold.
-func (a *Analyzer) Warm(pair Pair) { a.step(pair) }
+func (a *Analyzer) Warm(pair Pair) { a.faultyStep(pair) }
 
 // Analyze runs one instruction through both instances and returns its
 // record. Consecutive calls model back-to-back instructions: each stage's
 // input transition is from the previous call's values.
 func (a *Analyzer) Analyze(pair Pair) Record {
-	if !a.haveHot {
-		a.step(pair)
-	}
-	return a.step(pair)
+	var recs [1]Record
+	a.AnalyzeBatch([]Pair{pair}, recs[:])
+	return recs[0]
 }
 
-// step executes one instruction in both domains.
-func (a *Analyzer) step(pair Pair) Record {
+// AnalyzeBatch analyzes consecutive instructions into recs (len(recs)
+// must equal len(pairs)). The golden instance evaluates 64 pairs per
+// circuit walk; the undervolted instance replays the same serial
+// transition history a pair-at-a-time loop would, so the records are
+// identical to repeated Analyze calls.
+func (a *Analyzer) AnalyzeBatch(pairs []Pair, recs []Record) {
+	if len(pairs) != len(recs) {
+		panic("dta: AnalyzeBatch length mismatch")
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	if !a.haveHot {
+		a.Warm(pairs[0])
+	}
+	for lo := 0; lo < len(pairs); lo += 64 {
+		hi := lo + 64
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		a.goldenBatch(pairs[lo:hi], recs[lo:hi])
+		for i := lo; i < hi; i++ {
+			rec := &recs[i]
+			rec.A, rec.B = pairs[i].A, pairs[i].B
+			rec.Faulty, rec.MaxArrivalPS = a.faultyStep(pairs[i])
+			rec.Mask = rec.Golden ^ rec.Faulty
+		}
+	}
+}
+
+// goldenBatch runs the golden (nominal, zero-delay) instance for up to 64
+// pairs in one 64-wide walk per pipeline cycle, filling recs[i].Golden.
+func (a *Analyzer) goldenBatch(pairs []Pair, recs []Record) {
+	op := a.p.Op
+	w := op.OperandWidth()
+	words := a.wordBuf[0]
+	clear(words)
+	for lane, pair := range pairs {
+		logicsim.PackLaneBits(words, lane, 0, w, pair.A)
+		if op.NumOperands() == 2 {
+			logicsim.PackLaneBits(words, lane, w, w, pair.B)
+		}
+	}
+	for ci, g := range a.golden {
+		g.Run(a.wordBuf[ci])
+		g.Outputs(a.wordBuf[ci+1])
+	}
+	final := a.wordBuf[len(a.wordBuf)-1]
+	rw := op.ResultWidth()
+	for lane := range pairs {
+		recs[lane].Golden = logicsim.UnpackLaneBits(final, lane, 0, rw)
+	}
+}
+
+// faultyStep executes one instruction in the undervolted domain,
+// returning the captured result encoding and the worst arrival observed.
+func (a *Analyzer) faultyStep(pair Pair) (faulty uint64, maxArrivalPS float64) {
 	a.haveHot = true
 	lib := a.stages[0].N.Lib
 	inputArrival := lib.ClockToQ * a.scale
 	deadline := a.clk - lib.Setup*a.scale
 
-	goldenIn := a.packInputs(pair)
-	faultyIn := append([]bool(nil), goldenIn...)
-	rec := Record{A: pair.A, B: pair.B}
-
+	faultyIn := a.packInputs(pair)
 	for ci := range a.stages {
-		// Golden instance: pure functional.
-		g := a.golden[ci]
-		g.Run(goldenIn)
-		goldenOut := g.Outputs(nil)
-
-		// Undervolted instance: timing simulation from the previous
-		// cycle's (faulty-domain) stage inputs to the current ones.
+		// Timing simulation from the previous cycle's (faulty-domain)
+		// stage inputs to the current ones.
 		sample := a.timing[ci].Run(a.prevIn[ci], faultyIn, inputArrival, deadline)
-		if sample.WorstArrival > rec.MaxArrivalPS {
-			rec.MaxArrivalPS = sample.WorstArrival
+		if sample.WorstArrival > maxArrivalPS {
+			maxArrivalPS = sample.WorstArrival
 		}
 		faultyOut := append([]bool(nil), sample.Captured...)
-
 		copy(a.prevIn[ci], faultyIn)
-		goldenIn = goldenOut
 		faultyIn = faultyOut
 	}
-
-	rw := a.p.Op.ResultWidth()
-	rec.Golden = logicsim.UnpackOutputs(goldenIn, 0, rw)
-	rec.Faulty = logicsim.UnpackOutputs(faultyIn, 0, rw)
-	rec.Mask = rec.Golden ^ rec.Faulty
-	return rec
+	return logicsim.UnpackOutputs(faultyIn, 0, a.p.Op.ResultWidth()), maxArrivalPS
 }
 
 // packInputs builds the rank-0 input vector.
@@ -201,9 +248,7 @@ func AnalyzeStreamAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []P
 				// not from a pairs[lo]→pairs[lo] self-transition.
 				a.Warm(pairs[lo-1])
 			}
-			for i := lo; i < hi; i++ {
-				records[i] = a.Analyze(pairs[i])
-			}
+			a.AnalyzeBatch(pairs[lo:hi], records[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -63,6 +63,9 @@ func TestFaultyMatchesMask(t *testing.T) {
 }
 
 func TestErrorProfileMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full error-profile sweep")
+	}
 	// The Figure 7 structure: fp-mul.d is the most error-prone op and
 	// fails (rarely) already at VR15; fp-sub.d also fails at VR15;
 	// fp-add.d and fp-div.d fail only at VR20; conversions and all
@@ -220,6 +223,9 @@ func TestWarmAndDeterminism(t *testing.T) {
 }
 
 func TestFastAndExactAgreeOnERMagnitude(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact-engine comparison")
+	}
 	if testing.Short() {
 		t.Skip("exact engine is slow")
 	}

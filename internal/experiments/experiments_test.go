@@ -107,6 +107,9 @@ func TestFig4OnlyFPUPathsInTail(t *testing.T) {
 }
 
 func TestFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 DTA sweep")
+	}
 	r, err := Fig5(testEnv)
 	if err != nil {
 		t.Fatal(err)
@@ -164,6 +167,9 @@ func TestFig6Structure(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("IA characterization")
+	}
 	r, err := Fig7(testEnv)
 	if err != nil {
 		t.Fatal(err)
@@ -296,6 +302,9 @@ func TestCampaignFiguresEndToEnd(t *testing.T) {
 }
 
 func TestSourcesExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delay-source sweep")
+	}
 	rows, err := Sources(testEnv)
 	if err != nil {
 		t.Fatal(err)
@@ -379,6 +388,9 @@ func TestHistoryAblation(t *testing.T) {
 }
 
 func TestProcessVariation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-variation sweep")
+	}
 	r, err := ProcessVariation(testEnv, 4, 0.04)
 	if err != nil {
 		t.Fatal(err)
@@ -464,6 +476,9 @@ func TestCSVExports(t *testing.T) {
 }
 
 func TestValidateModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model validation sweep")
+	}
 	rows, meanErr, err := Validate(testEnv, vscale.VR20)
 	if err != nil {
 		t.Fatal(err)

@@ -449,8 +449,8 @@ func AdderAblation(e *Env) ([]AdderRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		report := sta.Analyze(nl, lib.ClockToQ, lib.Setup)
-		sim := timingsim.NewFast(nl, 1.0)
+		report := sta.Analyze(nl.Compiled(), lib.ClockToQ, lib.Setup)
+		sim := timingsim.NewFast(nl.Compiled(), 1.0)
 		src := e.rng("adders/" + a.name)
 		prev := make([]bool, 2*w)
 		cur := make([]bool, 2*w)

@@ -245,3 +245,40 @@ func TestVariedFPUFunctionalAndTimingShift(t *testing.T) {
 		t.Fatal("signoff clock must not change per die")
 	}
 }
+
+// TestExecBatchMatchesScalarAndGolden validates the 64-wide bit-parallel
+// path: every lane of ExecBatch must equal the scalar Exec result
+// bit-for-bit (and hence the softfp golden, modulo NaN encodings).
+func TestExecBatchMatchesScalarAndGolden(t *testing.T) {
+	src := prng.New(0x51DE)
+	for _, op := range Ops() {
+		p := testFPU.Pipeline(op)
+		for _, batch := range []int{64, 17, 1} {
+			if op.kind() == kindDiv && batch == 64 {
+				batch = 8 // long pipelines are slower to simulate
+			}
+			as := make([]uint64, batch)
+			bs := make([]uint64, batch)
+			for i := range as {
+				as[i] = randOperand(op, src)
+				bs[i] = randOperand(op, src)
+			}
+			got := p.ExecBatch(as, bs)
+			for i := range as {
+				scalar, _ := p.Exec(as[i], bs[i])
+				if got[i] != scalar {
+					t.Fatalf("%s batch %d lane %d: ExecBatch %#x, scalar Exec %#x",
+						op, batch, i, got[i], scalar)
+				}
+				want := op.Golden(as[i], bs[i])
+				f := op.Format()
+				if op.kind() != kindF2I && f.IsNaNBits(got[i]) && f.IsNaNBits(want) {
+					continue
+				}
+				if got[i] != want {
+					t.Fatalf("%s(%#x, %#x) = %#x, want %#x", op, as[i], bs[i], got[i], want)
+				}
+			}
+		}
+	}
+}

@@ -107,7 +107,7 @@ func (p *Pipeline) Exec(a, b uint64) (uint64, [][]bool) {
 	ranks := [][]bool{in}
 	cur := in
 	for _, s := range p.Stages {
-		sim := logicsim.New(s.N)
+		sim := logicsim.New(s.N.Compiled())
 		for r := 0; r < s.Repeat; r++ {
 			sim.Run(cur)
 			cur = sim.Outputs(nil)
@@ -115,6 +115,40 @@ func (p *Pipeline) Exec(a, b uint64) (uint64, [][]bool) {
 		}
 	}
 	return unpackBits(cur, p.Op.ResultWidth()), ranks
+}
+
+// ExecBatch runs up to 64 operand pairs through the pipeline on the
+// 64-wide bit-parallel engine — one circuit walk per stage-cycle
+// evaluates every pair — and returns the result encodings in input
+// order. Results are bit-identical to per-pair Exec calls.
+func (p *Pipeline) ExecBatch(a, b []uint64) []uint64 {
+	if len(a) != len(b) {
+		panic("fpu: ExecBatch operand count mismatch")
+	}
+	if len(a) > 64 {
+		panic("fpu: ExecBatch limited to 64 pairs")
+	}
+	w := p.Op.OperandWidth()
+	words := make([]uint64, p.Stages[0].in.total)
+	for lane := range a {
+		logicsim.PackLaneBits(words, lane, 0, w, a[lane])
+		if p.Op.NumOperands() == 2 {
+			logicsim.PackLaneBits(words, lane, w, w, b[lane])
+		}
+	}
+	for _, s := range p.Stages {
+		sim := logicsim.NewWide(s.N.Compiled())
+		for r := 0; r < s.Repeat; r++ {
+			sim.Run(words)
+			words = sim.Outputs(nil)
+		}
+	}
+	rw := p.Op.ResultWidth()
+	res := make([]uint64, len(a))
+	for lane := range res {
+		res[lane] = logicsim.UnpackLaneBits(words, lane, 0, rw)
+	}
+	return res
 }
 
 // Result extracts the result encoding from the final register rank.
@@ -141,7 +175,7 @@ func unpackBits(values []bool, width int) uint64 {
 func (p *Pipeline) STA() []*sta.Report {
 	reports := make([]*sta.Report, len(p.Stages))
 	for i, s := range p.Stages {
-		reports[i] = sta.Analyze(s.N, p.lib.ClockToQ, p.lib.Setup)
+		reports[i] = sta.Analyze(s.N.Compiled(), p.lib.ClockToQ, p.lib.Setup)
 	}
 	return reports
 }

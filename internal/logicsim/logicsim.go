@@ -2,45 +2,94 @@
 // the "first instance" of the paper's dynamic timing analysis (Section
 // III-A.1): the nominal-voltage golden simulation whose outputs define
 // correct behaviour.
+//
+// Two evaluators are provided, both running on the compiled flat IR
+// (netlist.Compiled) with opcode dispatch:
+//
+//   - Sim: one input vector per pass, one bool per net.
+//   - WideSim: 64 input vectors per pass, one uint64 word per net; bit L
+//     of every word is vector (lane) L, LSB = lane 0. Gate functions are
+//     bitwise kernels, so one circuit walk evaluates 64 vectors — the
+//     golden side of DTA characterization batches runs on this engine.
 package logicsim
 
-import "teva/internal/netlist"
+import (
+	"teva/internal/cell"
+	"teva/internal/netlist"
+)
 
-// Sim is a reusable zero-delay evaluator for one netlist.
+// Sim is a reusable zero-delay evaluator for one compiled netlist.
 type Sim struct {
-	n      *netlist.Netlist
+	c      *netlist.Compiled
 	values []bool
-	inBuf  []bool
 }
 
-// New returns a simulator for the netlist.
-func New(n *netlist.Netlist) *Sim {
-	s := &Sim{n: n, values: make([]bool, n.NumNets())}
+// New returns a simulator for the compiled netlist.
+func New(c *netlist.Compiled) *Sim {
+	s := &Sim{c: c, values: make([]bool, c.NumNets)}
 	s.values[netlist.Const1] = true
 	return s
 }
 
 // Run evaluates the netlist for the given primary-input assignment, which
-// must match len(n.Inputs()).
+// must match len(c.Inputs).
 func (s *Sim) Run(inputs []bool) {
-	ins := s.n.Inputs()
-	if len(inputs) != len(ins) {
+	c := s.c
+	if len(inputs) != len(c.Inputs) {
 		panic("logicsim: input width mismatch")
 	}
-	for i, net := range ins {
-		s.values[net] = inputs[i]
+	vals := s.values
+	for i, net := range c.Inputs {
+		vals[net] = inputs[i]
 	}
-	gates := s.n.Gates()
-	if cap(s.inBuf) < 4 {
-		s.inBuf = make([]bool, 4)
-	}
-	for gi := range gates {
-		g := &gates[gi]
-		buf := s.inBuf[:len(g.Inputs)]
-		for i, in := range g.Inputs {
-			buf[i] = s.values[in]
+	in, stride := c.In, c.Stride
+	for gi := 0; gi < c.NumGates; gi++ {
+		base := gi * stride
+		a := vals[in[base]]
+		b := vals[in[base+1]]
+		cc := vals[in[base+2]]
+		var v bool
+		switch c.Op[gi] {
+		case cell.OpBuf:
+			v = a
+		case cell.OpInv:
+			v = !a
+		case cell.OpAnd2:
+			v = a && b
+		case cell.OpOr2:
+			v = a || b
+		case cell.OpNand2:
+			v = !(a && b)
+		case cell.OpNor2:
+			v = !(a || b)
+		case cell.OpXor2:
+			v = a != b
+		case cell.OpXnor2:
+			v = a == b
+		case cell.OpMux2:
+			if cc {
+				v = b
+			} else {
+				v = a
+			}
+		case cell.OpAoi21:
+			v = !((a && b) || cc)
+		case cell.OpOai21:
+			v = !((a || b) && cc)
+		case cell.OpAnd3:
+			v = a && b && cc
+		case cell.OpOr3:
+			v = a || b || cc
+		case cell.OpNand3:
+			v = !(a && b && cc)
+		case cell.OpNor3:
+			v = !(a || b || cc)
+		case cell.OpXor3:
+			v = a != b != cc
+		default: // cell.OpMaj3
+			v = (a && b) || (cc && (a != b))
 		}
-		s.values[g.Output] = g.Eval(buf)
+		vals[c.Out[gi]] = v
 	}
 }
 
@@ -64,7 +113,7 @@ func (s *Sim) ReadBus(bus netlist.Bus) uint64 {
 
 // Outputs copies the primary-output values into dst (allocating when nil).
 func (s *Sim) Outputs(dst []bool) []bool {
-	outs := s.n.Outputs()
+	outs := s.c.Outputs
 	if dst == nil {
 		dst = make([]bool, len(outs))
 	}

@@ -26,7 +26,7 @@ func adder(t *testing.T, w int) *netlist.Netlist {
 func TestRunEvaluatesFunctionally(t *testing.T) {
 	const w = 16
 	n := adder(t, w)
-	sim := logicsim.New(n)
+	sim := logicsim.New(n.Compiled())
 	in := make([]bool, 2*w)
 	if err := quick.Check(func(a, b uint16) bool {
 		logicsim.PackInputs(in, 0, w, uint64(a))
@@ -43,7 +43,7 @@ func TestRunEvaluatesFunctionally(t *testing.T) {
 func TestReusableAcrossRuns(t *testing.T) {
 	const w = 8
 	n := adder(t, w)
-	sim := logicsim.New(n)
+	sim := logicsim.New(n.Compiled())
 	in := make([]bool, 2*w)
 	// Alternate extreme vectors; state must not leak between runs.
 	for i := 0; i < 100; i++ {
@@ -62,7 +62,7 @@ func TestReusableAcrossRuns(t *testing.T) {
 
 func TestOutputsReuseBuffer(t *testing.T) {
 	n := adder(t, 4)
-	sim := logicsim.New(n)
+	sim := logicsim.New(n.Compiled())
 	in := make([]bool, 8)
 	sim.Run(in)
 	buf := make([]bool, len(n.Outputs()))
@@ -81,7 +81,7 @@ func TestValueAndReadBus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := logicsim.New(n)
+	sim := logicsim.New(n.Compiled())
 	in := make([]bool, 8)
 	logicsim.PackInputs(in, 0, 8, 0b10110010)
 	sim.Run(in)
@@ -106,7 +106,7 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 
 func TestWidthMismatchPanics(t *testing.T) {
 	n := adder(t, 4)
-	sim := logicsim.New(n)
+	sim := logicsim.New(n.Compiled())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for wrong input width")
@@ -117,7 +117,7 @@ func TestWidthMismatchPanics(t *testing.T) {
 
 func TestReadBusTooWidePanics(t *testing.T) {
 	n := adder(t, 4)
-	sim := logicsim.New(n)
+	sim := logicsim.New(n.Compiled())
 	sim.Run(make([]bool, 8))
 	wide := make(netlist.Bus, 65)
 	defer func() {

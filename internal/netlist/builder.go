@@ -82,11 +82,11 @@ func (b *Builder) gate(kind cell.Kind, inputs ...NetID) NetID {
 	if len(inputs) != c.Inputs {
 		panic(fmt.Sprintf("netlist: %v expects %d inputs, got %d", kind, c.Inputs, len(inputs)))
 	}
-	return b.place(kind, c.Eval, c.Delays, c.Energy, inputs)
+	return b.place(kind, c.Op, c.Delays, c.Energy, inputs)
 }
 
 // place creates the gate instance with annotated delays.
-func (b *Builder) place(kind cell.Kind, eval func([]bool) bool, base []cell.PinDelay, energy float64, inputs []NetID) NetID {
+func (b *Builder) place(kind cell.Kind, op cell.OpCode, base []cell.PinDelay, energy float64, inputs []NetID) NetID {
 	out := b.newNet()
 	delays := make([]cell.PinDelay, len(base))
 	w := b.wire()
@@ -97,7 +97,7 @@ func (b *Builder) place(kind cell.Kind, eval func([]bool) bool, base []cell.PinD
 		Kind:   kind,
 		Inputs: append([]NetID(nil), inputs...),
 		Output: out,
-		Eval:   eval,
+		Op:     op,
 		Delays: delays,
 		Energy: energy,
 		Unit:   b.unit,
@@ -143,16 +143,16 @@ func (b *Builder) Mux(sel, d0, d1 NetID) NetID { return b.gate(cell.Mux2, d0, d1
 // HalfAdd returns the sum and carry of x + y using HA cells.
 func (b *Builder) HalfAdd(x, y NetID) (sum, carry NetID) {
 	c := b.n.Lib.Cell(cell.HA)
-	sum = b.place(cell.HA, c.Eval, c.Delays, c.Energy, []NetID{x, y})
-	carry = b.place(cell.HA, cell.CarryEval(cell.HA), cell.CarryDelays(cell.HA), c.Energy, []NetID{x, y})
+	sum = b.place(cell.HA, c.Op, c.Delays, c.Energy, []NetID{x, y})
+	carry = b.place(cell.HA, cell.CarryOp(cell.HA), cell.CarryDelays(cell.HA), c.Energy, []NetID{x, y})
 	return sum, carry
 }
 
 // FullAdd returns the sum and carry of x + y + cin using FA cells.
 func (b *Builder) FullAdd(x, y, cin NetID) (sum, carry NetID) {
 	c := b.n.Lib.Cell(cell.FA)
-	sum = b.place(cell.FA, c.Eval, c.Delays, c.Energy, []NetID{x, y, cin})
-	carry = b.place(cell.FA, cell.CarryEval(cell.FA), cell.CarryDelays(cell.FA), c.Energy, []NetID{x, y, cin})
+	sum = b.place(cell.FA, c.Op, c.Delays, c.Energy, []NetID{x, y, cin})
+	carry = b.place(cell.FA, cell.CarryOp(cell.FA), cell.CarryDelays(cell.FA), c.Energy, []NetID{x, y, cin})
 	return sum, carry
 }
 
@@ -275,7 +275,7 @@ func (b *Builder) Detour(a NetID, ps float64) NetID {
 	}
 	c := b.n.Lib.Cell(cell.Buf)
 	base := []cell.PinDelay{{Rise: c.Delays[0].Rise + ps, Fall: c.Delays[0].Fall + ps}}
-	return b.place(cell.Buf, c.Eval, base, c.Energy, []NetID{a})
+	return b.place(cell.Buf, c.Op, base, c.Energy, []NetID{a})
 }
 
 // DetourBus applies Detour to every bit of a bus.

@@ -35,8 +35,9 @@ type Gate struct {
 	Inputs []NetID
 	// Output is the net driven by this gate.
 	Output NetID
-	// Eval is the resolved logic function (sum vs carry variant for HA/FA).
-	Eval func(in []bool) bool
+	// Op is the resolved logic function (sum vs carry variant for HA/FA).
+	// Simulation engines dispatch on it via the compiled IR; see Compiled.
+	Op cell.OpCode
 	// Delays are the annotated per-pin delays: library cell delay plus the
 	// interconnect component of the output net, in picoseconds at the
 	// nominal corner.
@@ -67,6 +68,11 @@ type Netlist struct {
 	fanout [][]GateID // per net
 	topo   []GateID   // gates in topological order
 	level  []int32    // per gate, longest input depth
+
+	// cbox caches the compiled simulation IR (one per finalized netlist,
+	// shared by every engine instance; see Compiled). It is a pointer so
+	// Vary's shallow copy can swap in a fresh cache without copying a lock.
+	cbox *compileBox
 }
 
 // NumNets returns the number of nets, including the two constants.
@@ -135,6 +141,29 @@ func (s Stats) String() string {
 // finalize validates the structure, orders gates topologically and builds
 // the derived driver/fanout/level tables. The builder calls it from Build.
 func (n *Netlist) finalize() error {
+	n.cbox = &compileBox{}
+	maxFanIn := 1
+	if n.Lib != nil {
+		maxFanIn = n.Lib.MaxFanIn()
+	}
+	for gi := range n.gates {
+		g := &n.gates[gi]
+		if g.Op == cell.OpNone {
+			return fmt.Errorf("netlist %s: gate %d (%v) has no opcode", n.Name, gi, g.Kind)
+		}
+		if got, want := len(g.Inputs), g.Op.Arity(); got != want {
+			return fmt.Errorf("netlist %s: gate %d (%v/%v) has %d pins, opcode needs %d",
+				n.Name, gi, g.Kind, g.Op, got, want)
+		}
+		if len(g.Inputs) > maxFanIn {
+			return fmt.Errorf("netlist %s: gate %d (%v) fan-in %d exceeds library max %d",
+				n.Name, gi, g.Kind, len(g.Inputs), maxFanIn)
+		}
+		if len(g.Delays) != len(g.Inputs) {
+			return fmt.Errorf("netlist %s: gate %d (%v) has %d delays for %d pins",
+				n.Name, gi, g.Kind, len(g.Delays), len(g.Inputs))
+		}
+	}
 	n.driver = make([]GateID, n.numNets)
 	for i := range n.driver {
 		n.driver[i] = -1

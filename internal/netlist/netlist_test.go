@@ -27,7 +27,7 @@ func newHarness(t *testing.T, b *netlist.Builder) *harness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &harness{n: n, sim: logicsim.New(n), in: make([]bool, len(n.Inputs()))}
+	return &harness{n: n, sim: logicsim.New(n.Compiled()), in: make([]bool, len(n.Inputs()))}
 }
 
 func (h *harness) setBus(offset, width int, v uint64) {
@@ -739,8 +739,8 @@ func TestVaryPreservesFunctionChangesDelays(t *testing.T) {
 	die1b := base.Vary(0.05, 1)
 
 	// Function identical across dies.
-	s0 := logicsim.New(base)
-	s1 := logicsim.New(die1)
+	s0 := logicsim.New(base.Compiled())
+	s1 := logicsim.New(die1.Compiled())
 	src := prng.New(99)
 	in := make([]bool, 24)
 	for trial := 0; trial < 500; trial++ {

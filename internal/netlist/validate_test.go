@@ -1,0 +1,139 @@
+package netlist
+
+// Internal tests for finalize's structural validation and for the
+// compiled IR's layout invariants (stride padding, CSR fanout).
+
+import (
+	"strings"
+	"testing"
+
+	"teva/internal/cell"
+)
+
+// rawNetlist hand-assembles a netlist bypassing the Builder, so invalid
+// structures can be expressed.
+func rawNetlist(gates []Gate, numNets int, inputs, outputs []NetID) *Netlist {
+	return &Netlist{
+		Name:    "raw",
+		Lib:     cell.Default(),
+		gates:   gates,
+		numNets: numNets,
+		inputs:  inputs,
+		outputs: outputs,
+	}
+}
+
+func delays(n int) []cell.PinDelay {
+	d := make([]cell.PinDelay, n)
+	for i := range d {
+		d[i] = cell.PinDelay{Rise: 10, Fall: 10}
+	}
+	return d
+}
+
+func TestFinalizeRejectsInvalidGates(t *testing.T) {
+	cases := []struct {
+		name string
+		n    *Netlist
+		want string
+	}{
+		{
+			"missing opcode",
+			rawNetlist([]Gate{{Kind: cell.And2, Inputs: []NetID{2, 2}, Output: 3, Delays: delays(2)}},
+				4, []NetID{2}, []NetID{3}),
+			"has no opcode",
+		},
+		{
+			"arity mismatch",
+			rawNetlist([]Gate{{Kind: cell.And2, Op: cell.OpAnd2, Inputs: []NetID{2}, Output: 3, Delays: delays(1)}},
+				4, []NetID{2}, []NetID{3}),
+			"opcode needs",
+		},
+		{
+			"delay count mismatch",
+			rawNetlist([]Gate{{Kind: cell.And2, Op: cell.OpAnd2, Inputs: []NetID{2, 2}, Output: 3, Delays: delays(1)}},
+				4, []NetID{2}, []NetID{3}),
+			"delays for",
+		},
+		{
+			"undriven input net",
+			rawNetlist([]Gate{{Kind: cell.And2, Op: cell.OpAnd2, Inputs: []NetID{2, 3}, Output: 4, Delays: delays(2)}},
+				5, []NetID{2}, []NetID{4}),
+			"undriven",
+		},
+	}
+	for _, tc := range cases {
+		err := tc.n.finalize()
+		if err == nil {
+			t.Fatalf("%s: finalize accepted an invalid netlist", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFinalizeRejectsFanInAboveLibraryMax(t *testing.T) {
+	// With no library the max fan-in floor is 1, so a well-formed 2-input
+	// gate must be rejected on the fan-in bound specifically.
+	n := rawNetlist([]Gate{{Kind: cell.And2, Op: cell.OpAnd2, Inputs: []NetID{2, 2}, Output: 3, Delays: delays(2)}},
+		4, []NetID{2}, []NetID{3})
+	n.Lib = nil
+	err := n.finalize()
+	if err == nil || !strings.Contains(err.Error(), "exceeds library max") {
+		t.Fatalf("fan-in bound not enforced: %v", err)
+	}
+}
+
+func TestCompiledLayoutInvariants(t *testing.T) {
+	b := NewBuilder("layout", cell.Default(), 5)
+	x := b.Input(8)
+	y := b.Input(8)
+	sum, cout := b.RippleAdder(x, y, Const0)
+	b.Output(append(append(Bus{}, sum...), cout))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.Compiled()
+	if c != n.Compiled() {
+		t.Fatal("Compiled must return the cached instance")
+	}
+	if c.Stride < 3 || c.Stride < c.MaxFanIn {
+		t.Fatalf("stride %d too small for max fan-in %d", c.Stride, c.MaxFanIn)
+	}
+	if got, want := c.MaxFanIn, cell.Default().MaxFanIn(); got != want {
+		t.Fatalf("MaxFanIn = %d, want library's %d", got, want)
+	}
+	for gi := 0; gi < c.NumGates; gi++ {
+		base := gi * c.Stride
+		ni := int(c.NumIn[gi])
+		if got, want := ni, len(n.Gates()[gi].Inputs); got != want {
+			t.Fatalf("gate %d: NumIn %d want %d", gi, got, want)
+		}
+		for p := ni; p < c.Stride; p++ {
+			if c.In[base+p] != int32(Const0) {
+				t.Fatalf("gate %d pad pin %d points at net %d, want Const0", gi, p, c.In[base+p])
+			}
+		}
+	}
+	// CSR fanout: one entry per reading pin occurrence, consistent with
+	// the netlist's per-net fanout lists.
+	for net := 0; net < c.NumNets; net++ {
+		gates := n.Fanout(NetID(net))
+		lo, hi := c.FanOff[net], c.FanOff[net+1]
+		if int(hi-lo) != len(gates) {
+			t.Fatalf("net %d: CSR fanout %d entries, netlist has %d", net, hi-lo, len(gates))
+		}
+		for j := lo; j < hi; j++ {
+			gi := c.FanGate[j]
+			if GateID(gi) != gates[j-lo] {
+				t.Fatalf("net %d: fanout order diverges at entry %d", net, j-lo)
+			}
+			pin := c.FanPin[j]
+			if c.In[int(gi)*c.Stride+int(pin)] != int32(net) {
+				t.Fatalf("net %d: FanPin %d of gate %d does not read the net", net, pin, gi)
+			}
+		}
+	}
+}

@@ -24,6 +24,8 @@ func (n *Netlist) Vary(sigma float64, seed uint64) *Netlist {
 	}
 	src := prng.New(seed)
 	out := *n // shallow copy shares driver/fanout/topo/level
+	// The varied die has different delays, so it must compile separately.
+	out.cbox = &compileBox{}
 	out.gates = make([]Gate, len(n.gates))
 	copy(out.gates, n.gates)
 	for gi := range out.gates {

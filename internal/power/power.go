@@ -67,7 +67,7 @@ func opEnergy(f *fpu.FPU, op fpu.Op, samples int, src *prng.Source) float64 {
 	var prevs [][]bool
 	for _, s := range pipe.Stages {
 		for r := 0; r < s.Repeat; r++ {
-			sims = append(sims, timingsim.NewFast(s.N, 1.0))
+			sims = append(sims, timingsim.NewFast(s.N.Compiled(), 1.0))
 			prevs = append(prevs, make([]bool, len(s.N.Inputs())))
 		}
 	}
@@ -110,8 +110,8 @@ func packOperands(p *fpu.Pipeline, a, b uint64) []bool {
 // intEnergy measures the integer side: an ALU add plus an AGU add per
 // operation (the dominant per-instruction switching of the core model).
 func intEnergy(u *alu.Unit, samples int, src *prng.Source) float64 {
-	aluSim := timingsim.NewFast(u.ALU, 1.0)
-	aguSim := timingsim.NewFast(u.AGU, 1.0)
+	aluSim := timingsim.NewFast(u.ALU.Compiled(), 1.0)
+	aguSim := timingsim.NewFast(u.AGU.Compiled(), 1.0)
 	aluPrev := make([]bool, len(u.ALU.Inputs()))
 	aguPrev := make([]bool, len(u.AGU.Inputs()))
 	var total float64

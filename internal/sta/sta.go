@@ -1,7 +1,9 @@
 // Package sta performs static timing analysis on netlists: worst-case
 // arrival per endpoint, clock-period determination (Eq. 1 of the paper),
 // slack histograms, and enumeration of the K longest register-to-register
-// paths (the analysis behind the paper's Figure 4).
+// paths (the analysis behind the paper's Figure 4). Analysis runs on the
+// compiled flat IR (netlist.Compiled), the same substrate the simulation
+// engines use.
 //
 // Path delay follows the paper's convention: D(P) includes the launching
 // register's clock-to-output delay and the capturing register's setup time.
@@ -40,47 +42,55 @@ type Report struct {
 	// EndpointDelay maps each primary output index to its worst delay.
 	EndpointDelay []float64
 	arrival       []float64 // per net, worst arrival (incl. clock-to-Q)
-	n             *netlist.Netlist
+	c             *netlist.Compiled
 	clkToQ, setup float64
 }
 
-// pinDelayMax returns the worse of a pin's rise/fall delays.
-func pinDelayMax(g *netlist.Gate, pin int) float64 { return g.Delays[pin].Max() }
+// pinDelayMax returns the worse of a pin's rise/fall delays at flat pin
+// index pi (gate*stride + pin).
+func pinDelayMax(c *netlist.Compiled, pi int) float64 {
+	if r, f := c.Rise[pi], c.Fall[pi]; r > f {
+		return r
+	} else {
+		return f
+	}
+}
 
-// Analyze runs STA on the netlist with the given register timing
+// Analyze runs STA on the compiled netlist with the given register timing
 // parameters (typically Library.ClockToQ and Library.Setup).
-func Analyze(n *netlist.Netlist, clkToQ, setup float64) *Report {
-	arrival := make([]float64, n.NumNets())
+func Analyze(c *netlist.Compiled, clkToQ, setup float64) *Report {
+	arrival := make([]float64, c.NumNets)
 	for i := range arrival {
 		arrival[i] = math.Inf(-1)
 	}
 	arrival[netlist.Const0] = math.Inf(-1) // constants never transition
 	arrival[netlist.Const1] = math.Inf(-1)
-	for _, in := range n.Inputs() {
+	for _, in := range c.Inputs {
 		arrival[in] = clkToQ
 	}
-	gates := n.Gates()
-	for gi := range gates {
-		g := &gates[gi]
+	stride := c.Stride
+	for gi := 0; gi < c.NumGates; gi++ {
+		base := gi * stride
 		worst := math.Inf(-1)
-		for pin, in := range g.Inputs {
-			if a := arrival[in]; !math.IsInf(a, -1) {
-				if t := a + pinDelayMax(g, pin); t > worst {
+		ni := int(c.NumIn[gi])
+		for pin := 0; pin < ni; pin++ {
+			if a := arrival[c.In[base+pin]]; !math.IsInf(a, -1) {
+				if t := a + pinDelayMax(c, base+pin); t > worst {
 					worst = t
 				}
 			}
 		}
-		arrival[g.Output] = worst
+		arrival[c.Out[gi]] = worst
 	}
 	r := &Report{
-		Netlist:       n.Name,
-		EndpointDelay: make([]float64, len(n.Outputs())),
+		Netlist:       c.Name,
+		EndpointDelay: make([]float64, len(c.Outputs)),
 		arrival:       arrival,
-		n:             n,
+		c:             c,
 		clkToQ:        clkToQ,
 		setup:         setup,
 	}
-	for i, out := range n.Outputs() {
+	for i, out := range c.Outputs {
 		d := arrival[out]
 		if math.IsInf(d, -1) {
 			d = 0 // constant or input-fed-through endpoint
@@ -152,14 +162,14 @@ func (h *searchHeap) Pop() any {
 // search is exact; a generous expansion budget guards against pathological
 // path explosion and is reported via the truncated return.
 func (r *Report) TopPaths(k int) (paths []Path, truncated bool) {
-	n := r.n
-	isOutput := make([]bool, n.NumNets())
-	for _, out := range n.Outputs() {
+	c := r.c
+	isOutput := make([]bool, c.NumNets)
+	for _, out := range c.Outputs {
 		isOutput[out] = true
 	}
 	// bestToEnd[net]: longest delay from net to any endpoint (0 at
 	// endpoints), -inf when no endpoint is reachable.
-	bestToEnd := make([]float64, n.NumNets())
+	bestToEnd := make([]float64, c.NumNets)
 	for i := range bestToEnd {
 		if isOutput[netlist.NetID(i)] {
 			bestToEnd[i] = 0
@@ -167,24 +177,27 @@ func (r *Report) TopPaths(k int) (paths []Path, truncated bool) {
 			bestToEnd[i] = math.Inf(-1)
 		}
 	}
-	gates := n.Gates()
-	for gi := len(gates) - 1; gi >= 0; gi-- {
-		g := &gates[gi]
-		if math.IsInf(bestToEnd[g.Output], -1) {
+	stride := c.Stride
+	for gi := c.NumGates - 1; gi >= 0; gi-- {
+		out := c.Out[gi]
+		if math.IsInf(bestToEnd[out], -1) {
 			continue
 		}
-		for pin, in := range g.Inputs {
+		base := gi * stride
+		ni := int(c.NumIn[gi])
+		for pin := 0; pin < ni; pin++ {
+			in := netlist.NetID(c.In[base+pin])
 			if in == netlist.Const0 || in == netlist.Const1 {
 				continue
 			}
-			if t := pinDelayMax(g, pin) + bestToEnd[g.Output]; t > bestToEnd[in] {
+			if t := pinDelayMax(c, base+pin) + bestToEnd[out]; t > bestToEnd[in] {
 				bestToEnd[in] = t
 			}
 		}
 	}
 
 	h := &searchHeap{}
-	for _, in := range n.Inputs() {
+	for _, in := range c.Inputs {
 		if math.IsInf(bestToEnd[in], -1) {
 			continue
 		}
@@ -206,20 +219,23 @@ func (r *Report) TopPaths(k int) (paths []Path, truncated bool) {
 		if isOutput[net] {
 			paths = append(paths, r.materialize(it))
 		}
-		for _, gid := range n.Fanout(net) {
-			g := n.Gate(gid)
-			for pin, in := range g.Inputs {
-				if in != net {
+		for j := c.FanOff[net]; j < c.FanOff[net+1]; j++ {
+			gid := c.FanGate[j]
+			out := c.Out[gid]
+			base := int(gid) * stride
+			ni := int(c.NumIn[gid])
+			for pin := 0; pin < ni; pin++ {
+				if netlist.NetID(c.In[base+pin]) != net {
 					continue
 				}
-				if math.IsInf(bestToEnd[g.Output], -1) {
+				if math.IsInf(bestToEnd[out], -1) {
 					continue
 				}
-				d := it.delaySoFar + pinDelayMax(g, pin)
+				d := it.delaySoFar + pinDelayMax(c, base+pin)
 				heap.Push(h, searchItem{
-					bound:      d + bestToEnd[g.Output],
+					bound:      d + bestToEnd[out],
 					delaySoFar: d,
-					node:       &pathNode{net: g.Output, prev: it.node},
+					node:       &pathNode{net: netlist.NetID(out), prev: it.node},
 				})
 			}
 		}
@@ -238,8 +254,8 @@ func (r *Report) materialize(it searchItem) Path {
 		nets[i], nets[j] = nets[j], nets[i]
 	}
 	unit := ""
-	if d := r.n.Driver(it.node.net); d >= 0 {
-		unit = r.n.Gate(d).Unit
+	if d := r.c.Driver[it.node.net]; d >= 0 {
+		unit = r.c.Unit[d]
 	}
 	return Path{
 		Delay:   r.clkToQ + it.delaySoFar + r.setup,

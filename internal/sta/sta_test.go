@@ -29,7 +29,7 @@ func TestChainWorstDelay(t *testing.T) {
 	for _, g := range n.Gates() {
 		want += g.Delays[0].Max()
 	}
-	r := sta.Analyze(n, clkToQ, setup)
+	r := sta.Analyze(n.Compiled(), clkToQ, setup)
 	if math.Abs(r.WorstDelay-(clkToQ+want+setup)) > 1e-9 {
 		t.Fatalf("WorstDelay %v, want %v", r.WorstDelay, clkToQ+want+setup)
 	}
@@ -44,7 +44,7 @@ func TestTopPathsChain(t *testing.T) {
 	out := b.BufChain(x, 7)
 	b.Output(netlist.Bus{out})
 	n := b.MustBuild()
-	r := sta.Analyze(n, clkToQ, setup)
+	r := sta.Analyze(n.Compiled(), clkToQ, setup)
 	paths, truncated := r.TopPaths(10)
 	if truncated {
 		t.Fatal("trivial chain should not truncate")
@@ -73,7 +73,7 @@ func adder(t *testing.T, w int) *netlist.Netlist {
 
 func TestTopPathsSortedAndBounded(t *testing.T) {
 	n := adder(t, 12)
-	r := sta.Analyze(n, clkToQ, setup)
+	r := sta.Analyze(n.Compiled(), clkToQ, setup)
 	paths, _ := r.TopPaths(50)
 	if len(paths) != 50 {
 		t.Fatalf("got %d paths", len(paths))
@@ -98,7 +98,7 @@ func TestTopPathsSortedAndBounded(t *testing.T) {
 
 func TestPathNetsFormRealPath(t *testing.T) {
 	n := adder(t, 8)
-	r := sta.Analyze(n, clkToQ, setup)
+	r := sta.Analyze(n.Compiled(), clkToQ, setup)
 	paths, _ := r.TopPaths(20)
 	isInput := make(map[netlist.NetID]bool)
 	for _, in := range n.Inputs() {
@@ -137,9 +137,9 @@ func TestSTABoundsDynamicArrival(t *testing.T) {
 	// STA must upper-bound every dynamically observed arrival.
 	const w = 12
 	n := adder(t, w)
-	r := sta.Analyze(n, clkToQ, setup)
-	fast := timingsim.NewFast(n, 1.0)
-	exact := timingsim.NewExact(n, 1.0)
+	r := sta.Analyze(n.Compiled(), clkToQ, setup)
+	fast := timingsim.NewFast(n.Compiled(), 1.0)
+	exact := timingsim.NewExact(n.Compiled(), 1.0)
 	src := prng.New(55)
 	prev := make([]bool, 2*w+1)
 	cur := make([]bool, 2*w+1)
@@ -166,8 +166,8 @@ func TestSTACriticalPathIsAchievable(t *testing.T) {
 	// the STA bound. This pins down the pessimism gap.
 	const w = 12
 	n := adder(t, w)
-	r := sta.Analyze(n, clkToQ, setup)
-	fast := timingsim.NewFast(n, 1.0)
+	r := sta.Analyze(n.Compiled(), clkToQ, setup)
+	fast := timingsim.NewFast(n.Compiled(), 1.0)
 	mk := func(x, y, cin uint64) []bool {
 		in := make([]bool, 2*w+1)
 		logicsim.PackInputs(in, 0, w, x)
@@ -184,7 +184,7 @@ func TestSTACriticalPathIsAchievable(t *testing.T) {
 
 func TestSlackHistogram(t *testing.T) {
 	n := adder(t, 8)
-	r := sta.Analyze(n, clkToQ, setup)
+	r := sta.Analyze(n.Compiled(), clkToQ, setup)
 	clk := r.WorstDelay * 1.1
 	slacks := r.SlackHistogram(clk)
 	if len(slacks) != len(n.Outputs()) {
@@ -207,8 +207,8 @@ func TestSlackHistogram(t *testing.T) {
 func TestClockPeriod(t *testing.T) {
 	n1 := adder(t, 8)
 	n2 := adder(t, 16)
-	r1 := sta.Analyze(n1, clkToQ, setup)
-	r2 := sta.Analyze(n2, clkToQ, setup)
+	r1 := sta.Analyze(n1.Compiled(), clkToQ, setup)
+	r2 := sta.Analyze(n2.Compiled(), clkToQ, setup)
 	clk := sta.ClockPeriod([]*sta.Report{r1, r2}, 1.0)
 	if clk != r2.WorstDelay {
 		t.Fatalf("ClockPeriod %v, want the wider adder's %v", clk, r2.WorstDelay)
@@ -235,8 +235,8 @@ func TestTopPathsAcrossAndUnitDistribution(t *testing.T) {
 	b2.Output(s2)
 	nALU := b2.MustBuild()
 
-	rFPU := sta.Analyze(nFPU, clkToQ, setup)
-	rALU := sta.Analyze(nALU, clkToQ, setup)
+	rFPU := sta.Analyze(nFPU.Compiled(), clkToQ, setup)
+	rALU := sta.Analyze(nALU.Compiled(), clkToQ, setup)
 	paths := sta.TopPathsAcross([]*sta.Report{rFPU, rALU}, 30)
 	if len(paths) != 30 {
 		t.Fatalf("got %d paths", len(paths))
@@ -254,7 +254,7 @@ func TestConstantFedOutput(t *testing.T) {
 	x := b.InputNet()
 	b.Output(netlist.Bus{netlist.Const0, x})
 	n := b.MustBuild()
-	r := sta.Analyze(n, clkToQ, setup)
+	r := sta.Analyze(n.Compiled(), clkToQ, setup)
 	if r.EndpointDelay[0] != 0 {
 		t.Fatalf("constant endpoint should have zero delay, got %v", r.EndpointDelay[0])
 	}

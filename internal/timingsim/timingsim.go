@@ -3,7 +3,8 @@
 // timing analysis: the reduced-voltage gate-level simulation whose sampled
 // outputs are compared with the golden run to detect timing errors.
 //
-// Two engines are provided:
+// Two engines are provided, both running on the compiled flat IR
+// (netlist.Compiled) with opcode dispatch:
 //
 //   - Exact: event-driven simulation with inertial delays. Captures the
 //     value every net holds at the capture deadline, including glitches.
@@ -62,31 +63,30 @@ type Runner interface {
 
 // FastSim is the levelized arrival-time engine.
 type FastSim struct {
-	n       *netlist.Netlist
+	c       *netlist.Compiled
 	scale   float64
 	oldV    []bool
 	newV    []bool
 	changed []bool
 	arrival []float64
 	sample  Sample
-	inBuf   []bool
 }
 
-// NewFast returns a fast engine for the netlist with all gate delays
-// multiplied by scale (the corner's delay inflation; 1.0 = nominal).
-func NewFast(n *netlist.Netlist, scale float64) *FastSim {
+// NewFast returns a fast engine for the compiled netlist with all gate
+// delays multiplied by scale (the corner's delay inflation; 1.0 =
+// nominal).
+func NewFast(c *netlist.Compiled, scale float64) *FastSim {
 	s := &FastSim{
-		n:       n,
+		c:       c,
 		scale:   scale,
-		oldV:    make([]bool, n.NumNets()),
-		newV:    make([]bool, n.NumNets()),
-		changed: make([]bool, n.NumNets()),
-		arrival: make([]float64, n.NumNets()),
-		inBuf:   make([]bool, 4),
+		oldV:    make([]bool, c.NumNets),
+		newV:    make([]bool, c.NumNets),
+		changed: make([]bool, c.NumNets),
+		arrival: make([]float64, c.NumNets),
 	}
 	s.oldV[netlist.Const1] = true
 	s.newV[netlist.Const1] = true
-	outs := len(n.Outputs())
+	outs := len(c.Outputs)
 	s.sample = Sample{
 		Captured: make([]bool, outs),
 		Settled:  make([]bool, outs),
@@ -97,11 +97,11 @@ func NewFast(n *netlist.Netlist, scale float64) *FastSim {
 
 // Run implements Runner.
 func (s *FastSim) Run(prev, cur []bool, inputArrival, deadline float64) *Sample {
-	ins := s.n.Inputs()
-	if len(prev) != len(ins) || len(cur) != len(ins) {
+	c := s.c
+	if len(prev) != len(c.Inputs) || len(cur) != len(c.Inputs) {
 		panic("timingsim: input width mismatch")
 	}
-	for i, net := range ins {
+	for i, net := range c.Inputs {
 		s.oldV[net] = prev[i]
 		s.newV[net] = cur[i]
 		s.changed[net] = prev[i] != cur[i]
@@ -109,51 +109,48 @@ func (s *FastSim) Run(prev, cur []bool, inputArrival, deadline float64) *Sample 
 	}
 	var toggles int64
 	var energy float64
-	gates := s.n.Gates()
-	bufOld := s.inBuf[:4]
-	var bufNew [4]bool
-	for gi := range gates {
-		g := &gates[gi]
-		ni := len(g.Inputs)
-		anyChanged := false
-		for i := 0; i < ni; i++ {
-			in := g.Inputs[i]
-			bufOld[i] = s.oldV[in]
-			bufNew[i] = s.newV[in]
-			anyChanged = anyChanged || s.changed[in]
-		}
-		out := g.Output
-		oldOut := g.Eval(bufOld[:ni])
-		s.oldV[out] = oldOut
+	in, stride := c.In, c.Stride
+	oldV, newV, changed := s.oldV, s.newV, s.changed
+	for gi := 0; gi < c.NumGates; gi++ {
+		base := gi * stride
+		// Padded pins read Const0, which never changes and which every
+		// opcode ignores beyond its arity, so the loads are unconditional.
+		i0, i1, i2 := in[base], in[base+1], in[base+2]
+		op := c.Op[gi]
+		out := c.Out[gi]
+		anyChanged := changed[i0] || changed[i1] || changed[i2]
+		oldOut := op.Eval(oldV[i0], oldV[i1], oldV[i2])
+		oldV[out] = oldOut
 		if !anyChanged {
-			s.newV[out] = oldOut
-			s.changed[out] = false
+			newV[out] = oldOut
+			changed[out] = false
 			s.arrival[out] = 0
 			continue
 		}
-		newOut := g.Eval(bufNew[:ni])
-		s.newV[out] = newOut
+		newOut := op.Eval(newV[i0], newV[i1], newV[i2])
+		newV[out] = newOut
 		if newOut == oldOut {
-			s.changed[out] = false
+			changed[out] = false
 			s.arrival[out] = 0
 			continue
 		}
 		toggles++
-		energy += g.Energy
-		s.changed[out] = true
+		energy += c.Energy[gi]
+		changed[out] = true
 		worst := 0.0
+		ni := int(c.NumIn[gi])
 		for i := 0; i < ni; i++ {
-			in := g.Inputs[i]
-			if !s.changed[in] {
+			inNet := in[base+i]
+			if !changed[inNet] {
 				continue
 			}
 			var d float64
 			if newOut {
-				d = g.Delays[i].Rise
+				d = c.Rise[base+i]
 			} else {
-				d = g.Delays[i].Fall
+				d = c.Fall[base+i]
 			}
-			if t := s.arrival[in] + d*s.scale; t > worst {
+			if t := s.arrival[inNet] + d*s.scale; t > worst {
 				worst = t
 			}
 		}
@@ -168,7 +165,7 @@ func (s *FastSim) Run(prev, cur []bool, inputArrival, deadline float64) *Sample 
 	sm.Violations = 0
 	sm.Toggles = toggles
 	sm.EnergyFJ = energy
-	for i, net := range s.n.Outputs() {
+	for i, net := range c.Outputs {
 		settled := s.newV[net]
 		sm.Settled[i] = settled
 		arr := 0.0
@@ -215,7 +212,7 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 
 // ExactSim is the event-driven engine with inertial delays.
 type ExactSim struct {
-	n          *netlist.Netlist
+	c          *netlist.Compiled
 	scale      float64
 	values     []bool
 	atDeadline []bool
@@ -224,21 +221,20 @@ type ExactSim struct {
 	heap       eventHeap
 	seq        uint64
 	sample     Sample
-	inBuf      [4]bool
 }
 
-// NewExact returns an exact engine for the netlist at the given delay
-// scale.
-func NewExact(n *netlist.Netlist, scale float64) *ExactSim {
+// NewExact returns an exact engine for the compiled netlist at the given
+// delay scale.
+func NewExact(c *netlist.Compiled, scale float64) *ExactSim {
 	s := &ExactSim{
-		n:          n,
+		c:          c,
 		scale:      scale,
-		values:     make([]bool, n.NumNets()),
-		atDeadline: make([]bool, n.NumNets()),
-		lastChange: make([]float64, n.NumNets()),
-		stamp:      make([]uint32, n.NumNets()),
+		values:     make([]bool, c.NumNets),
+		atDeadline: make([]bool, c.NumNets),
+		lastChange: make([]float64, c.NumNets),
+		stamp:      make([]uint32, c.NumNets),
 	}
-	outs := len(n.Outputs())
+	outs := len(c.Outputs)
 	s.sample = Sample{
 		Captured: make([]bool, outs),
 		Settled:  make([]bool, outs),
@@ -250,32 +246,29 @@ func NewExact(n *netlist.Netlist, scale float64) *ExactSim {
 // settle evaluates the netlist functionally into values (steady state for
 // the prev vector).
 func (s *ExactSim) settle(inputs []bool) {
+	c := s.c
 	s.values[netlist.Const0] = false
 	s.values[netlist.Const1] = true
-	for i, net := range s.n.Inputs() {
+	for i, net := range c.Inputs {
 		s.values[net] = inputs[i]
 	}
-	gates := s.n.Gates()
-	for gi := range gates {
-		g := &gates[gi]
-		buf := s.inBuf[:len(g.Inputs)]
-		for i, in := range g.Inputs {
-			buf[i] = s.values[in]
-		}
-		s.values[g.Output] = g.Eval(buf)
+	vals := s.values
+	in, stride := c.In, c.Stride
+	for gi := 0; gi < c.NumGates; gi++ {
+		base := gi * stride
+		vals[c.Out[gi]] = c.Op[gi].Eval(vals[in[base]], vals[in[base+1]], vals[in[base+2]])
 	}
 }
 
-// scheduleGate re-evaluates gate g at time t following a change on one of
+// scheduleGate re-evaluates gate gi at time t following a change on one of
 // its inputs and schedules the resulting output event (inertial rule: a
 // newer evaluation supersedes any pending event on the output).
-func (s *ExactSim) scheduleGate(g *netlist.Gate, changedPin int, t float64) {
-	buf := s.inBuf[:len(g.Inputs)]
-	for i, in := range g.Inputs {
-		buf[i] = s.values[in]
-	}
-	v := g.Eval(buf)
-	out := g.Output
+func (s *ExactSim) scheduleGate(gi, changedPin int32, t float64) {
+	c := s.c
+	base := int(gi) * c.Stride
+	in := c.In
+	v := c.Op[gi].Eval(s.values[in[base]], s.values[in[base+1]], s.values[in[base+2]])
+	out := netlist.NetID(c.Out[gi])
 	// Supersede any pending event for this net.
 	s.stamp[out]++
 	if v == s.values[out] {
@@ -283,9 +276,9 @@ func (s *ExactSim) scheduleGate(g *netlist.Gate, changedPin int, t float64) {
 	}
 	var d float64
 	if v {
-		d = g.Delays[changedPin].Rise
+		d = c.Rise[base+int(changedPin)]
 	} else {
-		d = g.Delays[changedPin].Fall
+		d = c.Fall[base+int(changedPin)]
 	}
 	s.seq++
 	heap.Push(&s.heap, event{
@@ -299,8 +292,8 @@ func (s *ExactSim) scheduleGate(g *netlist.Gate, changedPin int, t float64) {
 
 // Run implements Runner.
 func (s *ExactSim) Run(prev, cur []bool, inputArrival, deadline float64) *Sample {
-	ins := s.n.Inputs()
-	if len(prev) != len(ins) || len(cur) != len(ins) {
+	c := s.c
+	if len(prev) != len(c.Inputs) || len(cur) != len(c.Inputs) {
 		panic("timingsim: input width mismatch")
 	}
 	s.settle(prev)
@@ -312,7 +305,7 @@ func (s *ExactSim) Run(prev, cur []bool, inputArrival, deadline float64) *Sample
 	s.seq = 0
 
 	// Primary-input transitions at inputArrival.
-	for i, net := range ins {
+	for i, net := range c.Inputs {
 		if cur[i] != prev[i] {
 			s.seq++
 			s.stamp[net]++
@@ -343,20 +336,12 @@ func (s *ExactSim) Run(prev, cur []bool, inputArrival, deadline float64) *Sample
 		}
 		s.values[e.net] = e.value
 		s.lastChange[e.net] = e.time
-		if d := s.n.Driver(e.net); d >= 0 {
+		if d := c.Driver[e.net]; d >= 0 {
 			toggles++ // count gate-output transitions only, as Fast does
-			energy += s.n.Gate(d).Energy
+			energy += c.Energy[d]
 		}
-		for _, gid := range s.n.Fanout(e.net) {
-			g := s.n.Gate(gid)
-			pin := 0
-			for i, in := range g.Inputs {
-				if in == e.net {
-					pin = i
-					break
-				}
-			}
-			s.scheduleGate(g, pin, e.time)
+		for j := c.FanOff[e.net]; j < c.FanOff[e.net+1]; j++ {
+			s.scheduleGate(c.FanGate[j], c.FanPin[j], e.time)
 		}
 	}
 	if !snapshotTaken {
@@ -368,7 +353,7 @@ func (s *ExactSim) Run(prev, cur []bool, inputArrival, deadline float64) *Sample
 	sm.Violations = 0
 	sm.Toggles = toggles
 	sm.EnergyFJ = energy
-	for i, net := range s.n.Outputs() {
+	for i, net := range c.Outputs {
 		sm.Settled[i] = s.values[net]
 		sm.Captured[i] = s.atDeadline[net]
 		sm.Arrival[i] = s.lastChange[net]

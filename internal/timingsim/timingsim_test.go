@@ -42,8 +42,8 @@ func chainDelay(n *netlist.Netlist, rise bool) float64 {
 
 func runners(n *netlist.Netlist, scale float64) map[string]timingsim.Runner {
 	return map[string]timingsim.Runner{
-		"fast":  timingsim.NewFast(n, scale),
-		"exact": timingsim.NewExact(n, scale),
+		"fast":  timingsim.NewFast(n.Compiled(), scale),
+		"exact": timingsim.NewExact(n.Compiled(), scale),
 	}
 }
 
@@ -106,7 +106,7 @@ func TestVoltageScaleInflatesDelay(t *testing.T) {
 			t.Fatalf("%s: undervolted run should miss deadline %v", name, mid)
 		}
 	}
-	nominal := timingsim.NewFast(n, 1.0)
+	nominal := timingsim.NewFast(n.Compiled(), 1.0)
 	if s := nominal.Run([]bool{false}, []bool{true}, 0, rise*(1+scale)/2); s.Violations != 0 {
 		t.Fatal("nominal run should meet the mid deadline")
 	}
@@ -174,7 +174,7 @@ func TestTimingErrorOnLongCarryOnly(t *testing.T) {
 		in[2*w] = cin == 1
 		return in
 	}
-	fast := timingsim.NewFast(n, 1.0)
+	fast := timingsim.NewFast(n.Compiled(), 1.0)
 	probe := fast.Run(mk(0xFFFF, 0, 0), mk(0xFFFF, 0, 1), 0, timingsim.MaxDeadline)
 	deadline := probe.WorstArrival * 0.6
 	for name, r := range runners(n, 1.0) {
@@ -192,7 +192,7 @@ func TestTimingErrorOnLongCarryOnly(t *testing.T) {
 func TestSettledMatchesFunctionalSim(t *testing.T) {
 	const w = 12
 	n, _ := rippleHarness(t, w)
-	golden := logicsim.New(n)
+	golden := logicsim.New(n.Compiled())
 	src := prng.New(77)
 	prev := make([]bool, 2*w+1)
 	cur := make([]bool, 2*w+1)
@@ -220,8 +220,8 @@ func TestFastAgreesWithExactOnChainTopologies(t *testing.T) {
 	// Without reconvergent fanout the two engines must agree exactly on
 	// captured values for any deadline.
 	n := bufChain(t, 8)
-	fast := timingsim.NewFast(n, 1.0)
-	exact := timingsim.NewExact(n, 1.0)
+	fast := timingsim.NewFast(n.Compiled(), 1.0)
+	exact := timingsim.NewExact(n.Compiled(), 1.0)
 	total := chainDelay(n, true)
 	for _, frac := range []float64{0.1, 0.5, 0.9, 1.1} {
 		deadline := total * frac
@@ -236,8 +236,8 @@ func TestFastAgreesWithExactOnChainTopologies(t *testing.T) {
 func TestFastApproximatesExactOnAdder(t *testing.T) {
 	const w = 10
 	n, _ := rippleHarness(t, w)
-	fast := timingsim.NewFast(n, 1.0)
-	exact := timingsim.NewExact(n, 1.0)
+	fast := timingsim.NewFast(n.Compiled(), 1.0)
+	exact := timingsim.NewExact(n.Compiled(), 1.0)
 	src := prng.New(123)
 	prev := make([]bool, 2*w+1)
 	cur := make([]bool, 2*w+1)
@@ -295,7 +295,7 @@ func TestExactFiltersGlitchesInertially(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact := timingsim.NewExact(n, 1.0)
+	exact := timingsim.NewExact(n.Compiled(), 1.0)
 	s := exact.Run([]bool{false}, []bool{true}, 0, timingsim.MaxDeadline)
 	if s.Captured[0] || s.Settled[0] {
 		t.Fatal("glitch must not survive to a generous deadline")
