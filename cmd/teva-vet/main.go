@@ -1,0 +1,93 @@
+// Command teva-vet runs TEVA's domain-specific static analyzers over the
+// repo. It enforces the invariants the experiment pipeline's determinism
+// guarantee rests on — see the internal/lint package documentation and
+// the "Determinism invariants and teva-vet" section of DESIGN.md.
+//
+// Usage:
+//
+//	teva-vet [-json] [-list] [packages...]
+//
+// Packages default to ./... and accept go-style patterns relative to the
+// module root (./internal/..., ./cmd/teva-dta). The exit status is 0 when
+// clean, 1 when findings are reported, and 2 on load/usage errors.
+//
+// Findings print as file:line:col: [analyzer] message; -json emits a
+// machine-readable array for CI tooling. Individual findings are
+// suppressed in source with `//teva:allow <analyzer>` on the offending
+// line or the line before it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"teva/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := lint.NewLoader(root)
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := []lint.Finding{}
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range lint.RunAnalyzers(pkg, analyzers) {
+			findings = append(findings, loader.RelFile(f))
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "teva-vet: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "teva-vet:", err)
+	os.Exit(2)
+}

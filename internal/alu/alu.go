@@ -89,7 +89,7 @@ func buildAGU(lib *cell.Library, seed uint64) (*netlist.Netlist, error) {
 	b.SetUnit("alu/agu")
 	base := b.Input(32)
 	off := b.Input(32)
-	sum, _ := b.HybridAdder(base, off, netlist.Const0, 8)
+	sum := b.Sum(b.HybridAdder(base, off, netlist.Const0, 8))
 	b.Output(sum)
 	return b.Build()
 }

@@ -13,24 +13,24 @@ type OpCode uint8
 // The opcode set. OpNone is the invalid zero value so an unset opcode
 // fails netlist validation loudly.
 const (
-	OpNone OpCode = iota
-	OpBuf         // a
-	OpInv         // !a
-	OpAnd2        // a & b
-	OpOr2         // a | b
-	OpNand2       // !(a & b)
-	OpNor2        // !(a | b)
-	OpXor2        // a ^ b        (also the HA sum function)
-	OpXnor2       // !(a ^ b)
-	OpMux2        // c ? b : a    (pins: D0, D1, S)
-	OpAoi21       // !((a & b) | c)
-	OpOai21       // !((a | b) & c)
-	OpAnd3        // a & b & c
-	OpOr3         // a | b | c
-	OpNand3       // !(a & b & c)
-	OpNor3        // !(a | b | c)
-	OpXor3        // a ^ b ^ c    (the FA sum function)
-	OpMaj3        // majority     (the FA carry function)
+	OpNone  OpCode = iota
+	OpBuf          // a
+	OpInv          // !a
+	OpAnd2         // a & b
+	OpOr2          // a | b
+	OpNand2        // !(a & b)
+	OpNor2         // !(a | b)
+	OpXor2         // a ^ b        (also the HA sum function)
+	OpXnor2        // !(a ^ b)
+	OpMux2         // c ? b : a    (pins: D0, D1, S)
+	OpAoi21        // !((a & b) | c)
+	OpOai21        // !((a | b) & c)
+	OpAnd3         // a & b & c
+	OpOr3          // a | b | c
+	OpNand3        // !(a & b & c)
+	OpNor3         // !(a | b | c)
+	OpXor3         // a ^ b ^ c    (the FA sum function)
+	OpMaj3         // majority     (the FA carry function)
 	NumOpCodes
 )
 

@@ -689,6 +689,7 @@ func (c *CPU) execFP(in isa.Inst) bool {
 		b := math.Float64frombits(c.readFP(in.Rs2))
 		var v uint32
 		switch {
+		//teva:allow floateq -- FEQ.D is defined as exact IEEE-754 equality
 		case fn == isa.FPEqD && a == b, fn == isa.FPLtD && a < b, fn == isa.FPLeD && a <= b:
 			v = 1
 		}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"teva/internal/campaign"
+	"teva/internal/power"
+)
+
+// The CSV exporters iterate Go maps, whose range order is randomized per
+// run. Every exporter must therefore sort keys before emission; this test
+// renders the map-driven exports twice from the same in-memory results
+// and requires byte-identical files. Enough keys are used that an
+// accidental order collision is essentially impossible (12! orderings).
+
+func deterministicFixtures() (*Fig4Result, *Fig6Result, *PowerResult, *CampaignSet) {
+	f4 := &Fig4Result{CLK: 900, ByGroup: map[string]int{}, UnitWorst: map[string]float64{}}
+	f6 := &Fig6Result{FullN: 2400, AE: map[int]float64{}, FullBER: []float64{0.25, 0, 0.125}}
+	pw := &PowerResult{Profile: &power.Profile{IntOp: 11}, PerWorkload: map[string]power.Breakdown{}}
+	for i := 0; i < 12; i++ {
+		unit := fmt.Sprintf("unit-%02d", i)
+		f4.ByGroup[unit] = i + 1
+		f4.UnitWorst[unit] = 800 + float64(i)
+		f6.AE[100*(i+1)] = 1 / float64(i+2)
+		pw.PerWorkload[unit] = power.Breakdown{
+			FPUEnergyFJ: float64(i), IntEnergyFJ: 2 * float64(i), FPUShare: 0.25,
+		}
+	}
+	cs := &CampaignSet{Cells: map[string]*campaign.Result{}}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("bench-%d", i)
+		cs.Order = append(cs.Order, name)
+		for _, level := range []string{"VR15", "VR20"} {
+			for _, kind := range ModelKinds() {
+				r := &campaign.Result{
+					Workload: name, Model: kind, Level: level,
+					Runs: 24, CrashKinds: map[string]int{},
+				}
+				r.Outcomes[campaign.Masked] = 24
+				for k := 0; k < 8; k++ {
+					r.CrashKinds[fmt.Sprintf("kind-%d", k)] = k + 1
+				}
+				cs.Cells[cellKey(name, kind, level)] = r
+			}
+		}
+	}
+	return f4, f6, pw, cs
+}
+
+func renderAll(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	f4, f6, pw, cs := deterministicFixtures()
+	if err := CSVFig4(dir, f4); err != nil {
+		t.Fatal(err)
+	}
+	if err := CSVFig6(dir, f6); err != nil {
+		t.Fatal(err)
+	}
+	if err := CSVPower(dir, pw); err != nil {
+		t.Fatal(err)
+	}
+	if err := CSVFig9(dir, cs); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = data
+	}
+	return files
+}
+
+func TestCSVExportsAreByteDeterministic(t *testing.T) {
+	a := renderAll(t, t.TempDir())
+	b := renderAll(t, t.TempDir())
+	if len(a) != len(b) {
+		t.Fatalf("render produced %d files, then %d", len(a), len(b))
+	}
+	if len(a) < 5 {
+		t.Fatalf("expected at least 5 exported files, got %d", len(a))
+	}
+	for name, data := range a {
+		other, ok := b[name]
+		if !ok {
+			t.Fatalf("%s missing from second render", name)
+		}
+		if string(data) != string(other) {
+			t.Errorf("%s differs between two renders of the same results:\n--- first\n%s\n--- second\n%s",
+				name, data, other)
+		}
+	}
+}

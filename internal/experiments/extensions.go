@@ -418,20 +418,16 @@ func AdderAblation(e *Env) ([]AdderRow, error) {
 	}
 	archs := []arch{
 		{"ripple", func(b *netlist.Builder, x, y netlist.Bus) netlist.Bus {
-			s, _ := b.RippleAdder(x, y, netlist.Const0)
-			return s
+			return b.Sum(b.RippleAdder(x, y, netlist.Const0))
 		}},
 		{"hybrid-8", func(b *netlist.Builder, x, y netlist.Bus) netlist.Bus {
-			s, _ := b.HybridAdder(x, y, netlist.Const0, 8)
-			return s
+			return b.Sum(b.HybridAdder(x, y, netlist.Const0, 8))
 		}},
 		{"hybrid-16", func(b *netlist.Builder, x, y netlist.Bus) netlist.Bus {
-			s, _ := b.HybridAdder(x, y, netlist.Const0, 16)
-			return s
+			return b.Sum(b.HybridAdder(x, y, netlist.Const0, 16))
 		}},
 		{"kogge-stone", func(b *netlist.Builder, x, y netlist.Bus) netlist.Bus {
-			s, _ := b.PrefixAdder(x, y, netlist.Const0)
-			return s
+			return b.Sum(b.PrefixAdder(x, y, netlist.Const0))
 		}},
 	}
 	lib := e.F.Lib

@@ -58,7 +58,7 @@ func buildAddSub(op Op, lib libT, seed uint64, mantPad, roundPad float64) (*Pipe
 			sigB := append(c.FAndWith(fracB, nzB), nzB)
 			expL := c.FMuxBus(bLarger, expA, expB)
 			expS := c.FMuxBus(bLarger, expB, expA)
-			d, _ := c.RippleSub(expL, expS)
+			d := c.Sum(c.RippleSub(expL, expS))
 			c.put("sigL", c.FMuxBus(bLarger, sigA, sigB))
 			c.put("sigS", c.FMuxBus(bLarger, sigB, sigA))
 			c.put("d", d)
@@ -90,7 +90,7 @@ func buildAddSub(op Op, lib libT, seed uint64, mantPad, roundPad float64) (*Pipe
 			// selected by the effective operation, so each adder sees a
 			// stable operand polarity (no whole-bus inversion transients).
 			sumAdd, coutAdd := c.HybridAdder(x, y, netlist.Const0, 16)
-			sumSub, _ := c.HybridAdder(x, c.FNotBus(y), netlist.Const1, 16)
+			sumSub := c.Sum(c.HybridAdder(x, c.FNotBus(y), netlist.Const1, 16))
 			sum := c.FMuxBus(effSub, sumAdd, sumSub)
 			carry := c.FAnd(coutAdd, c.FNot(effSub))
 			m := append(append(netlist.Bus{}, sum...), carry)
@@ -116,9 +116,9 @@ func buildAddSub(op Op, lib libT, seed uint64, mantPad, roundPad float64) (*Pipe
 			// exp = expL + carry (add path) - lz (sub path).
 			expExt := zeroExtend(expL, w.EW)
 			carryAdd := c.FAnd(carry, c.FNot(effSub))
-			e1, _ := c.Increment(expExt, carryAdd)
+			e1 := c.Sum(c.Increment(expExt, carryAdd))
 			lzSel := zeroExtend(c.FAndWith(lz, effSub), w.EW)
-			e2, _ := c.RippleSub(e1, lzSel)
+			e2 := c.Sum(c.RippleSub(e1, lzSel))
 			zeroRes := c.IsZero(m) // all SW+1 bits, including the add carry
 			signR := c.FMux(zeroRes, c.bit("signL"), c.bit("zsign"))
 			putRoundInputs(c, n, e2, signR, zeroRes,

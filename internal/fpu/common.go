@@ -125,7 +125,10 @@ func buildRoundStage(c *sb, w widths, padPS float64) {
 	rs := c.FOr(n[1], n[0])
 	roundUp := c.FAnd(guard, c.FOr(rs, lsb))
 	mant, carry := c.Increment(netlist.Bus(n[3:]), roundUp)
-	exp2, _ := c.Increment(exp, carry)
+	// The leading significand bit is implicit in the packed encoding; a
+	// rounding overflow is absorbed by the exponent increment below.
+	c.Discard(mant[w.FB])
+	exp2 := c.Sum(c.Increment(exp, carry))
 
 	// Range checks on the signed exponent.
 	negOrZero := c.FOr(exp2[w.EW-1], c.IsZero(exp2))

@@ -23,7 +23,7 @@ func buildI2F(op Op, lib libT, seed uint64) (*Pipeline, error) {
 			norm, lz := c.NormalizeLeft(mag, 5)
 			// Leading one now at bit 31; exponent = bias + 31 - lz.
 			bias := uint64(1<<uint(w.EB-1) - 1)
-			e, _ := c.RippleSub(c.Constant(bias+31, w.EW), zeroExtend(lz, w.EW))
+			e := c.Sum(c.RippleSub(c.Constant(bias+31, w.EW), zeroExtend(lz, w.EW)))
 			var n netlist.Bus
 			if w.SW >= 32 {
 				n = shiftLeftFixed(norm, w.SW-32, w.SW)
@@ -59,7 +59,7 @@ func buildF2I(op Op, lib libT, seed uint64) (*Pipeline, error) {
 		{name: "s1-unpack", build: func(c *sb) {
 			a := decodeOperand(c, w, c.get("a"))
 			bias := uint64(1<<uint(w.EB-1) - 1)
-			e, _ := c.RippleSub(zeroExtend(a.exp, w.EW), c.Constant(bias, w.EW))
+			e := c.Sum(c.RippleSub(zeroExtend(a.exp, w.EW), c.Constant(bias, w.EW)))
 			c.put("sig", a.sig(c, w))
 			c.put("e", e)
 			c.putBit("sign", a.sign)
@@ -77,16 +77,27 @@ func buildF2I(op Op, lib libT, seed uint64) (*Pipeline, error) {
 				c.FNot(c.LessUnsigned(e, c.Constant(31, w.EW))))
 			// Right shift by FB-e (or left by e-FB when e > FB, which only
 			// occurs for binary32).
-			r, _ := c.RippleSub(c.Constant(uint64(w.FB), w.EW), e)
+			r := c.Sum(c.RippleSub(c.Constant(uint64(w.FB), w.EW), e))
 			rNeg := r[w.EW-1]
 			magR := c.ShiftRight(sig, netlist.Bus(r[:6]), netlist.Const0)
 			var mag netlist.Bus
 			if w.FB < 31 {
 				l := c.Negate(r)
+				// Only the 6-bit shift field of the negated count is used.
+				c.DiscardBus(netlist.Bus(l[6:]))
 				magL := c.ShiftLeft(sig, netlist.Bus(l[:6]))
 				mag = c.FMuxBus(rNeg, magR, magL)
 			} else {
+				// For binary64 e <= FB always, so only the 6-bit shift
+				// field of r is consumed (no left-shift path, and the sign
+				// mux is never built); out-of-range counts mask via drop.
+				c.DiscardBus(netlist.Bus(r[6:]))
 				mag = magR
+			}
+			if len(mag) > 32 {
+				// Bits above the int32 range only matter through big/sat;
+				// the shifter still computes them.
+				c.DiscardBus(netlist.Bus(mag[32:]))
 			}
 			c.put("mag", netlist.Bus(mag[:32]))
 			c.putBit("drop", c.FOr(eNeg, c.bit("zero")))

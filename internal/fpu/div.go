@@ -31,10 +31,10 @@ func buildDiv(op Op, lib libT, seed uint64, iterPad, roundPad float64) (*Pipelin
 			remShift := shiftLeftFixed(sigA, 1, rw)
 			rem := c.FMuxBus(lt, remSame, remShift)
 			// exp = expA - expB + bias - lt.
-			e1, _ := c.RippleSub(zeroExtend(a.exp, w.EW), zeroExtend(b.exp, w.EW))
+			e1 := c.Sum(c.RippleSub(zeroExtend(a.exp, w.EW), zeroExtend(b.exp, w.EW)))
 			bias := uint64(1<<uint(w.EB-1) - 1)
-			e2, _ := c.RippleAdder(e1, c.Constant(bias, w.EW), netlist.Const0)
-			e3, _ := c.RippleSub(e2, zeroExtend(netlist.Bus{lt}, w.EW))
+			e2 := c.Sum(c.RippleAdder(e1, c.Constant(bias, w.EW), netlist.Const0))
+			e3 := c.Sum(c.RippleSub(e2, zeroExtend(netlist.Bus{lt}, w.EW)))
 			c.put("rem", rem)
 			c.put("q", c.Zeros(qw))
 			c.put("sigB", sigB)
@@ -51,6 +51,10 @@ func buildDiv(op Op, lib libT, seed uint64, iterPad, roundPad float64) (*Pipelin
 			diff, noBorrow := c.HybridAddSub(rem, sigB, netlist.Const1, 16)
 			remSel := c.FMuxBus(noBorrow, rem, diff)
 			remNext := shiftLeftFixed(remSel, 1, rw)
+			// The left shifts drop the top remainder bit (kept zero by the
+			// rem < 2*divisor invariant) and shift the top quotient input
+			// bit out of the register.
+			c.Discard(remSel[rw-1], q[qw-1])
 			qNext := append(netlist.Bus{noBorrow}, q[:qw-1]...)
 			if iterPad > 0 {
 				remNext = c.DetourBus(remNext, iterPad)
@@ -61,6 +65,9 @@ func buildDiv(op Op, lib libT, seed uint64, iterPad, roundPad float64) (*Pipelin
 			c.forward("sigB", "exp", "sign", "zero", "inf", "nan")
 		}},
 		{name: "s3-sticky", build: func(c *sb) {
+			// The divisor rides the recurrence registers but is of no use
+			// after the last subtract.
+			c.DiscardBus(c.get("sigB"))
 			q := append(netlist.Bus{}, c.get("q")...)
 			q[0] = c.FOr(q[0], c.FNot(c.IsZero(c.get("rem"))))
 			sign := c.bit("sign")

@@ -40,9 +40,9 @@ func buildMul(op Op, lib libT, seed uint64, cpaPad, roundPad float64) (*Pipeline
 			for i := len(rows); i < 8; i++ {
 				c.put(rowName(i), c.Zeros(pw))
 			}
-			expSum, _ := c.RippleAdder(
+			expSum := c.Sum(c.RippleAdder(
 				zeroExtend(c.get("expA"), w.EW), zeroExtend(c.get("expB"), w.EW),
-				netlist.Const0)
+				netlist.Const0))
 			c.put("expSum", expSum)
 			c.forward("sign", "zero", "inf", "nan")
 		}},
@@ -57,7 +57,7 @@ func buildMul(op Op, lib libT, seed uint64, cpaPad, roundPad float64) (*Pipeline
 			c.forward("expSum", "sign", "zero", "inf", "nan")
 		}},
 		{name: "s4-cpa", build: func(c *sb) {
-			p, _ := c.HybridAdder(c.get("r0"), c.get("r1"), netlist.Const0, 16)
+			p := c.Sum(c.HybridAdder(c.get("r0"), c.get("r1"), netlist.Const0, 16))
 			if cpaPad > 0 {
 				p = c.DetourBus(p, cpaPad)
 			}
@@ -79,8 +79,8 @@ func buildMul(op Op, lib libT, seed uint64, cpaPad, roundPad float64) (*Pipeline
 			n := c.FMuxBus(top, loN, hiN)
 			// exp = expA + expB - bias + top.
 			bias := uint64(1<<uint(w.EB-1) - 1)
-			e1, _ := c.RippleSub(expSum, c.Constant(bias, w.EW))
-			e2, _ := c.Increment(e1, top)
+			e1 := c.Sum(c.RippleSub(expSum, c.Constant(bias, w.EW)))
+			e2 := c.Sum(c.Increment(e1, top))
 			sign := c.bit("sign")
 			putRoundInputs(c, n, e2, sign, c.bit("zero"), c.bit("inf"), sign, c.bit("nan"))
 		}},

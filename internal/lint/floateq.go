@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point expressions. Exact float
+// equality is almost always a rounding-sensitive bug in analysis code;
+// comparisons should use a tolerance or compare the underlying integer
+// encodings. Two idioms are recognized as legitimate and skipped:
+//
+//   - comparison against an exact-zero constant (a "never touched"
+//     sentinel, e.g. `if avm == 0`), which is representable exactly;
+//   - self-comparison `x != x` (the NaN test).
+//
+// Intentional exact comparisons (tie-break comparators in heaps/sorts,
+// golden-value assertions) carry a //teva:allow floateq comment.
+func FloatEq() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "exact ==/!= between floating-point expressions",
+		Run:  runFloatEq,
+	}
+}
+
+func runFloatEq(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := p.Info.TypeOf(be.X), p.Info.TypeOf(be.Y)
+			if xt == nil || yt == nil || !isFloat(xt) && !isFloat(yt) {
+				return true
+			}
+			// Untyped constants take the other side's type; require at
+			// least one genuinely floating operand.
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // x != x: the NaN test
+			}
+			out = append(out, p.finding("floateq", be,
+				"exact floating-point %s comparison; use a tolerance, compare encodings, or //teva:allow floateq for tie-breaks", be.Op))
+			return true
+		})
+	}
+	return out
+}
+
+// isZeroConst reports whether the expression is a constant exact zero.
+func isZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0 && tv.Value.Kind() != constant.Bool &&
+		tv.Value.Kind() != constant.String
+}
+
+// sameExpr reports whether two expressions are structurally identical
+// identifier/selector chains (enough to recognize the x != x NaN idiom).
+func sameExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameExpr(a.X, b.X)
+	case *ast.ParenExpr:
+		b, ok := b.(*ast.ParenExpr)
+		return ok && sameExpr(a.X, b.X)
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineHygiene flags `go` statements launched from a function with no
+// join mechanism at all: no sync.WaitGroup.Add, no channel operation
+// (send, receive, close, range-over-channel) and no Wait call anywhere in
+// the enclosing function. Such a goroutine cannot be waited for — in the
+// dta/campaign/experiments worker pools that means results silently
+// missing from a shard, or work outliving the test that spawned it.
+//
+// The check is evidence-based, not a proof: a function that manipulates a
+// WaitGroup or channels is assumed to join its goroutines (the race
+// detector covers the rest); a function with neither cannot possibly
+// join, and is reported.
+func GoroutineHygiene() *Analyzer {
+	return &Analyzer{
+		Name: "goroutinehygiene",
+		Doc:  "go statement without any WaitGroup/channel join mechanism in scope",
+		Run:  runGoroutineHygiene,
+	}
+}
+
+func runGoroutineHygiene(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			fn := enclosingFunc(stack)
+			body := funcBody(fn)
+			if body == nil || hasJoinEvidence(p, body) {
+				return
+			}
+			out = append(out, p.finding("goroutinehygiene", gs,
+				"goroutine launched without a WaitGroup.Add or any channel join in the enclosing function"))
+		})
+	}
+	return out
+}
+
+// hasJoinEvidence scans a function body for any construct that could join
+// or synchronize a goroutine.
+func hasJoinEvidence(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(p, n, "close") {
+				found = true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Wait":
+					found = true
+				case "Add", "Done":
+					if isWaitGroup(p, sel.X) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroup reports whether the expression is a sync.WaitGroup (or
+// pointer to one).
+func isWaitGroup(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

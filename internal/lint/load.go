@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// modulePath is the repo's module path; module-local imports are resolved
+// by mapping "teva/x/y" onto "<root>/x/y" instead of shelling out to the
+// go tool, keeping the loader deterministic and dependency-free.
+const modulePath = "teva"
+
+// Loader parses and type-checks packages of this module. Standard-library
+// imports are type-checked from $GOROOT source via go/importer's "source"
+// compiler; module-local imports are resolved recursively through the
+// loader itself, so one Loader instance memoizes every package it touches.
+type Loader struct {
+	// Root is the module root (the directory holding go.mod).
+	Root string
+	// Fset positions every file loaded through this loader.
+	Fset *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package
+	errs map[string]error
+}
+
+// NewLoader returns a loader for the module rooted at root.
+func NewLoader(root string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root: root,
+		Fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*Package),
+		errs: make(map[string]error),
+	}
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Expand resolves command-line package patterns ("./...", "./internal/...",
+// "./cmd/teva-vet") into package directories relative to the module root.
+// Directories named testdata (analyzer fixtures), hidden directories, and
+// directories without non-test Go files are skipped.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "." || pat == "./" {
+			pat = ""
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		base := filepath.Join(l.Root, filepath.FromSlash(pat))
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			} else {
+				return nil, fmt.Errorf("lint: no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir holds at least one non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads the package in dir under its module-derived import path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modulePath
+	if rel != "." {
+		path = modulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path, dir)
+}
+
+// CheckDir type-checks dir as if it had the given import path. Analyzer
+// fixtures use this to exercise path-dependent rules (simpurity) from
+// testdata directories.
+func (l *Loader) CheckDir(dir, asPath string) (*Package, error) {
+	return l.load(asPath, dir)
+}
+
+// Import implements types.Importer so packages can reference each other
+// and the standard library during type-checking.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, modulePath), "/")
+		p, err := l.load(path, filepath.Join(l.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one directory, memoized by import path.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if err, ok := l.errs[path]; ok {
+		return nil, err
+	}
+	p, err := l.loadUncached(path, dir)
+	if err != nil {
+		l.errs[path] = err
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *Loader) loadUncached(path, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// RelFile rewrites a finding's file path relative to the module root for
+// stable, machine-friendly output.
+func (l *Loader) RelFile(f Finding) Finding {
+	if rel, err := filepath.Rel(l.Root, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+		f.File = filepath.ToSlash(rel)
+	}
+	return f
+}

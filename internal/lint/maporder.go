@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body feeds ordered output — the
+// canonical nondeterminism source behind the repo's byte-for-byte
+// reproducibility guarantee. Three body shapes are reported:
+//
+//   - appending to a slice (unless the same function later passes that
+//     slice to a sort call — the collect-keys-then-sort idiom is the
+//     approved fix and is recognized as a true negative);
+//   - writing to a writer/encoder (fmt.Fprint*, Write*, Encode, ...);
+//   - accumulating floating-point values (+=, -=, *=, /=), whose result
+//     depends on summation order.
+//
+// Integer accumulation and map-to-map counting are order-independent and
+// are deliberately not flagged.
+func MapOrder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "range over a map feeding ordered output (slice append, writer, float accumulation)",
+		Run:  runMapOrder,
+	}
+}
+
+// emissionMethods are method names treated as ordered output sinks.
+var emissionMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteAll": true, "Encode": true, "Print": true, "Printf": true, "Println": true,
+}
+
+func runMapOrder(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return
+			}
+			scope := funcBody(enclosingFunc(stack))
+			out = append(out, mapOrderBody(p, rs, scope)...)
+		})
+	}
+	return out
+}
+
+// mapOrderBody reports the ordered-output sinks inside one map range body.
+func mapOrderBody(p *Package, rs *ast.RangeStmt, scope *ast.BlockStmt) []Finding {
+	var out []Finding
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs {
+				// Nested map ranges report on their own.
+				if t := p.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if t := p.Info.TypeOf(lhs); t != nil && isFloat(t) {
+						out = append(out, p.finding("maporder", n,
+							"float accumulation inside map range: iteration order changes the rounded result"))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(p, n, "append") && len(n.Args) > 0 {
+				if target := appendTarget(n); target != nil && !sortedLater(p, scope, target) {
+					out = append(out, p.finding("maporder", n,
+						"append inside map range builds a slice in map-iteration order; collect and sort, or iterate sorted keys"))
+				}
+			}
+			if isEmissionCall(p, n) {
+				out = append(out, p.finding("maporder", n,
+					"write to an output sink inside map range emits in map-iteration order; iterate sorted keys instead"))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// appendTarget returns the object of the slice variable grown by the
+// append call's first argument, when resolvable.
+func appendTarget(call *ast.CallExpr) *ast.Ident {
+	return rootIdent(call.Args[0])
+}
+
+// sortedLater reports whether the function body passes the appended slice
+// to a sort call — sort.*, slices.Sort*, or any helper whose name
+// mentions sorting (the repo's sortInts/sortedKeys style).
+func sortedLater(p *Package, scope *ast.BlockStmt, target *ast.Ident) bool {
+	if scope == nil {
+		return false
+	}
+	obj := p.Info.Uses[target]
+	if obj == nil {
+		obj = p.Info.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil {
+				if ro := p.Info.Uses[root]; ro == obj {
+					sorted = true
+				}
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortCall recognizes sort.*/slices.Sort* calls and local helpers whose
+// name contains "sort".
+func isSortCall(p *Package, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if obj := p.Info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sort", "slices":
+				return strings.Contains(strings.ToLower(fun.Sel.Name), "sort") ||
+					obj.Pkg().Path() == "sort"
+			}
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	case *ast.IndexExpr: // generic instantiation, e.g. sortSlice[int](xs)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return strings.Contains(strings.ToLower(id.Name), "sort")
+		}
+	}
+	return false
+}
+
+// isEmissionCall recognizes ordered-output calls: fmt print functions
+// bound to a writer and Write/Encode-style methods.
+func isEmissionCall(p *Package, call *ast.CallExpr) bool {
+	if pkgFunc(p, call, "fmt", "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println") {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !emissionMethods[sel.Sel.Name] {
+		return false
+	}
+	// Only method calls (a receiver selection), not package-qualified
+	// functions from arbitrary packages.
+	_, isMethod := p.Info.Selections[sel]
+	return isMethod
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OpcodeSwitch flags a `switch` over cell.OpCode that is neither
+// exhaustive over the declared opcode constants nor guarded by a
+// panicking default. After the compiled-IR refactor every engine
+// dispatches on OpCode; a missed case is a silently wrong simulation, so
+// each dispatch switch must either list every valid opcode or fail loudly
+// on anything unexpected.
+//
+// The required constant set is derived from the cell package itself: all
+// package-level OpCode constants except the invalid zero value (OpNone)
+// and counting sentinels (Num... names), so adding an opcode immediately
+// flags every engine that does not yet handle it.
+func OpcodeSwitch() *Analyzer {
+	return &Analyzer{
+		Name: "opcodeswitch",
+		Doc:  "non-exhaustive switch over cell.OpCode without a panicking default",
+		Run:  runOpcodeSwitch,
+	}
+}
+
+func runOpcodeSwitch(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			t := p.Info.TypeOf(sw.Tag)
+			named := opcodeNamed(t)
+			if named == nil {
+				return true
+			}
+			required := opcodeConstants(named)
+			covered := make(map[int64]bool)
+			hasDefault, defaultPanics := false, false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					defaultPanics = bodyPanics(p, cc.Body)
+					continue
+				}
+				for _, expr := range cc.List {
+					if tv, ok := p.Info.Types[expr]; ok && tv.Value != nil {
+						if v, exact := constant.Int64Val(tv.Value); exact {
+							covered[v] = true
+						}
+					}
+				}
+			}
+			var missing []string
+			for _, c := range required {
+				if !covered[c.val] {
+					missing = append(missing, c.name)
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			if hasDefault && defaultPanics {
+				return true
+			}
+			why := "and has no default"
+			if hasDefault {
+				why = "and its default does not panic"
+			}
+			out = append(out, p.finding("opcodeswitch", sw,
+				"switch over %s misses %s %s; list every opcode or panic in default",
+				named.Obj().Name(), strings.Join(missing, ", "), why))
+			return true
+		})
+	}
+	return out
+}
+
+// opcodeNamed returns t as the cell.OpCode named type, or nil.
+func opcodeNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != "OpCode" {
+		return nil
+	}
+	if !strings.HasSuffix(obj.Pkg().Path(), "internal/cell") {
+		return nil
+	}
+	return named
+}
+
+type opcodeConst struct {
+	name string
+	val  int64
+}
+
+// opcodeConstants enumerates the valid opcode constants of the type's
+// package, sorted by value.
+func opcodeConstants(named *types.Named) []opcodeConst {
+	scope := named.Obj().Pkg().Scope()
+	var out []opcodeConst
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v, exact := constant.Int64Val(c.Val())
+		if !exact {
+			continue
+		}
+		// OpNone (the invalid zero value) and counting sentinels are not
+		// dispatchable opcodes.
+		if v == 0 || strings.HasPrefix(name, "Num") {
+			continue
+		}
+		out = append(out, opcodeConst{name: name, val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].val < out[j].val })
+	return out
+}
+
+// bodyPanics reports whether the statement list always reaches a loud
+// failure: a panic call or log.Fatal*.
+func bodyPanics(p *Package, body []ast.Stmt) bool {
+	found := false
+	for _, stmt := range body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isBuiltin(p, call, "panic") || pkgFunc(p, call, "log", "Fatal", "Fatalf", "Fatalln") {
+				found = true
+			}
+			return true
+		})
+	}
+	return found
+}

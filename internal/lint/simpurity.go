@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// SimPurity forbids ambient nondeterminism inside the simulation packages
+// (everything under internal/): math/rand imports, wall-clock reads
+// (time.Now/Since/Until) and environment reads (os.Getenv & friends).
+// Every random stream must come from the seedable internal/prng package
+// and every configuration knob from explicit flags, or `-quick` output
+// stops being byte-for-byte reproducible.
+//
+// Allowlisted: internal/prng (the sanctioned randomness source) and the
+// cmd/ entry points (wall-clock progress reporting is their job). Test
+// files are not loaded by the driver and are therefore exempt.
+func SimPurity() *Analyzer {
+	return &Analyzer{
+		Name: "simpurity",
+		Doc:  "math/rand, wall-clock or env reads inside internal/ simulation packages",
+		Run:  runSimPurity,
+	}
+}
+
+// simPurityExempt lists import-path suffixes exempt from the purity rule.
+var simPurityExempt = []string{
+	"internal/prng", // the seedable randomness source itself
+}
+
+func runSimPurity(p *Package) []Finding {
+	if !strings.Contains(p.Path, "internal/") {
+		return nil // cmd/, examples/ and the module root are fair game
+	}
+	for _, ex := range simPurityExempt {
+		if strings.HasSuffix(p.Path, ex) || strings.Contains(p.Path, ex+"/") {
+			return nil
+		}
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, p.finding("simpurity", imp,
+					"import of %s in a simulation package; use the seedable internal/prng instead", path))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgFunc(p, call, "time", "Now", "Since", "Until"):
+				out = append(out, p.finding("simpurity", call,
+					"wall-clock read in a simulation package makes runs time-dependent; thread timing through parameters"))
+			case pkgFunc(p, call, "os", "Getenv", "LookupEnv", "Environ"):
+				out = append(out, p.finding("simpurity", call,
+					"environment read in a simulation package hides a configuration input; pass it explicitly"))
+			}
+			return true
+		})
+	}
+	return out
+}

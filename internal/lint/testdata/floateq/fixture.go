@@ -1,0 +1,49 @@
+// Package fixture seeds floateq golden cases.
+package fixture
+
+// equalDirect is a true positive: exact equality between two independently
+// computed floats.
+func equalDirect(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// notEqualField is a true positive on struct fields too.
+type point struct{ X, Y float64 }
+
+func notEqualField(p, q point) bool {
+	return p.X != q.Y // want floateq
+}
+
+// equalNonZeroConst is a true positive: comparing against a non-zero
+// literal is still exact equality.
+func equalNonZeroConst(a float64) bool {
+	return a == 0.5 // want floateq
+}
+
+// zeroSentinel is a true negative: exact-zero sentinel checks are the one
+// literal comparison that is well-defined.
+func zeroSentinel(a float64) bool {
+	return a == 0
+}
+
+// isNaN is a true negative: x != x is the canonical NaN test.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// intEqual is a true negative: integer equality is exact.
+func intEqual(a, b int) bool {
+	return a == b
+}
+
+// tieBreak is the suppressed case: a comparator where exact equality is
+// the point.
+func tieBreak(t1, t2 float64, s1, s2 uint64) bool {
+	//teva:allow floateq -- tie-break comparator falls through to seq
+	if t1 != t2 {
+		return t1 < t2
+	}
+	return s1 < s2
+}
+
+var _ = []any{equalDirect, notEqualField, equalNonZeroConst, zeroSentinel, isNaN, intEqual, tieBreak}

@@ -1,0 +1,88 @@
+// Package fixture seeds maporder golden cases: true positives carry a
+// `// want maporder` marker, true negatives carry nothing, and the
+// suppressed case carries a //teva:allow directive.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// appendUnsorted is a true positive: the slice is built in map-iteration
+// order and never sorted.
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want maporder
+	}
+	return out
+}
+
+// appendSorted is a true negative: the collect-keys-then-sort idiom.
+func appendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendHelperSorted is a true negative: sorted through a local helper
+// whose name marks it as a sort.
+func appendHelperSorted(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sortInts(ks)
+	return ks
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// emit is a true positive: bytes leave in map-iteration order.
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want maporder
+	}
+}
+
+// sumFloats is a true positive: float addition is not associative, so the
+// rounded sum depends on iteration order.
+func sumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want maporder
+	}
+	return s
+}
+
+// sumInts is a true negative: integer accumulation commutes exactly.
+func sumInts(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// countInto is a true negative: building an unordered map from an
+// unordered map is order-independent.
+func countInto(m map[string]int) map[string]int {
+	out := make(map[string]int)
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// emitAllowed is the suppressed case.
+func emitAllowed(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) //teva:allow maporder -- diagnostic dump, order irrelevant
+	}
+}
+
+var _ = []any{appendUnsorted, appendSorted, appendHelperSorted, emit, sumFloats, sumInts, countInto, emitAllowed}

@@ -1,0 +1,86 @@
+// Package fixture seeds opcodeswitch golden cases against the real
+// teva/internal/cell.OpCode type.
+package fixture
+
+import (
+	"log"
+
+	"teva/internal/cell"
+)
+
+// badSilentDefault is a true positive: OpMaj3 (among others) falls into a
+// default that silently returns a value instead of panicking.
+func badSilentDefault(op cell.OpCode, a, b bool) bool {
+	switch op { // want opcodeswitch
+	case cell.OpBuf:
+		return a
+	case cell.OpInv:
+		return !a
+	case cell.OpAnd2:
+		return a && b
+	default:
+		return false
+	}
+}
+
+// badNoDefault is a true positive: not exhaustive and no default at all.
+func badNoDefault(op cell.OpCode, a bool) bool {
+	switch op { // want opcodeswitch
+	case cell.OpBuf:
+		return a
+	case cell.OpInv:
+		return !a
+	}
+	return false
+}
+
+// goodPanickingDefault is a true negative: missing opcodes land in a
+// panicking default, so nothing is silently absorbed.
+func goodPanickingDefault(op cell.OpCode, a, b bool) bool {
+	switch op {
+	case cell.OpAnd2:
+		return a && b
+	case cell.OpOr2:
+		return a || b
+	default:
+		panic("unhandled opcode " + op.String())
+	}
+}
+
+// goodFatalDefault is a true negative: log.Fatalf counts as panicking.
+func goodFatalDefault(op cell.OpCode) int {
+	switch op {
+	case cell.OpXor2:
+		return 1
+	default:
+		log.Fatalf("unhandled opcode %v", op)
+	}
+	return 0
+}
+
+// goodExhaustive is a true negative: every declared opcode has a case, so
+// no default is required.
+func goodExhaustive(op cell.OpCode) string {
+	switch op {
+	case cell.OpBuf, cell.OpInv, cell.OpAnd2, cell.OpOr2, cell.OpNand2,
+		cell.OpNor2, cell.OpXor2, cell.OpXnor2, cell.OpMux2, cell.OpAoi21,
+		cell.OpOai21, cell.OpAnd3, cell.OpOr3, cell.OpNand3, cell.OpNor3,
+		cell.OpXor3, cell.OpMaj3:
+		return op.String()
+	}
+	return "invalid"
+}
+
+// suppressed is the suppressed case: same shape as badSilentDefault but
+// explicitly allowed.
+func suppressed(op cell.OpCode, a bool) bool {
+	//teva:allow opcodeswitch -- fixture: deliberate partial decode
+	switch op {
+	case cell.OpBuf:
+		return a
+	default:
+		return false
+	}
+}
+
+var _ = []any{badSilentDefault, badNoDefault, goodPanickingDefault, goodFatalDefault, goodExhaustive, suppressed}

@@ -1,0 +1,46 @@
+// Package fixture seeds simpurity golden cases. The test harness loads
+// this directory twice: once under a teva/internal/... import path (where
+// every marker below must fire) and once under a teva/cmd/... path (where
+// the whole file must be clean, exercising the allowlist).
+package fixture
+
+import (
+	"math/rand" // want simpurity
+	"os"
+	"time"
+)
+
+// wallClock is a true positive under internal/: nondeterministic time.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want simpurity
+}
+
+// elapsed is a true positive under internal/: time.Since reads the clock.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want simpurity
+}
+
+// envKnob is a true positive under internal/: hidden environment input.
+func envKnob() string {
+	return os.Getenv("TEVA_SEED") // want simpurity
+}
+
+// seededDraw uses the flagged math/rand import (the import line carries
+// the finding, not the call sites).
+func seededDraw(r *rand.Rand) int {
+	return r.Intn(16)
+}
+
+// formatDuration is a true negative: manipulating time values without
+// reading the clock is fine.
+func formatDuration(d time.Duration) string {
+	return d.String()
+}
+
+// allowedClock is the suppressed case.
+func allowedClock() time.Time {
+	//teva:allow simpurity -- fixture: progress logging only
+	return time.Now()
+}
+
+var _ = []any{wallClock, elapsed, envKnob, seededDraw, formatDuration, allowedClock}

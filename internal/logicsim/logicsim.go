@@ -86,8 +86,10 @@ func (s *Sim) Run(inputs []bool) {
 			v = !(a || b || cc)
 		case cell.OpXor3:
 			v = a != b != cc
-		default: // cell.OpMaj3
+		case cell.OpMaj3:
 			v = (a && b) || (cc && (a != b))
+		default:
+			panic("logicsim: invalid opcode " + c.Op[gi].String())
 		}
 		vals[c.Out[gi]] = v
 	}

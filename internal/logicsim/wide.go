@@ -73,8 +73,10 @@ func (s *WideSim) Run(inputs []uint64) {
 			v = ^(a | b | cc)
 		case cell.OpXor3:
 			v = a ^ b ^ cc
-		default: // cell.OpMaj3
+		case cell.OpMaj3:
 			v = (a & b) | (cc & (a ^ b))
+		default:
+			panic("logicsim: invalid opcode " + c.Op[gi].String())
 		}
 		w[c.Out[gi]] = v
 	}

@@ -49,8 +49,7 @@ func (b *Builder) Increment(x Bus, cin NetID) (Bus, NetID) {
 
 // Negate returns the two's complement of x.
 func (b *Builder) Negate(x Bus) Bus {
-	neg, _ := b.Increment(b.FNotBus(x), Const1)
-	return neg
+	return b.Sum(b.Increment(b.FNotBus(x), Const1))
 }
 
 // CSA compresses three addends into sum and carry vectors (3:2). The
@@ -70,6 +69,8 @@ func (b *Builder) CSA(x, y, z Bus) (sum, carry Bus) {
 			carry[i+1] = lastCarry
 		}
 	}
+	// The top carry falls off the compression width by construction.
+	b.Discard(lastCarry)
 	return sum, carry
 }
 
@@ -134,8 +135,9 @@ func (b *Builder) ArrayMultiplier(x, y Bus) Bus {
 	if len(addends) == 1 {
 		return addends[0]
 	}
-	sum, _ := b.RippleAdder(addends[0], addends[1], Const0)
-	return sum
+	// The 2w-bit product cannot carry out of the final adder, so its
+	// carry-out net is structurally dead.
+	return b.Sum(b.RippleAdder(addends[0], addends[1], Const0))
 }
 
 // HybridAdder returns sum and carry-out of x + y + cin using ripple blocks
@@ -186,6 +188,11 @@ func (b *Builder) HybridAdder(x, y Bus, cin NetID, blockSize int) (Bus, NetID) {
 		}
 		// Next block's carry-in comes from the bypass chain, not the
 		// ripple, so the static path across blocks is two gates per block.
+		// The block's ripple carry-out is an unused pin of the last FA.
+		b.Discard(c)
+		// When the block carry-in is a constant the propagate term folds
+		// away, leaving the group-propagate root unconsumed.
+		b.Discard(level[0].p)
 		blockCin = b.FOr(level[0].g, b.FAnd(level[0].p, blockCin))
 	}
 	return sum, blockCin
@@ -262,11 +269,13 @@ func (b *Builder) StickyRight(x Bus, amt Bus) NetID {
 			rest := b.ReduceOr(Bus(amt[k:]))
 			all := b.ReduceOr(cur)
 			sticky = b.FOr(sticky, b.FAnd(rest, all))
-			cur = b.FMuxBus(rest, cur, b.Zeros(w))
 			break
 		}
 		dropped := b.ReduceOr(Bus(cur[:s]))
 		sticky = b.FOr(sticky, b.FAnd(sel, dropped))
+		if k+1 == len(amt) {
+			break // no further level reads the shifted value
+		}
 		shifted := make(Bus, w)
 		for i := 0; i < w; i++ {
 			if i+s < w {
@@ -326,8 +335,10 @@ func (b *Builder) IsZero(x Bus) NetID { return b.FNot(b.ReduceOr(x)) }
 func (b *Builder) IsOnes(x Bus) NetID { return b.ReduceAnd(x) }
 
 // LessUnsigned returns 1 when x < y (unsigned), via the borrow of x - y.
+// Only the borrow is consumed; the difference bus is discarded.
 func (b *Builder) LessUnsigned(x, y Bus) NetID {
-	_, noBorrow := b.RippleSub(x, y)
+	diff, noBorrow := b.RippleSub(x, y)
+	b.DiscardBus(diff)
 	return b.FNot(noBorrow)
 }
 
@@ -369,7 +380,10 @@ func (b *Builder) PrefixAdder(x, y Bus, cin NetID) (Bus, NetID) {
 	gk := append(Bus{}, g...)
 	pk := append(Bus{}, p...)
 	gk[0] = b.FOr(g[0], carry0)
-	// Kogge-Stone prefix levels.
+	// Kogge-Stone prefix levels. Group-propagate nodes are computed
+	// speculatively for every position; later levels consume only a
+	// subset, so the remainder is declared dead up front (a synthesizer
+	// would prune them — keeping them preserves the reference structure).
 	for d := 1; d < w; d <<= 1 {
 		ng := append(Bus{}, gk...)
 		np := append(Bus{}, pk...)
@@ -377,6 +391,7 @@ func (b *Builder) PrefixAdder(x, y Bus, cin NetID) (Bus, NetID) {
 			ng[i] = b.FOr(gk[i], b.FAnd(pk[i], gk[i-d]))
 			np[i] = b.FAnd(pk[i], pk[i-d])
 		}
+		b.DiscardBus(np[d:])
 		gk, pk = ng, np
 	}
 	// carries[i] is the carry into bit i.

@@ -73,6 +73,31 @@ func (b *Builder) Output(bus Bus) {
 	b.n.outputs = append(b.n.outputs, bus...)
 }
 
+// Discard declares that the given nets are intentionally unconsumed (a
+// carry-out absorbed by the result width, an ignored flag bit). Build
+// rejects any undeclared floating input or zero-fanout gate output, so
+// every dead end in a generator must be explicit.
+func (b *Builder) Discard(nets ...NetID) {
+	if b.n.discarded == nil {
+		b.n.discarded = make(map[NetID]bool)
+	}
+	for _, id := range nets {
+		b.n.discarded[id] = true
+	}
+}
+
+// DiscardBus is Discard over every net of a bus.
+func (b *Builder) DiscardBus(x Bus) { b.Discard(x...) }
+
+// Sum discards the carry companion of an adder-style (sum, carry) result
+// and returns the sum: the explicit replacement for `sum, _ := ...` now
+// that Build rejects undeclared dead logic. Use as b.Sum(b.RippleAdder(x,
+// y, cin)).
+func (b *Builder) Sum(sum Bus, carry NetID) Bus {
+	b.Discard(carry)
+	return sum
+}
+
 // wire returns a random interconnect delay contribution for one pin.
 func (b *Builder) wire() float64 { return b.rng.Float64() * b.wireMax }
 

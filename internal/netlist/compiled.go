@@ -56,9 +56,9 @@ type Compiled struct {
 	// the same order the netlist's fanout lists hold them; FanPin is the
 	// first pin of that gate connected to the net (the pin the original
 	// event-driven engine selected for delay lookup).
-	FanOff []int32
+	FanOff  []int32
 	FanGate []int32
-	FanPin []int32
+	FanPin  []int32
 }
 
 // compileBox caches a netlist's Compiled form. It lives behind a pointer

@@ -63,6 +63,11 @@ type Netlist struct {
 	inputs  []NetID
 	outputs []NetID
 
+	// discarded marks nets whose lack of fanout is intentional (e.g. the
+	// carry-out of an adder whose width absorbs the result). finalize
+	// rejects any other floating input or dead gate output.
+	discarded map[NetID]bool
+
 	// derived structures, built by Finalize
 	driver []GateID   // per net, -1 for inputs/constants
 	fanout [][]GateID // per net
@@ -198,6 +203,29 @@ func (n *Netlist) finalize() error {
 	for _, out := range n.outputs {
 		if n.driver[out] == -1 && !isInput[out] {
 			return fmt.Errorf("netlist %s: primary output net %d undriven", n.Name, out)
+		}
+	}
+
+	// Structural lints: every net must go somewhere. A primary input nobody
+	// reads or a gate computing a value nobody consumes is almost always a
+	// generator bug (a mis-wired operand, a result bit that fell off);
+	// intentional dead ends (discarded carry-outs, ignored flag bits) must
+	// be declared with Builder.Discard so the intent is in the netlist.
+	isOutput := make([]bool, n.numNets)
+	for _, out := range n.outputs {
+		isOutput[out] = true
+	}
+	for _, in := range n.inputs {
+		if len(n.fanout[in]) == 0 && !isOutput[in] && !n.discarded[in] {
+			return fmt.Errorf("netlist %s: primary input net %d is floating: no gate reads it and it is not a primary output; remove it or mark it with Discard",
+				n.Name, in)
+		}
+	}
+	for gi := range n.gates {
+		g := &n.gates[gi]
+		if len(n.fanout[g.Output]) == 0 && !isOutput[g.Output] && !n.discarded[g.Output] {
+			return fmt.Errorf("netlist %s: gate %d (%v, unit %q) drives net %d which has zero fanout and is not a primary output; dead logic — remove the gate or mark its output with Discard",
+				n.Name, gi, g.Kind, g.Unit, g.Output)
 		}
 	}
 

@@ -192,7 +192,7 @@ func TestIncrementAndNegate(t *testing.T) {
 	b := netlist.NewBuilder("inc", lib, 4)
 	x := b.Input(w)
 	cin := b.InputNet()
-	inc, _ := b.Increment(x, cin)
+	inc := b.Sum(b.Increment(x, cin))
 	neg := b.Negate(x)
 	b.Output(inc)
 	b.Output(neg)
@@ -448,7 +448,7 @@ func TestStatsAndUnits(t *testing.T) {
 	b.SetUnit("alpha")
 	x := b.Input(4)
 	y := b.Input(4)
-	s1, _ := b.RippleAdder(x, y, netlist.Const0)
+	s1 := b.Sum(b.RippleAdder(x, y, netlist.Const0))
 	b.SetUnit("beta")
 	s2 := b.XorBus(s1, x)
 	b.Output(s2)
@@ -493,7 +493,7 @@ func TestInterconnectDeterminism(t *testing.T) {
 		b := netlist.NewBuilder("det", lib, 31)
 		x := b.Input(8)
 		y := b.Input(8)
-		s, _ := b.RippleAdder(x, y, netlist.Const0)
+		s := b.Sum(b.RippleAdder(x, y, netlist.Const0))
 		b.Output(s)
 		return b.MustBuild()
 	}
@@ -513,7 +513,7 @@ func TestInterconnectDeterminism(t *testing.T) {
 	b := netlist.NewBuilder("det", lib, 32)
 	x := b.Input(8)
 	y := b.Input(8)
-	s, _ := b.RippleAdder(x, y, netlist.Const0)
+	s := b.Sum(b.RippleAdder(x, y, netlist.Const0))
 	b.Output(s)
 	n3 := b.MustBuild()
 	diff := false
@@ -597,9 +597,9 @@ func TestHybridAdderShorterCriticalPath(t *testing.T) {
 		y := b.Input(64)
 		var sum netlist.Bus
 		if hybrid {
-			sum, _ = b.HybridAdder(x, y, netlist.Const0, 8)
+			sum = b.Sum(b.HybridAdder(x, y, netlist.Const0, 8))
 		} else {
-			sum, _ = b.RippleAdder(x, y, netlist.Const0)
+			sum = b.Sum(b.RippleAdder(x, y, netlist.Const0))
 		}
 		b.Output(sum)
 		return b.MustBuild()
@@ -621,7 +621,7 @@ func TestCompressAddends(t *testing.T) {
 	if len(two) != 2 {
 		t.Fatalf("compressed to %d addends", len(two))
 	}
-	sum, _ := b.RippleAdder(two[0], two[1], netlist.Const0)
+	sum := b.Sum(b.RippleAdder(two[0], two[1], netlist.Const0))
 	b.Output(sum)
 	h := newHarness(t, b)
 	src := prng.New(29)
@@ -731,7 +731,7 @@ func TestVaryPreservesFunctionChangesDelays(t *testing.T) {
 	b := netlist.NewBuilder("vary", lib, 38)
 	x := b.Input(12)
 	y := b.Input(12)
-	sum, _ := b.RippleAdder(x, y, netlist.Const0)
+	sum := b.Sum(b.RippleAdder(x, y, netlist.Const0))
 	b.Output(sum)
 	base := b.MustBuild()
 	die1 := base.Vary(0.05, 1)
@@ -830,9 +830,9 @@ func TestPrefixAdderLogDepth(t *testing.T) {
 		y := b.Input(64)
 		var sum netlist.Bus
 		if prefix {
-			sum, _ = b.PrefixAdder(x, y, netlist.Const0)
+			sum = b.Sum(b.PrefixAdder(x, y, netlist.Const0))
 		} else {
-			sum, _ = b.RippleAdder(x, y, netlist.Const0)
+			sum = b.Sum(b.RippleAdder(x, y, netlist.Const0))
 		}
 		b.Output(sum)
 		return b.MustBuild().Stats().MaxDepth

@@ -61,6 +61,20 @@ func TestFinalizeRejectsInvalidGates(t *testing.T) {
 				5, []NetID{2}, []NetID{4}),
 			"undriven",
 		},
+		{
+			"floating primary input",
+			rawNetlist([]Gate{{Kind: cell.And2, Op: cell.OpAnd2, Inputs: []NetID{2, 2}, Output: 4, Delays: delays(2)}},
+				5, []NetID{2, 3}, []NetID{4}),
+			"floating",
+		},
+		{
+			"zero-fanout gate output",
+			rawNetlist([]Gate{
+				{Kind: cell.And2, Op: cell.OpAnd2, Inputs: []NetID{2, 2}, Output: 3, Delays: delays(2)},
+				{Kind: cell.Inv, Op: cell.OpInv, Inputs: []NetID{2}, Output: 4, Delays: delays(1)},
+			}, 5, []NetID{2}, []NetID{3}),
+			"dead logic",
+		},
 	}
 	for _, tc := range cases {
 		err := tc.n.finalize()
@@ -82,6 +96,28 @@ func TestFinalizeRejectsFanInAboveLibraryMax(t *testing.T) {
 	err := n.finalize()
 	if err == nil || !strings.Contains(err.Error(), "exceeds library max") {
 		t.Fatalf("fan-in bound not enforced: %v", err)
+	}
+}
+
+func TestDiscardLegitimizesDeadEnds(t *testing.T) {
+	build := func(discard bool) error {
+		b := NewBuilder("deadend", cell.Default(), 7)
+		x := b.Input(4)
+		y := b.Input(4)
+		unread := b.InputNet()
+		sum, cout := b.RippleAdder(x, y, Const0)
+		b.Output(sum)
+		if discard {
+			b.Discard(cout, unread)
+		}
+		_, err := b.Build()
+		return err
+	}
+	if err := build(false); err == nil {
+		t.Fatal("Build accepted a dead carry-out and a floating input without Discard")
+	}
+	if err := build(true); err != nil {
+		t.Fatalf("Build rejected Discard-marked dead ends: %v", err)
 	}
 }
 

@@ -223,7 +223,7 @@ func TestTopPathsAcrossAndUnitDistribution(t *testing.T) {
 	b1.SetUnit("fpu/mul")
 	x := b1.Input(16)
 	y := b1.Input(16)
-	s1, _ := b1.RippleAdder(x, y, netlist.Const0)
+	s1 := b1.Sum(b1.RippleAdder(x, y, netlist.Const0))
 	b1.Output(s1)
 	nFPU := b1.MustBuild()
 

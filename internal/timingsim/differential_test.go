@@ -74,6 +74,8 @@ func randomCircuit(t *testing.T, seed uint64) *netlist.Netlist {
 	}
 	outs = append(outs, pool[len(pool)-1], pool[len(pool)-2])
 	b.Output(outs)
+	// The random DAG intentionally leaves unpicked pool nets unconsumed.
+	b.Discard(pool...)
 	n, err := b.Build()
 	if err != nil {
 		t.Fatal(err)

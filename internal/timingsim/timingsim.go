@@ -201,6 +201,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//teva:allow floateq -- tie-break comparator: equal times fall through to seq
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
