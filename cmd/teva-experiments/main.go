@@ -10,24 +10,36 @@
 //	                 [-quick] [-full] [-scale tiny|small|full]
 //	                 [-runs N] [-seed N] [-workers N]
 //	                 [-cache-dir DIR] [-progress]
+//	                 [-metrics-out FILE] [-pprof-cpu FILE] [-pprof-mem FILE]
 //
 // With -cache-dir, DTA characterization summaries and campaign cells are
 // persisted to an on-disk artifact store keyed by their full provenance
 // (seed, scale, sample counts, ...), so a re-run with the same settings
 // reloads them instead of re-simulating. -progress periodically reports
 // cells completed, cache hits, and elapsed time to stderr.
+//
+// With -metrics-out, the run's full metrics snapshot is written on exit:
+// JSON by default, Prometheus text exposition format when the file name
+// ends in .prom or .txt. All counters and histogram buckets in the
+// snapshot are byte-deterministic for a given seed and flag set; the
+// phase timers' "nanos" fields are the only wall-clock-dependent values.
+// -pprof-cpu/-pprof-mem write standard runtime/pprof profiles for
+// `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"teva/internal/artifact"
 	"teva/internal/core"
 	"teva/internal/experiments"
+	"teva/internal/obs"
 	"teva/internal/vscale"
 	"teva/internal/workloads"
 )
@@ -43,10 +55,16 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	cacheDir := flag.String("cache-dir", "", "persist DTA summaries and campaign cells in this artifact store")
 	progress := flag.Bool("progress", false, "periodically report matrix progress and cache hits to stderr")
+	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot here on exit (JSON; Prometheus text if the name ends in .prom or .txt)")
+	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile to this file")
+	pprofMem := flag.String("pprof-mem", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	reg := newMetrics()
+	stopProfiles := startProfiles(*pprofCPU, *pprofMem)
+
 	opts := experiments.DefaultOptions()
-	cfg := core.Config{Seed: *seed, Workers: *workers}
+	cfg := core.Config{Seed: *seed, Workers: *workers, Metrics: reg}
 	switch {
 	case *quick:
 		opts.Scale = workloads.Tiny
@@ -77,7 +95,7 @@ func main() {
 		opts.Runs = *runs
 	}
 	if *cacheDir != "" {
-		store, err := artifact.Open(*cacheDir)
+		store, err := artifact.OpenIn(*cacheDir, reg)
 		if err != nil {
 			fatal(err)
 		}
@@ -127,9 +145,11 @@ func main() {
 			return
 		}
 		t0 := time.Now()
+		sp := reg.Phase("exp/" + name)
 		if err := fn(); err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
+		sp.End()
 		fmt.Printf("[%s completed in %s]\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 
@@ -287,10 +307,12 @@ func main() {
 		return nil
 	})
 	if want("fig9") || want("avm") {
+		sp := reg.Phase("exp/campaigns")
 		cs, err := experiments.RunCampaigns(env)
 		if err != nil {
 			fatal(err)
 		}
+		sp.End()
 		run("fig9", func() error {
 			experiments.RenderFig9(out, cs)
 			if *csvDir != "" {
@@ -315,7 +337,68 @@ func main() {
 		fmt.Fprintf(os.Stderr, "artifact cache (%s): %s; campaign cells reloaded %d/%d\n",
 			*cacheDir, p.Cache, p.CellsCached, p.CellsDone)
 	}
-	fmt.Printf("\ntotal wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	stopProfiles()
+	snap := reg.Snapshot()
+	if *metricsOut != "" {
+		writeMetrics(*metricsOut, snap)
+	}
+	// Diagnostic, and cache-dependent (a warm cache skips work): stderr,
+	// like the cache-stats line, so stdout stays run-to-run identical.
+	fmt.Fprintf(os.Stderr, "%s\n", snap.Summary())
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// newMetrics builds the run's registry with a real monotonic clock. The
+// simulation packages never read time themselves (the simpurity analyzer
+// forbids it); the clock closure is injected from here.
+func newMetrics() *obs.Registry {
+	start := time.Now()
+	return obs.NewRegistry(func() int64 { return int64(time.Since(start)) })
+}
+
+// startProfiles starts the requested runtime/pprof profiles and returns
+// the function that flushes them at end of run.
+func startProfiles(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+	}
+}
+
+// writeMetrics renders the snapshot to path: Prometheus text exposition
+// format for .prom/.txt names, the deterministic JSON layout otherwise.
+func writeMetrics(path string, snap obs.Snapshot) {
+	data := snap.JSON()
+	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
+		data = snap.PrometheusText()
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

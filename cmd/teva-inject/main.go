@@ -10,18 +10,26 @@
 //
 //	teva-inject -workload cg -model wa -level VR20 -runs 200
 //	teva-inject -workload sobel -model-file ia_vr20.json -runs 1068
+//
+// With -metrics-out, the campaign's metrics snapshot (dta.* and
+// campaign.* counters, phase timers) is written on exit: JSON by
+// default, Prometheus text when the file name ends in .prom or .txt.
+// -pprof-cpu/-pprof-mem write standard runtime/pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"teva/internal/campaign"
 	"teva/internal/core"
 	"teva/internal/errmodel"
+	"teva/internal/obs"
 	"teva/internal/stats"
 	"teva/internal/trace"
 	"teva/internal/vscale"
@@ -37,7 +45,13 @@ func main() {
 	runs := flag.Int("runs", 200, "injected executions (paper: 1068)")
 	paper := flag.Bool("paper-runs", false, "use the paper's 1068-run statistical setting")
 	seed := flag.Uint64("seed", 0xF00D, "master seed")
+	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot here on exit (JSON; Prometheus text if the name ends in .prom or .txt)")
+	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile to this file")
+	pprofMem := flag.String("pprof-mem", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	reg := newMetrics()
+	stopProfiles := startProfiles(*pprofCPU, *pprofMem)
 
 	if *workloadName == "" {
 		fatal(fmt.Errorf("-workload is required (one of %v)", workloads.Names()))
@@ -50,7 +64,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	f, err := core.New(core.Config{Seed: *seed})
+	f, err := core.New(core.Config{Seed: *seed, Metrics: reg})
 	if err != nil {
 		fatal(err)
 	}
@@ -122,6 +136,65 @@ func main() {
 	fmt.Printf("injected errors: %d total across %d runs (ER %.3e per instruction)\n",
 		res.InjectedErrors, res.RunsWithInjection, res.ErrorRatio())
 	fmt.Printf("AVM (Eq. 4): %.3f\n", res.AVM())
+	stopProfiles()
+	snap := reg.Snapshot()
+	if *metricsOut != "" {
+		writeMetrics(*metricsOut, snap)
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", snap.Summary())
+}
+
+// newMetrics builds the run's registry with a real monotonic clock; the
+// simulation packages only ever see the injected closure (simpurity bans
+// direct time reads there).
+func newMetrics() *obs.Registry {
+	start := time.Now()
+	return obs.NewRegistry(func() int64 { return int64(time.Since(start)) })
+}
+
+// startProfiles starts the requested runtime/pprof profiles and returns
+// the function that flushes them at end of run.
+func startProfiles(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+	}
+}
+
+// writeMetrics renders the snapshot to path: Prometheus text for
+// .prom/.txt names, deterministic JSON otherwise.
+func writeMetrics(path string, snap obs.Snapshot) {
+	data := snap.JSON()
+	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
+		data = snap.PrometheusText()
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
 }
 
 func parseLevel(name string) (vscale.VRLevel, error) {

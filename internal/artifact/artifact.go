@@ -14,8 +14,9 @@
 //   - Every envelope carries a schema version and its own canonical key;
 //     a version mismatch, key mismatch (hash collision) or undecodable
 //     file is treated as a cache miss, never as an error.
-//   - Hit/miss/write counters are kept with atomics so a progress
-//     reporter can poll them from another goroutine.
+//   - Hit/miss/write tallies are obs registry counters (atomic adds), so
+//     a progress reporter can poll them from another goroutine and a
+//     -metrics-out snapshot includes cache behavior for free.
 //
 // A nil *Store is valid and behaves as an always-miss, drop-writes store,
 // so call sites need no conditionals when caching is disabled.
@@ -29,7 +30,8 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
-	"sync/atomic"
+
+	"teva/internal/obs"
 )
 
 // SchemaVersion is bumped whenever the serialized payload layout of any
@@ -94,21 +96,45 @@ func (s Stats) String() string {
 		s.Hits, s.Misses, s.Corrupt, s.Writes)
 }
 
+// Metric names published by the store. The obsnames analyzer requires
+// registration through constants so the namespace is fixed at compile time.
+const (
+	MetricHits    = "artifact.hits"
+	MetricMisses  = "artifact.misses"
+	MetricWrites  = "artifact.writes"
+	MetricCorrupt = "artifact.corrupt"
+)
+
 // Store is an on-disk artifact cache rooted at one directory.
 type Store struct {
 	dir                           string
-	hits, misses, writes, corrupt atomic.Int64
+	hits, misses, writes, corrupt *obs.Counter
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
-func Open(dir string) (*Store, error) {
+// Open creates (if needed) and opens a store rooted at dir, with its
+// counters on a private registry (Stats still works; nothing is exported).
+func Open(dir string) (*Store, error) { return OpenIn(dir, nil) }
+
+// OpenIn is Open with the store's counters registered on reg, so a
+// -metrics-out snapshot reports cache behavior under the artifact.*
+// names. A nil reg falls back to a private registry.
+func OpenIn(dir string, reg *obs.Registry) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("artifact: empty store directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	if reg == nil {
+		reg = obs.NewRegistry(nil)
+	}
+	return &Store{
+		dir:     dir,
+		hits:    reg.Counter(MetricHits),
+		misses:  reg.Counter(MetricMisses),
+		writes:  reg.Counter(MetricWrites),
+		corrupt: reg.Counter(MetricCorrupt),
+	}, nil
 }
 
 // Dir returns the store's root directory ("" for a nil store).
@@ -125,10 +151,10 @@ func (s *Store) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Writes:  s.writes.Load(),
-		Corrupt: s.corrupt.Load(),
+		Hits:    s.hits.Value(),
+		Misses:  s.misses.Value(),
+		Writes:  s.writes.Value(),
+		Corrupt: s.corrupt.Value(),
 	}
 }
 

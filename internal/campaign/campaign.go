@@ -17,6 +17,7 @@ import (
 	"teva/internal/cpu"
 	"teva/internal/errmodel"
 	"teva/internal/fpu"
+	"teva/internal/obs"
 	"teva/internal/prng"
 	"teva/internal/stats"
 	"teva/internal/workloads"
@@ -66,6 +67,52 @@ type Spec struct {
 	// model corrupts stochastically throughout the run (many errors per
 	// run for error-prone voltage levels).
 	SingleInjection bool
+	// Metrics, when non-nil, receives campaign.* counters (runs, injected
+	// errors, per-outcome tallies) and the injections-per-run histogram.
+	Metrics *obs.Registry
+}
+
+// Metric names published by Run. Per-outcome tallies are four separate
+// constants (not an indexed lookup) so the obsnames analyzer can prove
+// the namespace at compile time.
+const (
+	MetricCells             = "campaign.cells"
+	MetricRuns              = "campaign.runs"
+	MetricGoldenRuns        = "campaign.golden_runs"
+	MetricInjectedErrors    = "campaign.injected_errors"
+	MetricRunsWithInjection = "campaign.runs_with_injection"
+	MetricOutcomeMasked     = "campaign.outcome.masked"
+	MetricOutcomeSDC        = "campaign.outcome.sdc"
+	MetricOutcomeCrash      = "campaign.outcome.crash"
+	MetricOutcomeTimeout    = "campaign.outcome.timeout"
+	MetricInjectionsPerRun  = "campaign.injections_per_run"
+)
+
+// injectionsPerRunBounds buckets the histogram of manifested errors per
+// injected run (0 means the model never fired; the overflow bucket
+// catches error-storm runs at deep undervolting).
+var injectionsPerRunBounds = []float64{0, 1, 2, 4, 8, 16, 64, 256, 1024}
+
+// record publishes the aggregated cell onto m (no-op for nil m). Called
+// after the worker fan-in, from one goroutine, so gauge-free counter
+// arithmetic keeps snapshots order-independent.
+func (r *Result) record(m *obs.Registry, outs []int64) {
+	if m == nil {
+		return
+	}
+	m.Counter(MetricCells).Inc()
+	m.Counter(MetricGoldenRuns).Inc()
+	m.Counter(MetricRuns).Add(int64(r.Runs))
+	m.Counter(MetricInjectedErrors).Add(r.InjectedErrors)
+	m.Counter(MetricRunsWithInjection).Add(int64(r.RunsWithInjection))
+	m.Counter(MetricOutcomeMasked).Add(int64(r.Outcomes[Masked]))
+	m.Counter(MetricOutcomeSDC).Add(int64(r.Outcomes[SDC]))
+	m.Counter(MetricOutcomeCrash).Add(int64(r.Outcomes[Crash]))
+	m.Counter(MetricOutcomeTimeout).Add(int64(r.Outcomes[Timeout]))
+	h := m.Histogram(MetricInjectionsPerRun, injectionsPerRunBounds)
+	for _, n := range outs {
+		h.Observe(float64(n))
+	}
 }
 
 // Result aggregates one campaign cell.
@@ -190,6 +237,8 @@ func Run(spec Spec) (*Result, error) {
 	if spec.Runs <= 0 {
 		return nil, fmt.Errorf("campaign: non-positive run count")
 	}
+	sp := spec.Metrics.Phase("campaign")
+	defer sp.End()
 	tf := spec.TimeoutFactor
 	if tf == 0 {
 		tf = 2.0
@@ -268,9 +317,11 @@ func Run(spec Spec) (*Result, error) {
 	}
 	wg.Wait()
 	res.CrashKinds = make(map[string]int)
-	for _, o := range outs {
+	injections := make([]int64, len(outs))
+	for i, o := range outs {
 		res.Outcomes[o.outcome]++
 		res.InjectedErrors += o.injections
+		injections[i] = o.injections
 		if o.injections > 0 {
 			res.RunsWithInjection++
 		}
@@ -278,6 +329,7 @@ func Run(spec Spec) (*Result, error) {
 			res.CrashKinds[o.crashKind]++
 		}
 	}
+	res.record(spec.Metrics, injections)
 	return res, nil
 }
 

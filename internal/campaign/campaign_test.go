@@ -7,6 +7,7 @@ import (
 	"teva/internal/dta"
 	"teva/internal/errmodel"
 	"teva/internal/fpu"
+	"teva/internal/prng"
 	"teva/internal/workloads"
 )
 
@@ -295,5 +296,35 @@ func TestSingleInjectionWithNilInjectorIsMasked(t *testing.T) {
 	}
 	if res.AVM() != 0 {
 		t.Fatalf("AVM must be 0, got %v", res.AVM())
+	}
+}
+
+// TestWilsonPropertyOverRandomTallies asserts the interval contract
+// 0 <= lo <= fraction <= hi <= 1 for every outcome class over randomized
+// Result tallies, including empty cells (Runs == 0) and cells where one
+// class takes all runs. Uses the repo's seedable source so failures
+// reproduce byte-for-byte.
+func TestWilsonPropertyOverRandomTallies(t *testing.T) {
+	src := prng.New(0x81750)
+	for iter := 0; iter < 5000; iter++ {
+		var r Result
+		r.Runs = src.Intn(1200) // 0 included
+		remaining := r.Runs
+		for o := Masked; o < NumOutcomes; o++ {
+			c := remaining
+			if o != NumOutcomes-1 && remaining > 0 {
+				c = src.Intn(remaining + 1)
+			}
+			r.Outcomes[o] = c
+			remaining -= c
+		}
+		for o := Masked; o < NumOutcomes; o++ {
+			lo, hi := r.Wilson(o)
+			v := r.Fraction(o)
+			if !(0 <= lo && lo <= v && v <= hi && hi <= 1) {
+				t.Fatalf("iter %d: Wilson(%v) = [%v, %v] does not bracket %v (tally %v/%d)",
+					iter, o, lo, hi, v, r.Outcomes, r.Runs)
+			}
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"teva/internal/dta"
 	"teva/internal/errmodel"
 	"teva/internal/fpu"
+	"teva/internal/obs"
 	"teva/internal/prng"
 	"teva/internal/trace"
 	"teva/internal/vscale"
@@ -52,6 +53,10 @@ type Config struct {
 	// reloads every summary instead of re-simulating. A nil store
 	// disables on-disk caching.
 	Artifacts *artifact.Store
+	// Metrics, when non-nil, receives dta.*, campaign.* and
+	// experiments.* counters plus phase timers from every framework
+	// operation. A nil registry disables instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the scaled-down defaults.
@@ -159,7 +164,7 @@ func (f *Framework) RandomSummaries(level vscale.VRLevel) map[fpu.Op]*dta.Summar
 				continue
 			}
 			pairs := randomPairs(op, n, prng.New(opSeed))
-			recs := dta.AnalyzeStreamAt(f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers)
+			recs := dta.AnalyzeStreamObs(f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers, f.Cfg.Metrics)
 			out[op] = dta.Summarize(op, recs)
 			// Cache write failures are non-fatal: the summary is simply
 			// recomputed on the next run.
@@ -202,7 +207,7 @@ func (f *Framework) WorkloadSummaries(level vscale.VRLevel, tr *trace.Trace) map
 		for i := range pairs {
 			pairs[i] = pool[rs.Intn(len(pool))]
 		}
-		recs := dta.AnalyzeStreamAt(f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers)
+		recs := dta.AnalyzeStreamObs(f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers, f.Cfg.Metrics)
 		out[op] = dta.Summarize(op, recs)
 		_ = f.Cfg.Artifacts.Save(key, out[op])
 	}
@@ -274,6 +279,7 @@ func (f *Framework) evaluate(w *workloads.Workload, m errmodel.Model, runs int, 
 		Seed:            f.Cfg.Seed ^ hashString(w.Name) ^ hashString(string(m.Kind())+m.Level()),
 		Workers:         f.Cfg.Workers,
 		SingleInjection: single,
+		Metrics:         f.Cfg.Metrics,
 	})
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"teva/internal/fpu"
 	"teva/internal/logicsim"
+	"teva/internal/obs"
 	"teva/internal/timingsim"
 	"teva/internal/vscale"
 )
@@ -217,6 +218,26 @@ func AnalyzeStream(f *fpu.FPU, op fpu.Op, model vscale.Model, level vscale.VRLev
 
 // AnalyzeStreamAt is AnalyzeStream at an arbitrary delay-scale factor.
 func AnalyzeStreamAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []Pair, workers int) []Record {
+	return AnalyzeStreamObs(f, op, scale, exact, pairs, workers, nil)
+}
+
+// Metric names published by AnalyzeStreamObs. A "cycle" here is one
+// expanded pipeline cycle (stage repeats included): instructions ×
+// sum(Repeat) over the op's stages.
+const (
+	MetricStreamCalls = "dta.stream_calls"
+	MetricPairs       = "dta.pairs_analyzed"
+	MetricCycles      = "dta.cycles_analyzed"
+	MetricViolations  = "dta.endpoint_violations"
+	MetricShards      = "dta.shards"
+)
+
+// AnalyzeStreamObs is AnalyzeStreamAt with metrics: pairs/cycles analyzed,
+// endpoint (output-mask) violations, and shard fan-out are accumulated on
+// m. All counts are pure functions of the inputs — worker scheduling
+// cannot change them — so snapshots stay deterministic. A nil registry
+// records nothing.
+func AnalyzeStreamObs(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []Pair, workers int, m *obs.Registry) []Record {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -227,7 +248,9 @@ func AnalyzeStreamAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []P
 	if len(pairs) == 0 {
 		return records
 	}
+	sp := m.Phase("dta")
 	chunk := (len(pairs) + workers - 1) / workers
+	shards := 0
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -238,6 +261,7 @@ func AnalyzeStreamAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []P
 		if lo >= hi {
 			break
 		}
+		shards++
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
@@ -252,6 +276,24 @@ func AnalyzeStreamAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []P
 		}(lo, hi)
 	}
 	wg.Wait()
+	sp.End()
+	if m != nil {
+		cyclesPerPair := 0
+		for _, s := range f.Pipeline(op).Stages {
+			cyclesPerPair += s.Repeat
+		}
+		violations := int64(0)
+		for i := range records {
+			if records[i].Mask != 0 {
+				violations++
+			}
+		}
+		m.Counter(MetricStreamCalls).Inc()
+		m.Counter(MetricPairs).Add(int64(len(pairs)))
+		m.Counter(MetricCycles).Add(int64(len(pairs) * cyclesPerPair))
+		m.Counter(MetricViolations).Add(violations)
+		m.Counter(MetricShards).Add(int64(shards))
+	}
 	return records
 }
 

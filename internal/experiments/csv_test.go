@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"teva/internal/campaign"
+	"teva/internal/errmodel"
+)
+
+// The determinism test only proves the exporters are stable run-to-run;
+// these golden-file tests pin the actual content — column layout, number
+// formatting, nil-cell skipping, the crash-kind join — against files
+// under testdata/. Regenerate with: go test -run TestCSVGolden -update
+
+var updateGolden = flag.Bool("update", false, "rewrite the CSV golden files")
+
+func table2Fixture() []Table2Row {
+	return []Table2Row{
+		{App: "cg", Input: "S", Instructions: 123456, FPShare: 0.25, Criteria: "fp-heavy"},
+		{App: "sobel", Input: "lena", Instructions: 1000000, FPShare: 0.0625, Criteria: "mixed"},
+	}
+}
+
+// fig9Fixture builds a sparse CampaignSet: only three of the twelve
+// possible cells exist, so the exporter's nil-skip path is exercised,
+// and one cell carries a crash taxonomy to pin the k=v;k=v join.
+func fig9Fixture() *CampaignSet {
+	cs := &CampaignSet{Cells: map[string]*campaign.Result{}, Order: []string{"cg", "sobel"}}
+
+	a := &campaign.Result{
+		Workload: "cg", Model: errmodel.DA, Level: "VR15",
+		Runs: 8, RunsWithInjection: 8,
+		CrashKinds: map[string]int{"fp exception": 2, "memory fault": 1},
+	}
+	a.Outcomes[campaign.Masked] = 4
+	a.Outcomes[campaign.SDC] = 2
+	a.Outcomes[campaign.Crash] = 1
+	a.Outcomes[campaign.Timeout] = 1
+	cs.Cells[cellKey("cg", errmodel.DA, "VR15")] = a
+
+	b := &campaign.Result{
+		Workload: "cg", Model: errmodel.WA, Level: "VR15",
+		Runs: 4, CrashKinds: map[string]int{},
+	}
+	b.Outcomes[campaign.Masked] = 4
+	cs.Cells[cellKey("cg", errmodel.WA, "VR15")] = b
+
+	c := &campaign.Result{
+		Workload: "sobel", Model: errmodel.IA, Level: "VR20",
+		Runs: 10, RunsWithInjection: 5, CrashKinds: map[string]int{},
+	}
+	c.Outcomes[campaign.Masked] = 5
+	c.Outcomes[campaign.SDC] = 5
+	cs.Cells[cellKey("sobel", errmodel.IA, "VR20")] = c
+	return cs
+}
+
+func avmFixture() (*CampaignSet, *AVMResult) {
+	cs := &CampaignSet{Order: []string{"cg"}}
+	r := &AVMResult{
+		AVM: map[string]float64{
+			cellKey("cg", errmodel.DA, "VR15"): 0.25,
+			cellKey("cg", errmodel.IA, "VR15"): 0.5,
+			cellKey("cg", errmodel.WA, "VR15"): 0,
+			cellKey("cg", errmodel.DA, "VR20"): 1,
+			cellKey("cg", errmodel.IA, "VR20"): 0.75,
+			cellKey("cg", errmodel.WA, "VR20"): 0.125,
+		},
+		SafeLevel:    map[string]string{"cg": "VR15"},
+		PowerSavings: map[string]float64{"cg": 0.1875},
+	}
+	return cs, r
+}
+
+func checkGolden(t *testing.T, dir, name string) {
+	t.Helper()
+	got, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s content drifted from golden:\n--- got\n%s\n--- want\n%s", name, got, want)
+	}
+}
+
+func TestCSVGoldenTable2(t *testing.T) {
+	dir := t.TempDir()
+	if err := CSVTable2(dir, table2Fixture()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, dir, "table2.csv")
+}
+
+func TestCSVGoldenFig9(t *testing.T) {
+	dir := t.TempDir()
+	if err := CSVFig9(dir, fig9Fixture()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, dir, "fig9.csv")
+}
+
+func TestCSVGoldenAVM(t *testing.T) {
+	dir := t.TempDir()
+	cs, r := avmFixture()
+	if err := CSVAVM(dir, cs, r); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, dir, "avm.csv")
+}
+
+// TestCSVQuotesCommas pins the encoding/csv quoting contract the exports
+// rely on: a workload name (or input) containing commas or quotes must
+// round-trip through the file intact, not split into extra columns.
+func TestCSVQuotesCommas(t *testing.T) {
+	dir := t.TempDir()
+	rows := []Table2Row{
+		{App: "mat,mul", Input: `say "hi", twice`, Instructions: 7, FPShare: 0.5, Criteria: "comma,bench"},
+	}
+	if err := CSVTable2(dir, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"mat,mul"`) {
+		t.Errorf("comma-bearing app name not quoted:\n%s", data)
+	}
+	recs, err := csv.NewReader(strings.NewReader(string(data))).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not re-parse: %v", err)
+	}
+	want := [][]string{
+		{"app", "input", "instructions", "fp_share", "criteria"},
+		{"mat,mul", `say "hi", twice`, "7", "0.5", "comma,bench"},
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("round-trip mismatch:\ngot  %q\nwant %q", recs, want)
+	}
+}

@@ -110,19 +110,22 @@ type Env struct {
 	cellsCached atomic.Int64
 }
 
-// NewEnv creates the environment.
+// NewEnv creates the environment. When the framework's Config carries a
+// metrics registry, every memo reports its single-flight hit/miss tallies
+// under the experiments.* names.
 func NewEnv(f *core.Framework, opts Options) *Env {
+	m := f.Cfg.Metrics
 	return &Env{
 		F:       f,
 		Opts:    opts,
-		traces:  newMemo[*trace.Trace](),
-		waSums:  newMemo[map[fpu.Op]*dta.Summary](),
-		daBy:    newMemo[*errmodel.DAModel](),
-		iaBy:    newMemo[*errmodel.IAModel](),
-		waBy:    newMemo[*errmodel.WAModel](),
-		cells:   newMemo[*campaign.Result](),
-		streams: newMemo[*dta.Summary](),
-		intUnit: newMemo[*alu.Unit](),
+		traces:  newMemoObs[*trace.Trace](m),
+		waSums:  newMemoObs[map[fpu.Op]*dta.Summary](m),
+		daBy:    newMemoObs[*errmodel.DAModel](m),
+		iaBy:    newMemoObs[*errmodel.IAModel](m),
+		waBy:    newMemoObs[*errmodel.WAModel](m),
+		cells:   newMemoObs[*campaign.Result](m),
+		streams: newMemoObs[*dta.Summary](m),
+		intUnit: newMemoObs[*alu.Unit](m),
 	}
 }
 

@@ -9,6 +9,15 @@ import (
 	"teva/internal/artifact"
 	"teva/internal/dta"
 	"teva/internal/fpu"
+	"teva/internal/obs"
+)
+
+// Metric names published by the experiment pipeline. A memo "hit" is a
+// do() call that found an existing entry (the single-flight dedup saved a
+// model build or campaign cell); a "miss" created the entry.
+const (
+	MetricMemoHits   = "experiments.memo_hits"
+	MetricMemoMisses = "experiments.memo_misses"
 )
 
 // memo is a generic single-flight lazy map: the first caller of a key
@@ -19,6 +28,8 @@ import (
 type memo[V any] struct {
 	mu      sync.Mutex
 	entries map[string]*memoEntry[V]
+	// hits/misses, when non-nil, tally do() lookups on the Env's registry.
+	hits, misses *obs.Counter
 }
 
 type memoEntry[V any] struct {
@@ -31,6 +42,15 @@ func newMemo[V any]() *memo[V] {
 	return &memo[V]{entries: make(map[string]*memoEntry[V])}
 }
 
+// newMemoObs is newMemo with hit/miss counters attached (nil counters are
+// valid no-ops, so a metrics-free Env costs nothing extra).
+func newMemoObs[V any](m *obs.Registry) *memo[V] {
+	mm := newMemo[V]()
+	mm.hits = m.Counter(MetricMemoHits)
+	mm.misses = m.Counter(MetricMemoMisses)
+	return mm
+}
+
 // do returns the memoized value for key, computing it with fn exactly
 // once across all goroutines.
 func (m *memo[V]) do(key string, fn func() (V, error)) (V, error) {
@@ -41,6 +61,11 @@ func (m *memo[V]) do(key string, fn func() (V, error)) (V, error) {
 		m.entries[key] = e
 	}
 	m.mu.Unlock()
+	if ok {
+		m.hits.Inc()
+	} else {
+		m.misses.Inc()
+	}
 	e.once.Do(func() { e.val, e.err = fn() })
 	return e.val, e.err
 }

@@ -61,6 +61,7 @@ func All() []*Analyzer {
 		SimPurity(),
 		FloatEq(),
 		GoroutineHygiene(),
+		ObsNames(),
 	}
 }
 

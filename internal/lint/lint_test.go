@@ -101,6 +101,7 @@ func TestGoldenFixtures(t *testing.T) {
 		{"simpurity", "teva/internal/lintfixture/simpurity"},
 		{"floateq", "teva/internal/lintfixture/floateq"},
 		{"goroutine", "teva/internal/lintfixture/goroutine"},
+		{"obsnames", "teva/internal/lintfixture/obsnames"},
 	}
 	l := newTestLoader(t)
 	for _, tc := range cases {

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"teva/internal/obs"
+)
+
+// ObsNames guards the metrics namespace: every Counter/Gauge/Histogram
+// registration on an obs.Registry must pass a constant name matching
+// obs.NameRE (lowercase dotted path). Constant names keep the Prometheus
+// rendering stable — a name computed at run time could vary between runs
+// and change the byte layout of the metrics snapshot, or collide with an
+// existing family under a different schema. Phase paths are exempt: the
+// set of phases a run executes is itself deterministic given the flags,
+// and per-figure paths like "exp/"+name are derived by design.
+func ObsNames() *Analyzer {
+	return &Analyzer{
+		Name: "obsnames",
+		Doc:  "non-constant or malformed metric names at obs.Registry registration sites",
+		Run:  runObsNames,
+	}
+}
+
+// obsPkgPath is the import path of the observability package.
+const obsPkgPath = "teva/internal/obs"
+
+// obsRegistrationMethod reports whether the call is one of the checked
+// registration methods on *obs.Registry (Phase and Time are exempt —
+// phase paths may be dynamic).
+func obsRegistrationMethod(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath {
+		return false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	tn, ok := named.Elem().(*types.Named)
+	return ok && tn.Obj().Name() == "Registry"
+}
+
+func runObsNames(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !obsRegistrationMethod(p, call) || len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := p.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				out = append(out, p.finding("obsnames", arg,
+					"metric name must be a constant expression so the metrics namespace is fixed at compile time"))
+				return true
+			}
+			if name := constant.StringVal(tv.Value); !obs.NameRE.MatchString(name) {
+				out = append(out, p.finding("obsnames",
+					arg, "metric name %q does not match %s", name, obs.NameRE))
+			}
+			return true
+		})
+	}
+	return out
+}

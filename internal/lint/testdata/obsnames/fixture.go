@@ -1,0 +1,37 @@
+// Package obsnames exercises the obsnames analyzer. Registration sites
+// (Counter/Gauge/Histogram) must pass constant names matching obs.NameRE;
+// phase paths (Phase/Time) are exempt and may be derived at run time.
+package obsnames
+
+import "teva/internal/obs"
+
+const goodName = "campaign.injections"
+
+const badCase = "Campaign.Injections"
+
+func registrations(r *obs.Registry, dyn string) {
+	r.Counter(goodName)
+	r.Counter("artifact.hits")
+	r.Counter(goodName + ".sub") // constant concatenation is still constant
+	r.Gauge("cfg.workers_2")
+	r.Histogram("dta.latency", []float64{1, 2})
+
+	r.Counter(badCase)                 // want obsnames
+	r.Counter("9leading.digit")        // want obsnames
+	r.Gauge("has-dash")                // want obsnames
+	r.Histogram("UPPER", []float64{1}) // want obsnames
+	r.Counter(dyn)                     // want obsnames
+	r.Counter(goodName + "." + dyn)    // want obsnames
+
+	// Phase paths are deliberately unchecked: the executed phase set is
+	// deterministic given the flags even when paths are concatenated.
+	sp := r.Phase("exp/" + dyn)
+	sp.Phase(dyn).End()
+	sp.End()
+	r.Time("dyn/"+dyn, func() {})
+
+	// A nil registry's no-op instruments go through the same sites; the
+	// analyzer is purely syntactic about the receiver type.
+	var nr *obs.Registry
+	nr.Counter("still.checked_here")
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentIncrements(t *testing.T) {
+	r := NewRegistry(nil)
+	c := r.Counter("test.events")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	// Re-registering the same name returns the same instrument.
+	if r.Counter("test.events") != c {
+		t.Fatal("Counter not idempotent")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry(nil)
+	h := r.Histogram("test.flips", []float64{1, 2, 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 512; i++ {
+				h.Observe(float64(i % 8))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Total(); got != 8*512 {
+		t.Fatalf("total = %d, want %d", got, 8*512)
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms[0]
+	// i%8 in 0..7: bucket <=1 gets {0,1}, <=2 gets {2}, <=4 gets {3,4},
+	// overflow gets {5,6,7} — each value 512 times across 8 workers.
+	want := []int64{2 * 4096 / 8, 1 * 4096 / 8, 2 * 4096 / 8, 3 * 4096 / 8}
+	for i, c := range hs.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, c, want[i], hs.Counts)
+		}
+	}
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	// Racing get-or-create on the same names must be safe and converge on
+	// one instrument per name.
+	r := NewRegistry(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Counter("race.counter").Inc()
+			r.Gauge("race.gauge").Add(1)
+			r.Histogram("race.hist", []float64{1}).Observe(0)
+			sp := r.Phase("race/phase")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters[0].Value != 8 || s.Histograms[0].Total() != 8 || s.Phases[0].Count != 8 {
+		t.Fatalf("racing registration lost updates: %+v", s)
+	}
+	if g := r.Gauge("race.gauge").Value(); g != 8 {
+		t.Fatalf("gauge = %d, want 8", g)
+	}
+}
+
+func TestFakeClockPhases(t *testing.T) {
+	var now int64
+	r := NewRegistry(func() int64 { return now })
+	sp := r.Phase("exp/fig9")
+	now = 250
+	child := sp.Phase("campaigns")
+	now = 1000
+	child.End()
+	now = 1500
+	sp.End()
+	sp2 := r.Phase("exp/fig9") // re-entering accumulates
+	now = 1600
+	sp2.End()
+
+	s := r.Snapshot()
+	if len(s.Phases) != 2 {
+		t.Fatalf("phases: %+v", s.Phases)
+	}
+	if p := s.Phases[0]; p.Path != "exp/fig9" || p.Count != 2 || p.Nanos != 1500+100 {
+		t.Fatalf("parent phase: %+v", p)
+	}
+	if p := s.Phases[1]; p.Path != "exp/fig9/campaigns" || p.Count != 1 || p.Nanos != 750 {
+		t.Fatalf("child phase: %+v", p)
+	}
+}
+
+func TestNilClockZeroDurations(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Time("p", func() {})
+	if p := r.Snapshot().Phases[0]; p.Nanos != 0 || p.Count != 1 {
+		t.Fatalf("nil clock phase: %+v", p)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x.y").Add(3)
+	r.Counter("x.y").Inc()
+	r.Gauge("x.y").Set(1)
+	r.Histogram("x.y", []float64{1}).Observe(0)
+	sp := r.Phase("p")
+	sp.Phase("q").End()
+	sp.End()
+	r.Time("p", func() {})
+	if c := r.Counter("x.y").Value(); c != 0 {
+		t.Fatalf("nil registry counter = %d", c)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Phases) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	if string(s.JSON()) == "" || len(s.PrometheusText()) != 0 {
+		t.Fatal("nil snapshot renderings")
+	}
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry(nil)
+	for _, bad := range []string{"", "Upper", "9lead", "has-dash", "has space", "ünicode"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: want panic", bad)
+				}
+			}()
+			r.Counter(bad)
+		}()
+	}
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Histogram("h.ok", []float64{1, 2})
+	for _, bounds := range [][]float64{{1}, {1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v: want panic", bounds)
+				}
+			}()
+			r.Histogram("h.ok", bounds)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unsorted bounds: want panic")
+			}
+		}()
+		r.Histogram("h.bad", []float64{2, 1})
+	}()
+}
+
+// populate fills a registry with a fixed state, updating in the given
+// permutation order to prove order-independence of the renderings.
+func populate(r *Registry, reverse bool) {
+	names := []string{"a.hits", "b.misses", "z.writes"}
+	if reverse {
+		for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+			names[i], names[j] = names[j], names[i]
+		}
+	}
+	for i, n := range names {
+		r.Counter(n).Add(int64(10 * (i + 1)))
+	}
+	if reverse {
+		// Same totals, accumulated differently.
+		for _, n := range names {
+			r.Counter(n).Add(0)
+		}
+		r.Counter("a.hits").Add(-20)
+		r.Counter("z.writes").Add(20)
+	}
+	r.Gauge("cfg.workers").Set(4)
+	h := r.Histogram("lat.buckets", []float64{0.5, 1.5, 2.5})
+	for _, v := range []float64{0, 1, 1, 2, 9} {
+		h.Observe(v)
+	}
+	r.Time("exp/one", func() {})
+	r.Time("exp/two", func() {})
+}
+
+func TestRenderingsAreByteDeterministic(t *testing.T) {
+	r1, r2 := NewRegistry(nil), NewRegistry(nil)
+	populate(r1, false)
+	populate(r2, true)
+	s1, s2 := r1.Snapshot(), r2.Snapshot()
+	if string(s1.JSON()) != string(s2.JSON()) {
+		t.Fatalf("JSON differs:\n%s\n---\n%s", s1.JSON(), s2.JSON())
+	}
+	if string(s1.PrometheusText()) != string(s2.PrometheusText()) {
+		t.Fatalf("Prometheus text differs:\n%s\n---\n%s", s1.PrometheusText(), s2.PrometheusText())
+	}
+	if s1.Summary() != s2.Summary() {
+		t.Fatalf("Summary differs: %q vs %q", s1.Summary(), s2.Summary())
+	}
+}
+
+func TestJSONIsValidAndSorted(t *testing.T) {
+	r := NewRegistry(nil)
+	populate(r, false)
+	raw := r.Snapshot().JSON()
+	var decoded map[string]map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("JSON does not parse: %v\n%s", err, raw)
+	}
+	for _, key := range []string{"counters", "gauges", "histograms", "phases"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("missing top-level key %q in %s", key, raw)
+		}
+	}
+	if decoded["counters"]["a.hits"].(float64) != 10 {
+		t.Fatalf("counter value wrong: %v", decoded["counters"])
+	}
+	txt := string(raw)
+	if strings.Index(txt, `"a.hits"`) > strings.Index(txt, `"z.writes"`) {
+		t.Fatal("counters not sorted")
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Counter("artifact.hits").Add(3)
+	r.Gauge("cfg.runs").Set(24)
+	h := r.Histogram("campaign.injections_per_run", []float64{1, 2})
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(5)
+	r.Time("exp/fig9", func() {})
+	got := string(r.Snapshot().PrometheusText())
+	for _, w := range []string{
+		"# TYPE teva_artifact_hits counter\nteva_artifact_hits 3\n",
+		"# TYPE teva_cfg_runs gauge\nteva_cfg_runs 24\n",
+		"teva_campaign_injections_per_run_bucket{le=\"1\"} 2\n",
+		"teva_campaign_injections_per_run_bucket{le=\"2\"} 2\n",
+		"teva_campaign_injections_per_run_bucket{le=\"+Inf\"} 3\n",
+		"teva_campaign_injections_per_run_count 3\n",
+		"teva_phase_count{phase=\"exp/fig9\"} 1\n",
+	} {
+		if !strings.Contains(got, w) {
+			t.Fatalf("missing %q in:\n%s", w, got)
+		}
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry(nil)
+	h := r.Histogram("edge.hist", []float64{1, 2})
+	// Bucket semantics are v <= bound, Prometheus-style.
+	h.Observe(1)        // -> le=1
+	h.Observe(1.000001) // -> le=2
+	h.Observe(2)        // -> le=2
+	h.Observe(3)        // -> overflow
+	s := r.Snapshot().Histograms[0]
+	want := []int64{1, 2, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("counts %v, want %v", s.Counts, want)
+		}
+	}
+}

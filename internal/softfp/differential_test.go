@@ -1,0 +1,149 @@
+package softfp
+
+import (
+	"math"
+	"testing"
+)
+
+// ftz64 models the package's flush-to-zero semantics on an encoding: a
+// nonzero denormal reads as (signed) zero.
+func ftz64(bits uint64) uint64 {
+	if isDenorm64(bits) {
+		return bits & (1 << 63)
+	}
+	return bits
+}
+
+// wantFTZ computes the reference result for a binary64 op under the FTZ
+// contract: inputs flushed, the native IEEE result computed, and a
+// denormal result flushed to zero (keeping its sign).
+func wantFTZ(native func(a, b float64) float64, ab, bb uint64) uint64 {
+	w := math.Float64bits(native(
+		math.Float64frombits(ftz64(ab)), math.Float64frombits(ftz64(bb))))
+	return ftz64(w)
+}
+
+// denormBoundary64 enumerates encodings on and around the
+// denormal/normal border plus rounding-boundary mantissa patterns.
+func denormBoundary64() []uint64 {
+	minNormal := uint64(0x0010000000000000) // 2^-1022
+	maxDenorm := minNormal - 1
+	return []uint64{
+		0,                         // +0
+		1 << 63,                   // -0
+		1,                         // smallest positive denormal
+		maxDenorm,                 // largest denormal
+		1<<63 | 1,                 // smallest-magnitude negative denormal
+		1<<63 | maxDenorm,         // largest-magnitude negative denormal
+		minNormal,                 // smallest normal
+		minNormal + 1,             // just above
+		1<<63 | minNormal,         // smallest-magnitude negative normal
+		math.Float64bits(1.0),     //
+		math.Float64bits(1.0) + 1, // 1 + ulp: round-to-even fodder
+		math.Float64bits(2.0) - 1, // just under 2
+		math.Float64bits(0.5) + 1, //
+		math.Float64bits(3.0),     // divisor forcing repeating binary
+		math.Float64bits(10.0),    //
+		math.Float64bits(1e-308),  // near the underflow cliff
+		math.Float64bits(4e-308),  //
+		math.Float64bits(1e308),   // near overflow
+		math.Float64bits(math.MaxFloat64),
+	}
+}
+
+// TestDivDifferentialFTZ compares Div against native division over the
+// cross product of denormal and rounding-boundary encodings, under the
+// package's documented FTZ contract. Unlike the fuzz harness (which
+// skips denormals entirely), this pins the flush behavior itself.
+func TestDivDifferentialFTZ(t *testing.T) {
+	vals := denormBoundary64()
+	for _, ab := range vals {
+		for _, bb := range vals {
+			got, _ := Binary64.Div(ab, bb)
+			want := wantFTZ(func(x, y float64) float64 { return x / y }, ab, bb)
+			if Binary64.IsNaNBits(got) && Binary64.IsNaNBits(want) {
+				continue // 0/0 and friends: any NaN encoding is fine
+			}
+			if got != want {
+				t.Errorf("Div(%#x, %#x) = %#x, want %#x (a=%g b=%g)",
+					ab, bb, got, want,
+					math.Float64frombits(ab), math.Float64frombits(bb))
+			}
+		}
+	}
+}
+
+// TestArithDifferentialFTZ extends the same FTZ differential check to
+// add/sub/mul on the boundary set.
+func TestArithDifferentialFTZ(t *testing.T) {
+	ops := []struct {
+		name   string
+		soft   func(a, b uint64) (uint64, Flags)
+		native func(a, b float64) float64
+	}{
+		{"add", Binary64.Add, func(x, y float64) float64 { return x + y }},
+		{"sub", Binary64.Sub, func(x, y float64) float64 { return x - y }},
+		{"mul", Binary64.Mul, func(x, y float64) float64 { return x * y }},
+	}
+	vals := denormBoundary64()
+	for _, op := range ops {
+		for _, ab := range vals {
+			for _, bb := range vals {
+				got, _ := op.soft(ab, bb)
+				want := wantFTZ(op.native, ab, bb)
+				if Binary64.IsNaNBits(got) && Binary64.IsNaNBits(want) {
+					continue
+				}
+				if got != want {
+					t.Errorf("%s(%#x, %#x) = %#x, want %#x", op.name, ab, bb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestToInt32RoundingBoundaries pins the truncate-toward-zero conversion
+// on the exact boundaries the fuzz seeds only sample: halfway values,
+// the int32 saturation edges, and denormals (which truncate to 0 with or
+// without FTZ).
+func TestToInt32RoundingBoundaries(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int32
+	}{
+		{0.5, 0}, {-0.5, 0}, {0.999999999, 0}, {-0.999999999, 0},
+		{1.5, 1}, {-1.5, -1}, {2.5, 2}, {-2.5, -2},
+		{2147483646.5, 2147483646},
+		{2147483647.0, math.MaxInt32},
+		{2147483648.0, math.MaxInt32},
+		{-2147483648.0, math.MinInt32},
+		{-2147483648.5, math.MinInt32},
+		{-2147483649.0, math.MinInt32},
+		{5e-324, 0},  // denormal
+		{-5e-324, 0}, //
+		{math.Inf(1), math.MaxInt32},
+		{math.Inf(-1), math.MinInt32},
+	}
+	for _, tc := range cases {
+		got, _ := Binary64.ToInt32(math.Float64bits(tc.in))
+		if got != tc.want {
+			t.Errorf("ToInt32(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got, _ := Binary64.ToInt32(math.Float64bits(math.NaN())); got != 0 {
+		t.Errorf("ToInt32(NaN) = %d, want 0", got)
+	}
+}
+
+// TestFromInt32Boundaries pins the exactness of int32→binary64: every
+// int32 is representable, so the conversion must be bit-exact including
+// the extremes.
+func TestFromInt32Boundaries(t *testing.T) {
+	for _, x := range []int32{0, 1, -1, math.MaxInt32, math.MinInt32,
+		math.MaxInt32 - 1, math.MinInt32 + 1, 1 << 24, -(1 << 24)} {
+		got, _ := Binary64.FromInt32(x)
+		if want := math.Float64bits(float64(x)); got != want {
+			t.Errorf("FromInt32(%d) = %#x, want %#x", x, got, want)
+		}
+	}
+}

@@ -35,6 +35,14 @@ func FuzzArith64(f *testing.F) {
 	f.Add(math.Float64bits(math.Inf(1)), math.Float64bits(math.Inf(-1)))
 	f.Add(uint64(0x7ff8000000000001), uint64(1))
 	f.Add(math.Float64bits(1.0000000000000002), math.Float64bits(1))
+	// Denormal/normal border and rounding-boundary seeds (the checker
+	// skips the FTZ-deviating cases; the differential tests pin those).
+	f.Add(uint64(0x0010000000000000), uint64(0x000fffffffffffff)) // min normal vs max denormal
+	f.Add(uint64(1), uint64(1<<63|1))                             // +/- smallest denormals
+	f.Add(math.Float64bits(1.0)+1, math.Float64bits(2.0)-1)       // 1+ulp vs pred(2): round-to-even
+	f.Add(math.Float64bits(1e-308), math.Float64bits(1e308))      // underflow x overflow
+	f.Add(math.Float64bits(1.0), math.Float64bits(3.0))           // repeating-binary quotient
+	f.Add(math.Float64bits(math.MaxFloat64), math.Float64bits(0.5))
 	f.Fuzz(func(t *testing.T, a, b uint64) {
 		fuzzCheck64(t, "add", Binary64.Add, func(x, y float64) float64 { return x + y }, a, b)
 		fuzzCheck64(t, "sub", Binary64.Sub, func(x, y float64) float64 { return x - y }, a, b)
@@ -48,6 +56,10 @@ func FuzzConversions(f *testing.F) {
 	f.Add(int32(0), uint64(0))
 	f.Add(int32(math.MinInt32), math.Float64bits(3e9))
 	f.Add(int32(-1), math.Float64bits(-2.5))
+	f.Add(int32(math.MaxInt32), math.Float64bits(2147483647.5)) // saturation edge
+	f.Add(int32(1<<24), math.Float64bits(-2147483648.0))        // exact MinInt32
+	f.Add(int32(7), uint64(0x000fffffffffffff))                 // max denormal truncates to 0
+	f.Add(int32(-7), math.Float64bits(0.9999999999999999))      // just under 1
 	f.Fuzz(func(t *testing.T, x int32, fb uint64) {
 		got, _ := Binary64.FromInt32(x)
 		if got != math.Float64bits(float64(x)) {

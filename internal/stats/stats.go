@@ -66,6 +66,11 @@ func (p Proportion) Margin(z float64) float64 {
 
 // Wilson returns the Wilson score interval at the given z, which behaves
 // sensibly for ratios near 0 or 1 (common for masked/crash probabilities).
+// The interval always brackets the observed fraction:
+// 0 <= lo <= k/n <= hi <= 1, including the degenerate n=0, k=0 and k=n
+// cases. Analytically lo <= v <= hi already holds, but the sqrt term is
+// not exactly z/(2n) when v*(1-v) vanishes in floating point, so the
+// bounds are clamped to the fraction to keep the contract exact.
 func (p Proportion) Wilson(z float64) (lo, hi float64) {
 	if p.Trials == 0 {
 		return 0, 0
@@ -76,7 +81,9 @@ func (p Proportion) Wilson(z float64) (lo, hi float64) {
 	den := 1 + z2/n
 	center := (v + z2/(2*n)) / den
 	half := z / den * math.Sqrt(v*(1-v)/n+z2/(4*n*n))
-	return math.Max(0, center-half), math.Min(1, center+half)
+	lo = math.Max(0, math.Min(center-half, v))
+	hi = math.Min(1, math.Max(center+half, v))
+	return lo, hi
 }
 
 func (p Proportion) String() string {

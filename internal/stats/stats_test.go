@@ -158,3 +158,39 @@ func TestHistogram(t *testing.T) {
 		t.Fatalf("Fraction = %v", h.Fraction(1))
 	}
 }
+
+// TestWilsonBracketsFraction is the interval contract as a property:
+// 0 <= lo <= k/n <= hi <= 1 for every tally, exercised over the exact
+// degenerate corners (n=0, k=0, k=n, n=1) and a quick.Check sweep. The
+// k=0 and k=n corners are the floating-point traps: sqrt(z^2/(4n^2)) is
+// not exactly z/(2n), so without clamping lo can land ~1e-17 above 0.
+func TestWilsonBracketsFraction(t *testing.T) {
+	check := func(k, n int) {
+		p := Proportion{Successes: k, Trials: n}
+		lo, hi := p.Wilson(Z95)
+		v := p.Value()
+		if !(0 <= lo && lo <= v && v <= hi && hi <= 1) {
+			t.Fatalf("Wilson(%d/%d) = [%v, %v] does not bracket %v", k, n, lo, hi, v)
+		}
+	}
+	for _, c := range []struct{ k, n int }{
+		{0, 0}, {0, 1}, {1, 1}, {0, 2}, {2, 2}, {0, 50}, {50, 50},
+		{0, 1068}, {1068, 1068}, {1, 1068}, {1067, 1068},
+	} {
+		check(c.k, c.n)
+	}
+	prop := func(k, n uint16) bool {
+		trials := int(n) % 4096
+		succ := 0
+		if trials > 0 {
+			succ = int(k) % (trials + 1)
+		}
+		p := Proportion{Successes: succ, Trials: trials}
+		lo, hi := p.Wilson(Z95)
+		v := p.Value()
+		return 0 <= lo && lo <= v && v <= hi && hi <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
