@@ -9,7 +9,7 @@
 //	teva-experiments [-exp all|table1|table2|fig4..fig10|avm|sources|power|history]
 //	                 [-quick] [-full] [-scale tiny|small|full]
 //	                 [-runs N] [-seed N] [-workers N]
-//	                 [-cache-dir DIR] [-progress]
+//	                 [-cache-dir DIR] [-progress] [-max-duration D]
 //	                 [-metrics-out FILE] [-pprof-cpu FILE] [-pprof-mem FILE]
 //
 // With -cache-dir, DTA characterization summaries and campaign cells are
@@ -17,6 +17,14 @@
 // (seed, scale, sample counts, ...), so a re-run with the same settings
 // reloads them instead of re-simulating. -progress periodically reports
 // cells completed, cache hits, and elapsed time to stderr.
+//
+// The run shuts down in an orderly way: the first SIGINT/SIGTERM drains
+// (in-flight cells finish and are cached, no new work is dispatched, the
+// metrics snapshot and cache stats are still flushed, exit 130); a second
+// signal aborts immediately. -max-duration sets a wall-clock budget that
+// cancels in-flight work promptly and exits 124. Either way, rerunning
+// the same command with the same -cache-dir resumes from the completed
+// cells.
 //
 // With -metrics-out, the run's full metrics snapshot is written on exit:
 // JSON by default, Prometheus text exposition format when the file name
@@ -28,12 +36,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"teva/internal/artifact"
@@ -58,6 +70,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot here on exit (JSON; Prometheus text if the name ends in .prom or .txt)")
 	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile to this file")
 	pprofMem := flag.String("pprof-mem", "", "write a heap profile to this file on exit")
+	maxDuration := flag.Duration("max-duration", 0, "wall-clock budget; when exceeded, in-flight work is canceled and the run exits 124 (0: unlimited)")
 	flag.Parse()
 
 	reg := newMetrics()
@@ -102,6 +115,13 @@ func main() {
 		cfg.Artifacts = store
 	}
 
+	ctx := context.Background()
+	if *maxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *maxDuration)
+		defer cancel()
+	}
+
 	start := time.Now()
 	fmt.Printf("teva-experiments: scale=%s runs/cell=%d seed=%#x\n",
 		opts.Scale, opts.Runs, *seed)
@@ -111,8 +131,24 @@ func main() {
 	}
 	fmt.Printf("substrate: %d-gate FPU calibrated to CLK %.0f ps (built in %s)\n",
 		f.FPU.NumGates(), f.FPU.CLK, time.Since(start).Round(time.Millisecond))
-	env := experiments.NewEnv(f, opts)
+	env := experiments.NewEnvContext(ctx, f, opts)
 	out := os.Stdout
+
+	// Two-stage shutdown: the first SIGINT/SIGTERM drains — in-flight
+	// cells finish and land in the artifact cache, remaining dispatch
+	// stops, and the tail of main still flushes metrics and cache stats.
+	// A second signal hard-exits without waiting.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr,
+			"teva-experiments: %s received: draining in-flight cells, then flushing (repeat to abort immediately)\n", sig)
+		env.Drain()
+		sig = <-sigCh
+		fmt.Fprintf(os.Stderr, "teva-experiments: second %s: aborting now\n", sig)
+		os.Exit(130)
+	}()
 
 	if *progress {
 		stop := make(chan struct{})
@@ -140,13 +176,23 @@ func main() {
 		selected[strings.TrimSpace(name)] = true
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
+	interrupted := false
 	run := func(name string, fn func() error) {
-		if !want(name) {
+		if !want(name) || interrupted {
+			return
+		}
+		if env.Draining() {
+			interrupted = true
 			return
 		}
 		t0 := time.Now()
 		sp := reg.Phase("exp/" + name)
 		if err := fn(); err != nil {
+			if isInterrupt(err) {
+				interrupted = true
+				fmt.Fprintf(os.Stderr, "teva-experiments: %s interrupted: %v\n", name, err)
+				return
+			}
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		sp.End()
@@ -306,13 +352,21 @@ func main() {
 		}
 		return nil
 	})
-	if want("fig9") || want("avm") {
+	if (want("fig9") || want("avm")) && !interrupted && !env.Draining() {
 		sp := reg.Phase("exp/campaigns")
 		cs, err := experiments.RunCampaigns(env)
-		if err != nil {
+		switch {
+		case err == nil:
+			sp.End()
+		case isInterrupt(err):
+			// Completed cells are already in the cache; rendering a
+			// partial matrix would make stdout depend on the abort
+			// point, so skip the figures and report on stderr.
+			interrupted = true
+			fmt.Fprintf(os.Stderr, "teva-experiments: campaigns interrupted: %v\n", err)
+		default:
 			fatal(err)
 		}
-		sp.End()
 		run("fig9", func() error {
 			experiments.RenderFig9(out, cs)
 			if *csvDir != "" {
@@ -345,7 +399,31 @@ func main() {
 	// Diagnostic, and cache-dependent (a warm cache skips work): stderr,
 	// like the cache-stats line, so stdout stays run-to-run identical.
 	fmt.Fprintf(os.Stderr, "%s\n", snap.Summary())
+	if interrupted || env.Draining() {
+		code := 130
+		reason := "interrupted by signal"
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			code = 124
+			reason = fmt.Sprintf("-max-duration %s exceeded", *maxDuration)
+		}
+		fmt.Fprintf(os.Stderr, "teva-experiments: run stopped early (%s); completed cells were flushed\n", reason)
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "teva-experiments: resume by rerunning the same command with -cache-dir %s (finished cells reload from cache)\n", *cacheDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "teva-experiments: add -cache-dir DIR to make interrupted runs resumable")
+		}
+		os.Exit(code)
+	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// isInterrupt reports whether err is (or wraps) one of the orderly-stop
+// sentinels — a drained run, a canceled context, or an expired
+// -max-duration budget — as opposed to a real per-cell failure.
+func isInterrupt(err error) bool {
+	return errors.Is(err, experiments.ErrDrained) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 // newMetrics builds the run's registry with a real monotonic clock. The

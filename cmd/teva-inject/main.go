@@ -15,15 +15,24 @@
 // campaign.* counters, phase timers) is written on exit: JSON by
 // default, Prometheus text when the file name ends in .prom or .txt.
 // -pprof-cpu/-pprof-mem write standard runtime/pprof profiles.
+//
+// The first SIGINT/SIGTERM cancels the campaign; the metrics snapshot is
+// still flushed before the process exits 130. A second signal aborts
+// immediately. -max-duration bounds the whole run the same way (exit
+// 124).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"teva/internal/campaign"
@@ -48,10 +57,34 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot here on exit (JSON; Prometheus text if the name ends in .prom or .txt)")
 	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile to this file")
 	pprofMem := flag.String("pprof-mem", "", "write a heap profile to this file on exit")
+	maxDuration := flag.Duration("max-duration", 0, "wall-clock budget; when exceeded, the campaign is canceled and the run exits 124 (0: unlimited)")
 	flag.Parse()
 
 	reg := newMetrics()
 	stopProfiles := startProfiles(*pprofCPU, *pprofMem)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *maxDuration > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *maxDuration)
+		defer cancel()
+	}
+
+	// Two-stage shutdown: the first SIGINT/SIGTERM cancels the campaign
+	// context (model development and injection runs abort promptly, then
+	// main's tail flushes the metrics snapshot); a second signal
+	// hard-exits without waiting.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr,
+			"teva-inject: %s received: canceling the campaign (repeat to abort immediately)\n", sig)
+		cancel()
+		sig = <-sigCh
+		fmt.Fprintf(os.Stderr, "teva-inject: second %s: aborting now\n", sig)
+		os.Exit(130)
+	}()
 
 	if *workloadName == "" {
 		fatal(fmt.Errorf("-workload is required (one of %v)", workloads.Names()))
@@ -86,13 +119,21 @@ func main() {
 		}
 		switch strings.ToLower(*modelName) {
 		case "ia":
-			model = f.DevelopIA(level)
+			m, err := f.DevelopIACtx(ctx, level)
+			if err != nil {
+				exitOnErr(err, reg, *metricsOut, *maxDuration)
+			}
+			model = m
 		case "wa":
 			tr, err := f.CaptureTrace(w)
 			if err != nil {
 				fatal(err)
 			}
-			model = f.DevelopWA(level, tr)
+			m, err := f.DevelopWACtx(ctx, level, tr)
+			if err != nil {
+				exitOnErr(err, reg, *metricsOut, *maxDuration)
+			}
+			model = m
 		case "da":
 			ws, err := workloads.All(scale)
 			if err != nil {
@@ -106,9 +147,9 @@ func main() {
 				}
 				trs = append(trs, tr)
 			}
-			model, err = f.DevelopDA(level, trs)
+			model, err = f.DevelopDACtx(ctx, level, trs)
 			if err != nil {
-				fatal(err)
+				exitOnErr(err, reg, *metricsOut, *maxDuration)
 			}
 		default:
 			fatal(fmt.Errorf("unknown model %q", *modelName))
@@ -122,9 +163,9 @@ func main() {
 	fmt.Printf("injecting: %s into %s (%s scale), %d runs\n",
 		model.Describe(), w.Name, scale, n)
 	start := time.Now()
-	res, err := f.Evaluate(w, model, n)
+	res, err := f.EvaluateCtx(ctx, w, model, n)
 	if err != nil {
-		fatal(err)
+		exitOnErr(err, reg, *metricsOut, *maxDuration)
 	}
 	fmt.Printf("\ngolden run: %d instructions, %d cycles\n", res.GoldenInstret, res.GoldenCycles)
 	fmt.Printf("outcomes over %d runs (%s):\n", res.Runs, time.Since(start).Round(time.Millisecond))
@@ -216,6 +257,31 @@ func parseScale(name string) (workloads.Scale, error) {
 		return workloads.Full, nil
 	}
 	return 0, fmt.Errorf("unknown scale %q", name)
+}
+
+// exitOnErr handles a campaign-phase failure. An orderly stop (canceled
+// by signal or an expired -max-duration budget) still flushes the
+// metrics snapshot and exits with the conventional code — 130 for a
+// signal, 124 for a timeout; any other error is fatal.
+func exitOnErr(err error, reg *obs.Registry, metricsOut string, maxDuration time.Duration) {
+	canceled := errors.Is(err, context.Canceled)
+	deadline := errors.Is(err, context.DeadlineExceeded)
+	if !canceled && !deadline {
+		fatal(err)
+	}
+	snap := reg.Snapshot()
+	if metricsOut != "" {
+		writeMetrics(metricsOut, snap)
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", snap.Summary())
+	code := 130
+	reason := "interrupted by signal"
+	if deadline {
+		code = 124
+		reason = fmt.Sprintf("-max-duration %s exceeded", maxDuration)
+	}
+	fmt.Fprintf(os.Stderr, "teva-inject: campaign stopped early (%s)\n", reason)
+	os.Exit(code)
 }
 
 func fatal(err error) {

@@ -11,12 +11,22 @@
 //
 //   - Entries are written atomically (temp file + rename), so a killed
 //     run never leaves a half-written artifact behind.
-//   - Every envelope carries a schema version and its own canonical key;
-//     a version mismatch, key mismatch (hash collision) or undecodable
-//     file is treated as a cache miss, never as an error.
-//   - Hit/miss/write tallies are obs registry counters (atomic adds), so
-//     a progress reporter can poll them from another goroutine and a
-//     -metrics-out snapshot includes cache behavior for free.
+//   - Every envelope carries a schema version, its own canonical key and
+//     a SHA-256 checksum of the payload; a version mismatch, key mismatch
+//     (hash collision), checksum mismatch (torn or bit-flipped entry) or
+//     undecodable file is treated as a cache miss, never as an error and
+//     never as a silently-wrong hit.
+//   - Writes retry with bounded backoff before reporting failure, so a
+//     transient I/O hiccup (briefly full disk, NFS blip) costs a pause
+//     instead of a lost cache entry. A write that still fails is counted
+//     and surfaced as an error — results are unaffected either way, the
+//     entry is simply recomputed next run.
+//   - Filesystem access goes through the FS interface, so the chaos
+//     harness (internal/chaos) can inject faults deterministically and
+//     prove every failure mode degrades to a miss or a counted error.
+//   - Hit/miss/write/retry tallies are obs registry counters (atomic
+//     adds), so a progress reporter can poll them from another goroutine
+//     and a -metrics-out snapshot includes cache behavior for free.
 //
 // A nil *Store is valid and behaves as an always-miss, drop-writes store,
 // so call sites need no conditionals when caching is disabled.
@@ -30,15 +40,17 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"teva/internal/obs"
 )
 
-// SchemaVersion is bumped whenever the serialized payload layout of any
+// SchemaVersion is bumped whenever the serialized envelope layout of any
 // artifact kind changes incompatibly (field renames, semantic changes to
 // stored statistics). Entries written under another version are treated
 // as misses, so stale caches age out instead of corrupting results.
-const SchemaVersion = 1
+// Version 2 added the payload checksum.
+const SchemaVersion = 2
 
 // Key identifies one artifact. Kind namespaces the artifact family; ID is
 // the canonical, human-readable encoding of every input that determines
@@ -81,34 +93,104 @@ func (k Key) filename() string {
 	return k.Kind + "-" + hex.EncodeToString(h[:12]) + ".json"
 }
 
+// FS abstracts the filesystem operations the store performs, so the
+// chaos harness can wrap them with deterministic fault injection. The
+// production implementation is OSFS.
+type FS interface {
+	// MkdirAll creates the store directory (and parents) if needed.
+	MkdirAll(dir string) error
+	// ReadFile returns the full contents of the named file.
+	ReadFile(name string) ([]byte, error)
+	// WriteFileAtomic writes data to dir/name atomically (temp file +
+	// rename): a concurrent reader observes either the old entry or the
+	// new one, never a torn write, and a failed write leaves no temp
+	// file behind.
+	WriteFileAtomic(dir, name string, data []byte) error
+}
+
+// OSFS is the production FS backed by the os package.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// WriteFileAtomic implements FS: temp file in the same directory, write,
+// close, rename. Any failure removes the temp file.
+func (OSFS) WriteFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
 // Stats is a snapshot of the store's counters.
 type Stats struct {
 	// Hits counts successful loads, Misses failed ones (absent entries
 	// plus the Corrupt subset), Writes persisted artifacts.
 	Hits, Misses, Writes int64
 	// Corrupt counts entries that existed but failed to decode or
-	// carried a stale schema/mismatched key.
+	// carried a stale schema, mismatched key, or bad payload checksum.
 	Corrupt int64
+	// Retries counts Save attempts repeated after a transient write
+	// failure; WriteErrors counts Saves that failed even after retrying.
+	Retries, WriteErrors int64
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d hits, %d misses (%d corrupt), %d written",
-		s.Hits, s.Misses, s.Corrupt, s.Writes)
+	return fmt.Sprintf("%d hits, %d misses (%d corrupt), %d written (%d retries, %d write errors)",
+		s.Hits, s.Misses, s.Corrupt, s.Writes, s.Retries, s.WriteErrors)
 }
 
 // Metric names published by the store. The obsnames analyzer requires
 // registration through constants so the namespace is fixed at compile time.
 const (
-	MetricHits    = "artifact.hits"
-	MetricMisses  = "artifact.misses"
-	MetricWrites  = "artifact.writes"
-	MetricCorrupt = "artifact.corrupt"
+	MetricHits        = "artifact.hits"
+	MetricMisses      = "artifact.misses"
+	MetricWrites      = "artifact.writes"
+	MetricCorrupt     = "artifact.corrupt"
+	MetricRetries     = "artifact.retries"
+	MetricWriteErrors = "artifact.write_errors"
 )
+
+// saveAttempts bounds the write retry loop: the initial attempt plus two
+// retries with 1ms/4ms backoff. Transient failures (ENOSPC races, NFS
+// blips, chaos-injected faults) usually clear within that; anything more
+// persistent is not worth stalling the pipeline over, because a failed
+// save only costs a recompute on the next run.
+const saveAttempts = 3
+
+// saveBackoff returns the pause before retry attempt n (1-based).
+func saveBackoff(n int) time.Duration {
+	return time.Millisecond << (2 * (n - 1)) // 1ms, 4ms, ...
+}
 
 // Store is an on-disk artifact cache rooted at one directory.
 type Store struct {
-	dir                           string
+	dir string
+	fs  FS
+	// sleep pauses between write retries; injectable so tests (and the
+	// chaos suite) don't wait out real backoff.
+	sleep func(time.Duration)
+
 	hits, misses, writes, corrupt *obs.Counter
+	retries, writeErrors          *obs.Counter
 }
 
 // Open creates (if needed) and opens a store rooted at dir, with its
@@ -119,22 +201,47 @@ func Open(dir string) (*Store, error) { return OpenIn(dir, nil) }
 // -metrics-out snapshot reports cache behavior under the artifact.*
 // names. A nil reg falls back to a private registry.
 func OpenIn(dir string, reg *obs.Registry) (*Store, error) {
+	return OpenFS(dir, reg, OSFS{})
+}
+
+// OpenFS is OpenIn over an explicit filesystem — the seam the chaos
+// harness uses to inject faults underneath an otherwise-unmodified store.
+func OpenFS(dir string, reg *obs.Registry, fs FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("artifact: empty store directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("artifact: %w", err)
 	}
 	if reg == nil {
 		reg = obs.NewRegistry(nil)
 	}
 	return &Store{
-		dir:     dir,
-		hits:    reg.Counter(MetricHits),
-		misses:  reg.Counter(MetricMisses),
-		writes:  reg.Counter(MetricWrites),
-		corrupt: reg.Counter(MetricCorrupt),
+		dir:         dir,
+		fs:          fs,
+		sleep:       time.Sleep,
+		hits:        reg.Counter(MetricHits),
+		misses:      reg.Counter(MetricMisses),
+		writes:      reg.Counter(MetricWrites),
+		corrupt:     reg.Counter(MetricCorrupt),
+		retries:     reg.Counter(MetricRetries),
+		writeErrors: reg.Counter(MetricWriteErrors),
 	}, nil
+}
+
+// SetSleep replaces the retry backoff pause (nil restores time.Sleep).
+// Tests use this to make write-failure paths instantaneous.
+func (s *Store) SetSleep(sleep func(time.Duration)) {
+	if s == nil {
+		return
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	s.sleep = sleep
 }
 
 // Dir returns the store's root directory ("" for a nil store).
@@ -151,30 +258,42 @@ func (s *Store) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:    s.hits.Value(),
-		Misses:  s.misses.Value(),
-		Writes:  s.writes.Value(),
-		Corrupt: s.corrupt.Value(),
+		Hits:        s.hits.Value(),
+		Misses:      s.misses.Value(),
+		Writes:      s.writes.Value(),
+		Corrupt:     s.corrupt.Value(),
+		Retries:     s.retries.Value(),
+		WriteErrors: s.writeErrors.Value(),
 	}
 }
 
-// envelope is the on-disk JSON layout.
+// envelope is the on-disk JSON layout. Sum is the hex SHA-256 of the
+// payload bytes: without it, a single flipped bit inside a numeric field
+// would still parse as valid JSON and surface as a silently-wrong hit.
 type envelope struct {
 	Schema  int             `json:"schema"`
 	Kind    string          `json:"kind"`
 	ID      string          `json:"id"`
+	Sum     string          `json:"sum"`
 	Payload json.RawMessage `json:"payload"`
+}
+
+// payloadSum computes the envelope checksum of payload bytes.
+func payloadSum(body []byte) string {
+	h := sha256.Sum256(body)
+	return hex.EncodeToString(h[:])
 }
 
 // Load looks the key up and decodes its payload into out. It returns
 // false on any miss: absent entry, unreadable file, stale schema, key
-// collision, or payload that does not decode into out. Corrupt entries
-// never surface as errors — the caller just recomputes and overwrites.
+// collision, checksum mismatch, or payload that does not decode into out.
+// Corrupt entries never surface as errors — the caller just recomputes
+// and overwrites.
 func (s *Store) Load(k Key, out any) bool {
 	if s == nil {
 		return false
 	}
-	raw, err := os.ReadFile(filepath.Join(s.dir, k.filename()))
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, k.filename()))
 	if err != nil {
 		s.misses.Add(1)
 		return false
@@ -182,6 +301,7 @@ func (s *Store) Load(k Key, out any) bool {
 	var env envelope
 	if json.Unmarshal(raw, &env) != nil ||
 		env.Schema != SchemaVersion || env.Kind != k.Kind || env.ID != k.ID ||
+		env.Sum != payloadSum(env.Payload) ||
 		json.Unmarshal(env.Payload, out) != nil {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
@@ -191,41 +311,41 @@ func (s *Store) Load(k Key, out any) bool {
 	return true
 }
 
-// Save persists the payload under the key, atomically: the envelope is
-// written to a temp file in the store directory and renamed into place,
-// so concurrent readers see either the old entry or the new one, never a
-// torn write. Saving on a nil store is a no-op.
+// Save persists the payload under the key, atomically and with bounded
+// retry: a transient write failure is retried saveAttempts times with
+// short backoff (each retry counted on artifact.retries) before the Save
+// reports an error (counted on artifact.write_errors). Failures never
+// corrupt the store — the atomic write discipline means the previous
+// entry, if any, stays intact. Saving on a nil store is a no-op.
 func (s *Store) Save(k Key, payload any) error {
 	if s == nil {
 		return nil
 	}
 	body, err := json.Marshal(payload)
 	if err != nil {
+		// Marshal failures are deterministic, not transient: no retry.
+		s.writeErrors.Add(1)
 		return fmt.Errorf("artifact: marshal %s: %w", k.Kind, err)
 	}
 	raw, err := json.Marshal(envelope{
-		Schema: SchemaVersion, Kind: k.Kind, ID: k.ID, Payload: body,
+		Schema: SchemaVersion, Kind: k.Kind, ID: k.ID,
+		Sum: payloadSum(body), Payload: body,
 	})
 	if err != nil {
+		s.writeErrors.Add(1)
 		return fmt.Errorf("artifact: marshal envelope: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("artifact: %w", err)
-	}
-	_, werr := tmp.Write(raw)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr == nil {
-			werr = cerr
+	var werr error
+	for attempt := 1; attempt <= saveAttempts; attempt++ {
+		if attempt > 1 {
+			s.retries.Add(1)
+			s.sleep(saveBackoff(attempt - 1))
 		}
-		return fmt.Errorf("artifact: write %s: %w", k.Kind, werr)
+		if werr = s.fs.WriteFileAtomic(s.dir, k.filename(), raw); werr == nil {
+			s.writes.Add(1)
+			return nil
+		}
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, k.filename())); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("artifact: %w", err)
-	}
-	s.writes.Add(1)
-	return nil
+	s.writeErrors.Add(1)
+	return fmt.Errorf("artifact: write %s (%d attempts): %w", k.Kind, saveAttempts, werr)
 }

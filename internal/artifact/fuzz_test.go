@@ -1,0 +1,88 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzKey is the fixed lookup key the fuzzer aims adversarial bytes at.
+func fuzzKey() Key {
+	return CampaignKey("cg", "WA", "VR20", 24, 0xF00D, true, "scale=tiny")
+}
+
+// validEnvelope builds a well-formed entry for k.
+func validEnvelope(k Key, body []byte) []byte {
+	raw, err := json.Marshal(envelope{
+		Schema: SchemaVersion, Kind: k.Kind, ID: k.ID,
+		Sum: payloadSum(body), Payload: body,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// FuzzEnvelopeDecode feeds arbitrary bytes to the store's Load path. The
+// invariant under fuzz: Load never panics, and it returns true only for
+// an entry that fully re-verifies (current schema, matching key, intact
+// checksum, decodable payload) — arbitrary, truncated or bit-flipped
+// input must always degrade to a miss, never a silently-wrong hit.
+func FuzzEnvelopeDecode(f *testing.F) {
+	k := fuzzKey()
+	body := []byte(`{"Name":"cell","Masks":[1,2,3],"Hist":[0,1,0]}`)
+	valid := validEnvelope(k, body)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2]) // truncated mid-envelope
+	// Flipped schema version: well-formed, wrong generation.
+	stale, _ := json.Marshal(envelope{
+		Schema: SchemaVersion + 1, Kind: k.Kind, ID: k.ID,
+		Sum: payloadSum(body), Payload: body,
+	})
+	f.Add(stale)
+	// Key-mismatch collision: a valid envelope for a different key
+	// occupying this key's file (simulated filename-hash collision).
+	other := SummaryKey("random", "fp-mul.d", 1.25, 1, 100, false)
+	f.Add(validEnvelope(other, body))
+	// One flipped bit inside the payload: valid JSON, wrong numbers.
+	flipped := append([]byte(nil), valid...)
+	if i := bytes.Index(flipped, []byte("[1,2,3]")); i >= 0 {
+		flipped[i+1] ^= 0x04 // '1' -> '5'
+	}
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Join(s.Dir(), k.filename())
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out payload
+		ok := s.Load(k, &out) // must never panic
+		if !ok {
+			return
+		}
+		// A reported hit must be a true hit: the raw bytes must decode to
+		// an envelope whose every integrity field checks out.
+		var env envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatalf("hit from undecodable bytes: %q", data)
+		}
+		if env.Schema != SchemaVersion || env.Kind != k.Kind || env.ID != k.ID {
+			t.Fatalf("hit with mismatched identity: %+v", env)
+		}
+		if env.Sum != payloadSum(env.Payload) {
+			t.Fatalf("hit with bad checksum: sum=%s payload=%s", env.Sum, env.Payload)
+		}
+		var check payload
+		if err := json.Unmarshal(env.Payload, &check); err != nil {
+			t.Fatalf("hit whose payload does not decode: %v", err)
+		}
+	})
+}

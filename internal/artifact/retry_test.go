@@ -1,0 +1,162 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// flakyFS fails the first n WriteFileAtomic calls, then delegates to OSFS.
+type flakyFS struct {
+	failures int
+	calls    int
+}
+
+func (f *flakyFS) MkdirAll(dir string) error            { return OSFS{}.MkdirAll(dir) }
+func (f *flakyFS) ReadFile(name string) ([]byte, error) { return OSFS{}.ReadFile(name) }
+
+func (f *flakyFS) WriteFileAtomic(dir, name string, data []byte) error {
+	f.calls++
+	if f.calls <= f.failures {
+		return errors.New("flaky: injected transient write failure")
+	}
+	return OSFS{}.WriteFileAtomic(dir, name, data)
+}
+
+func openFlaky(t *testing.T, failures int) (*Store, *flakyFS) {
+	t.Helper()
+	fs := &flakyFS{failures: failures}
+	s, err := OpenFS(t.TempDir(), nil, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSleep(func(time.Duration) {}) // no real backoff in tests
+	return s, fs
+}
+
+func TestSaveRetriesTransientWriteFailures(t *testing.T) {
+	s, fs := openFlaky(t, 2) // first two attempts fail, third succeeds
+	k := SummaryKey("random", "fp-mul.d", 1.25, 1, 10, false)
+	if err := s.Save(k, payload{Name: "persisted"}); err != nil {
+		t.Fatalf("save must survive transient failures: %v", err)
+	}
+	if fs.calls != 3 {
+		t.Fatalf("want 3 write attempts, got %d", fs.calls)
+	}
+	st := s.Stats()
+	if st.Retries != 2 || st.Writes != 1 || st.WriteErrors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	var out payload
+	if !s.Load(k, &out) || out.Name != "persisted" {
+		t.Fatal("retried save must be loadable")
+	}
+}
+
+func TestSaveGivesUpAfterBoundedRetries(t *testing.T) {
+	s, fs := openFlaky(t, 1000) // never succeeds
+	k := SummaryKey("random", "fp-add.d", 1.0, 1, 10, false)
+	err := s.Save(k, payload{Name: "doomed"})
+	if err == nil {
+		t.Fatal("persistent write failure must surface as an error")
+	}
+	if fs.calls != saveAttempts {
+		t.Fatalf("want exactly %d bounded attempts, got %d", saveAttempts, fs.calls)
+	}
+	st := s.Stats()
+	if st.WriteErrors != 1 || st.Writes != 0 || st.Retries != saveAttempts-1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The failed save must not have left anything behind for Load.
+	var out payload
+	if s.Load(k, &out) {
+		t.Fatal("failed save must not be loadable")
+	}
+}
+
+func TestMarshalFailureDoesNotRetry(t *testing.T) {
+	s, fs := openFlaky(t, 0)
+	err := s.Save(SummaryKey("x", "op", 1, 1, 1, false), func() {}) // unmarshalable
+	if err == nil {
+		t.Fatal("marshal failure must error")
+	}
+	if fs.calls != 0 {
+		t.Fatal("marshal failure must not reach the filesystem")
+	}
+	if st := s.Stats(); st.WriteErrors != 1 || st.Retries != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBitFlippedPayloadIsMissNotWrongHit(t *testing.T) {
+	s := openStore(t)
+	k := CampaignKey("cg", "WA", "VR20", 24, 7, true, "tiny")
+	if err := s.Save(k, payload{Name: "truth", Hist: []int{10, 20, 30}}); err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(s.Dir(), k.filename())
+	raw, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside a numeric payload field: the result is still
+	// valid JSON with a valid schema/kind/id, so only the checksum can
+	// catch it. "10" lives inside the payload; 0x31('1')^0x08 = 0x39('9').
+	i := strings.Index(string(raw), "[10,20,30]")
+	if i < 0 {
+		t.Fatalf("fixture drifted: payload array not found in %s", raw)
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[i+1] ^= 0x08
+	if err := os.WriteFile(name, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Load(k, &out) {
+		t.Fatalf("bit-flipped entry surfaced as a hit: %+v", out)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWriteFileAtomicLeavesNoTempOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	// Writing into a subdirectory that doesn't exist fails at rename/creat.
+	if err := (OSFS{}).WriteFileAtomic(filepath.Join(dir, "missing"), "x.json", []byte("data")); err == nil {
+		t.Fatal("write into a missing dir must fail")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Fatalf("temp residue after failed write: %s", e.Name())
+	}
+}
+
+// Guard against backoff schedule regressions: bounded and short.
+func TestSaveBackoffIsBounded(t *testing.T) {
+	var total time.Duration
+	for n := 1; n < saveAttempts; n++ {
+		total += saveBackoff(n)
+	}
+	if total > 100*time.Millisecond {
+		t.Fatalf("retry backoff budget too large: %v", total)
+	}
+}
+
+func TestStatsStringMentionsRetries(t *testing.T) {
+	s := Stats{Hits: 1, Misses: 2, Corrupt: 1, Writes: 3, Retries: 4, WriteErrors: 5}
+	str := s.String()
+	for _, want := range []string{"4 retries", "5 write errors"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("stats string %q missing %q", str, want)
+		}
+	}
+	_ = fmt.Sprint(s)
+}

@@ -8,15 +8,18 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"teva/internal/cpu"
 	"teva/internal/errmodel"
 	"teva/internal/fpu"
+	"teva/internal/guard"
 	"teva/internal/obs"
 	"teva/internal/prng"
 	"teva/internal/stats"
@@ -70,6 +73,12 @@ type Spec struct {
 	// Metrics, when non-nil, receives campaign.* counters (runs, injected
 	// errors, per-outcome tallies) and the injections-per-run histogram.
 	Metrics *obs.Registry
+	// Context, when non-nil, cancels the cell: workers stop picking up new
+	// runs once it is done and Run returns the context's error instead of
+	// a partial result. A partially sampled campaign would bias every
+	// statistic built on it, so cancellation always discards the cell —
+	// the artifact cache only ever sees complete cells.
+	Context context.Context
 }
 
 // Metric names published by Run. Per-outcome tallies are four separate
@@ -232,10 +241,20 @@ func runGolden(w *workloads.Workload) (*golden, error) {
 	return g, nil
 }
 
-// Run executes the campaign cell.
+// Run executes the campaign cell. Cancellation (Spec.Context) and worker
+// panics both abort the whole cell with an error — never a partial
+// Result — while a panic's identity (workload/model/level and stack) is
+// preserved through guard.PanicError for per-cell reporting upstream.
 func Run(spec Spec) (*Result, error) {
 	if spec.Runs <= 0 {
 		return nil, fmt.Errorf("campaign: non-positive run count")
+	}
+	ctx := spec.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sp := spec.Metrics.Phase("campaign")
 	defer sp.End()
@@ -267,55 +286,81 @@ func Run(spec Spec) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > spec.Runs {
+		workers = spec.Runs
+	}
 	type runOut struct {
 		outcome    Outcome
 		injections int64
 		crashKind  string
 	}
 	outs := make([]runOut, spec.Runs)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < spec.Runs; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			src := prng.New(spec.Seed + uint64(i)*0x9E3779B97F4A7C15 + 1)
-			var inj cpu.Injector
-			if spec.SingleInjection {
-				inj = errmodel.SingleInjector(spec.Model, errmodel.ExecProfile{
-					FPOps: g.fpops, TotalInstr: g.instret,
-				}, src)
+	oneRun := func(i int) {
+		src := prng.New(spec.Seed + uint64(i)*0x9E3779B97F4A7C15 + 1)
+		var inj cpu.Injector
+		if spec.SingleInjection {
+			inj = errmodel.SingleInjector(spec.Model, errmodel.ExecProfile{
+				FPOps: g.fpops, TotalInstr: g.instret,
+			}, src)
+		} else {
+			inj = spec.Model.NewInjector(src)
+		}
+		c := cpu.New(spec.Workload.Program, cpu.Config{
+			Injector:      inj,
+			TrapFPInvalid: true,
+		})
+		r := c.Run(budget)
+		var o Outcome
+		var kind string
+		switch r.Status {
+		case cpu.Crashed:
+			o = Crash
+			kind = crashKind(r.Reason)
+		case cpu.TimedOut:
+			o = Timeout
+		default:
+			w := spec.Workload
+			same := bytesEqual(c.Mem()[w.OutStart:w.OutStart+w.OutLen], g.out) &&
+				bytesEqual(c.Output(), g.console)
+			if same {
+				o = Masked
 			} else {
-				inj = spec.Model.NewInjector(src)
+				o = SDC
 			}
-			c := cpu.New(spec.Workload.Program, cpu.Config{
-				Injector:      inj,
-				TrapFPInvalid: true,
-			})
-			r := c.Run(budget)
-			var o Outcome
-			var kind string
-			switch r.Status {
-			case cpu.Crashed:
-				o = Crash
-				kind = crashKind(r.Reason)
-			case cpu.TimedOut:
-				o = Timeout
-			default:
-				w := spec.Workload
-				same := bytesEqual(c.Mem()[w.OutStart:w.OutStart+w.OutLen], g.out) &&
-					bytesEqual(c.Output(), g.console)
-				if same {
-					o = Masked
-				} else {
-					o = SDC
+		}
+		outs[i] = runOut{outcome: o, injections: r.Injections, crashKind: kind}
+	}
+	// Workers pull run indices from a shared counter so a canceled cell
+	// stops after the in-flight runs. A panicking run is recovered by the
+	// guard barrier into a labeled error; its worker dies but the others
+	// drain the remaining indices, so one poisoned run cannot hang the
+	// pool. Per-run results are pure functions of (seed, index), so the
+	// pull order cannot change the aggregate.
+	cellID := fmt.Sprintf("%s/%s@%s", spec.Workload.Name, spec.Model.Kind(), spec.Model.Level())
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var sink guard.Sink
+	for w := 0; w < workers; w++ {
+		guard.Go(&wg, &sink, "campaign cell "+cellID, func() error {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= spec.Runs {
+					return nil
 				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				oneRun(i)
 			}
-			outs[i] = runOut{outcome: o, injections: r.Injections, crashKind: kind}
-		}(i)
+		})
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := sink.Join(); err != nil {
+		return nil, err
+	}
 	res.CrashKinds = make(map[string]int)
 	injections := make([]int64, len(outs))
 	for i, o := range outs {

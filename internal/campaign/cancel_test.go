@@ -1,0 +1,35 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"teva/internal/errmodel"
+)
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	w := tinyWorkload(t, "sobel")
+	m := errmodel.BuildDA("VR15", 0, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 8, Seed: 1, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res != nil {
+		t.Fatal("a canceled campaign must never return a partial result")
+	}
+}
+
+func TestRunNilContextIsBackground(t *testing.T) {
+	w := tinyWorkload(t, "sobel")
+	m := errmodel.BuildDA("VR15", 0, 1000)
+	res, err := Run(Spec{Workload: w, Model: m, Runs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 4 {
+		t.Fatalf("result %+v", res)
+	}
+}

@@ -1,0 +1,244 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"teva/internal/artifact"
+	"teva/internal/guard"
+	"teva/internal/obs"
+)
+
+type payload struct {
+	Name string
+	Vals []int
+}
+
+// noSleep disables real retry backoff on a store under test.
+func noSleep(s *artifact.Store) *artifact.Store {
+	s.SetSleep(func(time.Duration) {})
+	return s
+}
+
+func TestZeroOptionsIsTransparent(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := artifact.SummaryKey("random", "fp-mul.d", 1.25, 1, 100, false)
+	if err := s.Save(k, payload{Name: "clean", Vals: []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if !s.Load(k, &out) || out.Name != "clean" {
+		t.Fatal("pass-through store must round-trip")
+	}
+}
+
+// TestFaultDecisionsAreDeterministic replays the same operation sequence
+// against two independently constructed harnesses and requires identical
+// outcomes — the determinism contract for the chaos PRNG.
+func TestFaultDecisionsAreDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, WriteFail: 0.3, ReadFail: 0.2, TornRead: 0.2, FlipRead: 0.2}
+	trace := func() []string {
+		var log []string
+		fs := NewFS(memFS{files: map[string][]byte{}}, opts, nil)
+		for i := 0; i < 40; i++ {
+			name := []string{"a.json", "b.json", "c.json"}[i%3]
+			if i%2 == 0 {
+				err := fs.WriteFileAtomic("d", name, []byte("payload-payload-payload"))
+				log = append(log, "w:"+errString(err))
+			} else {
+				data, err := fs.ReadFile(name)
+				log = append(log, "r:"+errString(err)+":"+string(data))
+			}
+		}
+		return log
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFaultDecisionsIndependentOfInterleaving drives two paths from two
+// goroutines in scheduler-dependent order and checks each path saw the
+// same per-path fault sequence a serial run produces.
+func TestFaultDecisionsIndependentOfInterleaving(t *testing.T) {
+	opts := Options{Seed: 7, ReadFail: 0.5}
+	serial := func(path string) []string {
+		fs := NewFS(memFS{files: map[string][]byte{path: []byte("x")}}, opts, nil)
+		var log []string
+		for i := 0; i < 20; i++ {
+			_, err := fs.ReadFile(path)
+			log = append(log, errString(err))
+		}
+		return log
+	}
+	wantA, wantB := serial("a.json"), serial("b.json")
+
+	fs := NewFS(memFS{files: map[string][]byte{"a.json": []byte("x"), "b.json": []byte("x")}}, opts, nil)
+	logs := map[string][]string{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, path := range []string{"a.json", "b.json"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			var log []string
+			for i := 0; i < 20; i++ {
+				_, err := fs.ReadFile(path)
+				log = append(log, errString(err))
+			}
+			mu.Lock()
+			logs[path] = log
+			mu.Unlock()
+		}(path)
+	}
+	wg.Wait()
+	if strings.Join(logs["a.json"], ",") != strings.Join(wantA, ",") {
+		t.Fatalf("path a fault sequence depends on interleaving:\n got %v\nwant %v", logs["a.json"], wantA)
+	}
+	if strings.Join(logs["b.json"], ",") != strings.Join(wantB, ",") {
+		t.Fatalf("path b fault sequence depends on interleaving:\n got %v\nwant %v", logs["b.json"], wantB)
+	}
+}
+
+// TestChaosReadFaultsDegradeToMisses hammers a store whose reads fail,
+// tear, and bit-flip: every Load must either be a true hit (identical to
+// the saved payload) or a miss — never a mangled payload, never a panic.
+func TestChaosReadFaultsDegradeToMisses(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	s, err := OpenStore(t.TempDir(), reg, Options{
+		Seed: 0xC0FFEE, ReadFail: 0.2, TornRead: 0.2, FlipRead: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSleep(s)
+	k := artifact.CampaignKey("cg", "WA", "VR20", 24, 1, true, "t")
+	want := payload{Name: "truth", Vals: []int{3, 1, 4, 1, 5}}
+	if err := s.Save(k, want); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := 0, 0
+	for i := 0; i < 300; i++ {
+		var out payload
+		if s.Load(k, &out) {
+			hits++
+			if out.Name != want.Name || len(out.Vals) != 5 || out.Vals[4] != 5 {
+				t.Fatalf("iteration %d: corrupted hit %+v", i, out)
+			}
+		} else {
+			misses++
+		}
+	}
+	if hits == 0 || misses == 0 {
+		t.Fatalf("want a mix of clean hits and degraded misses, got %d/%d", hits, misses)
+	}
+	if faults, _ := func() (int64, int64) {
+		return reg.Counter(MetricFaultsInjected).Value(), 0
+	}(); faults == 0 {
+		t.Fatal("harness reported no injected faults")
+	}
+}
+
+// TestChaosWriteFaultsAreRetriedOrSurfaced: with a moderate write-failure
+// probability the store's bounded retry absorbs most faults; saves either
+// succeed (and verify) or return a clean error — and a failed save never
+// leaves a loadable or partial entry.
+func TestChaosWriteFaultsAreRetriedOrSurfaced(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	s, err := OpenStore(t.TempDir(), reg, Options{Seed: 99, WriteFail: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSleep(s)
+	saved, failed := 0, 0
+	for i := 0; i < 60; i++ {
+		k := artifact.SummaryKey("random", "op", float64(i), 1, i, false)
+		err := s.Save(k, payload{Name: "v", Vals: []int{i}})
+		var out payload
+		switch {
+		case err == nil:
+			saved++
+			if !s.Load(k, &out) || out.Vals[0] != i {
+				t.Fatalf("save %d reported success but does not load", i)
+			}
+		default:
+			failed++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if s.Load(k, &out) {
+				t.Fatalf("failed save %d left a loadable entry", i)
+			}
+		}
+	}
+	if saved == 0 {
+		t.Fatal("retry should rescue most writes at 40% per-attempt failure")
+	}
+	st := s.Stats()
+	if st.Retries == 0 {
+		t.Fatalf("expected retries under write chaos: %+v", st)
+	}
+	if int(st.WriteErrors) != failed {
+		t.Fatalf("write errors %d != surfaced failures %d", st.WriteErrors, failed)
+	}
+}
+
+// TestInjectedPanicsAreCatchable: panics fire only on matching paths and
+// are convertible by the guard barrier into named errors.
+func TestInjectedPanicsAreCatchable(t *testing.T) {
+	fs := NewFS(memFS{files: map[string][]byte{"campaign-x.json": []byte("d"), "dta-y.json": []byte("d")}},
+		Options{Seed: 5, Panic: 1.0, PanicOn: "campaign-"}, obs.NewRegistry(nil))
+	// Non-matching path: never panics.
+	if _, err := fs.ReadFile("dta-y.json"); err != nil {
+		t.Fatalf("non-matching path must be untouched: %v", err)
+	}
+	err := guard.Recovered("cell cg/WA/VR20", func() error {
+		_, _ = fs.ReadFile("campaign-x.json")
+		return nil
+	})
+	if !guard.IsPanic(err) {
+		t.Fatalf("injected panic must cross the barrier as a PanicError: %v", err)
+	}
+	if !strings.Contains(err.Error(), PanicValue) || !strings.Contains(err.Error(), "cell cg/WA/VR20") {
+		t.Fatalf("panic error lost identity: %v", err)
+	}
+	if _, panics := fs.Injected(); panics != 1 {
+		t.Fatalf("panic counter %d", panics)
+	}
+}
+
+// memFS is a trivial in-memory artifact.FS for harness unit tests.
+type memFS struct {
+	files map[string][]byte
+}
+
+func (m memFS) MkdirAll(string) error { return nil }
+
+func (m memFS) ReadFile(name string) ([]byte, error) {
+	data, ok := m.files[name]
+	if !ok {
+		return nil, errors.New("memfs: not found")
+	}
+	return data, nil
+}
+
+func (m memFS) WriteFileAtomic(dir, name string, data []byte) error {
+	m.files[name] = append([]byte(nil), data...)
+	return nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}

@@ -14,7 +14,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"sync"
 
 	"teva/internal/artifact"
@@ -83,12 +85,18 @@ type Framework struct {
 	// the same level wait instead of duplicating the DTA work.
 	mu          sync.Mutex
 	randomCalls map[string]*summaryCall
+	// saveWarn rate-limits the cache-write-failure warning to once per
+	// framework: write errors are non-fatal (counted on
+	// artifact.write_errors) and a degraded disk would otherwise spam one
+	// line per summary.
+	saveWarn sync.Once
 }
 
 // summaryCall is one single-flight characterization slot.
 type summaryCall struct {
 	once sync.Once
 	sums map[fpu.Op]*dta.Summary
+	err  error
 }
 
 // New builds (and calibrates) the hardware substrate and returns the
@@ -121,6 +129,19 @@ func New(cfg Config) (*Framework, error) {
 	}, nil
 }
 
+// noteSaveErr surfaces a non-fatal artifact cache write failure: the
+// store already counted it on artifact.write_errors; here it becomes one
+// (and only one) stderr warning so a silently read-only cache directory
+// is visible without flooding the run's output.
+func (f *Framework) noteSaveErr(err error) {
+	if err == nil {
+		return
+	}
+	f.saveWarn.Do(func() {
+		fmt.Fprintf(os.Stderr, "teva: artifact cache write failed (non-fatal, results are recomputed next run): %v\n", err)
+	})
+}
+
 // randomPairs draws uniformly distributed operand encodings for an op.
 func randomPairs(op fpu.Op, n int, src *prng.Source) []dta.Pair {
 	w := op.OperandWidth()
@@ -141,6 +162,15 @@ func randomPairs(op fpu.Op, n int, src *prng.Source) []dta.Pair {
 // seeded independently of the others, so per-op summaries are stable
 // cache artifacts regardless of which ops were analyzed before them.
 func (f *Framework) RandomSummaries(level vscale.VRLevel) map[fpu.Op]*dta.Summary {
+	sums, _ := f.RandomSummariesCtx(context.Background(), level)
+	return sums
+}
+
+// RandomSummariesCtx is RandomSummaries with cooperative cancellation.
+// Cancellation mid-characterization never poisons the single-flight slot:
+// the aborted slot is discarded, so a later call (e.g. a resumed run)
+// recomputes instead of inheriting the cancellation error.
+func (f *Framework) RandomSummariesCtx(ctx context.Context, level vscale.VRLevel) (map[fpu.Op]*dta.Summary, error) {
 	f.mu.Lock()
 	call, ok := f.randomCalls[level.Name]
 	if !ok {
@@ -149,30 +179,46 @@ func (f *Framework) RandomSummaries(level vscale.VRLevel) map[fpu.Op]*dta.Summar
 	}
 	f.mu.Unlock()
 	call.once.Do(func() {
-		scale := f.Volt.ScaleFor(level)
-		out := make(map[fpu.Op]*dta.Summary, fpu.NumOps)
-		for _, op := range fpu.Ops() {
-			n := f.Cfg.RandomOperands
-			if op == fpu.DDiv || op == fpu.SDiv {
-				n /= 8 // the iterative divider is ~50x slower to analyze
-			}
-			opSeed := f.Cfg.Seed ^ 0x1A5EED ^ hashString("random/"+op.String())
-			key := artifact.SummaryKey("random", op.String(), scale, opSeed, n, f.Cfg.ExactTiming)
-			s := new(dta.Summary)
-			if f.Cfg.Artifacts.Load(key, s) {
-				out[op] = s
-				continue
-			}
-			pairs := randomPairs(op, n, prng.New(opSeed))
-			recs := dta.AnalyzeStreamObs(f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers, f.Cfg.Metrics)
-			out[op] = dta.Summarize(op, recs)
-			// Cache write failures are non-fatal: the summary is simply
-			// recomputed on the next run.
-			_ = f.Cfg.Artifacts.Save(key, out[op])
-		}
-		call.sums = out
+		call.sums, call.err = f.randomSummaries(ctx, level)
 	})
-	return call.sums
+	if call.err != nil {
+		f.mu.Lock()
+		if f.randomCalls[level.Name] == call {
+			delete(f.randomCalls, level.Name)
+		}
+		f.mu.Unlock()
+		return nil, call.err
+	}
+	return call.sums, nil
+}
+
+func (f *Framework) randomSummaries(ctx context.Context, level vscale.VRLevel) (map[fpu.Op]*dta.Summary, error) {
+	scale := f.Volt.ScaleFor(level)
+	out := make(map[fpu.Op]*dta.Summary, fpu.NumOps)
+	for _, op := range fpu.Ops() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n := f.Cfg.RandomOperands
+		if op == fpu.DDiv || op == fpu.SDiv {
+			n /= 8 // the iterative divider is ~50x slower to analyze
+		}
+		opSeed := f.Cfg.Seed ^ 0x1A5EED ^ hashString("random/"+op.String())
+		key := artifact.SummaryKey("random", op.String(), scale, opSeed, n, f.Cfg.ExactTiming)
+		s := new(dta.Summary)
+		if f.Cfg.Artifacts.Load(key, s) {
+			out[op] = s
+			continue
+		}
+		pairs := randomPairs(op, n, prng.New(opSeed))
+		recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers, f.Cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		out[op] = dta.Summarize(op, recs)
+		f.noteSaveErr(f.Cfg.Artifacts.Save(key, out[op]))
+	}
+	return out, nil
 }
 
 // WorkloadSummaries runs DTA over operands extracted from the workload
@@ -180,6 +226,12 @@ func (f *Framework) RandomSummaries(level vscale.VRLevel) map[fpu.Op]*dta.Summar
 // key folds in the trace's content fingerprint, so summaries from a
 // different workload scale or trace seed can never be confused.
 func (f *Framework) WorkloadSummaries(level vscale.VRLevel, tr *trace.Trace) map[fpu.Op]*dta.Summary {
+	sums, _ := f.WorkloadSummariesCtx(context.Background(), level, tr)
+	return sums
+}
+
+// WorkloadSummariesCtx is WorkloadSummaries with cooperative cancellation.
+func (f *Framework) WorkloadSummariesCtx(ctx context.Context, level vscale.VRLevel, tr *trace.Trace) (map[fpu.Op]*dta.Summary, error) {
 	scale := f.Volt.ScaleFor(level)
 	source := fmt.Sprintf("wl:%s:%#x", tr.Workload, tr.Fingerprint())
 	out := make(map[fpu.Op]*dta.Summary, fpu.NumOps)
@@ -187,6 +239,9 @@ func (f *Framework) WorkloadSummaries(level vscale.VRLevel, tr *trace.Trace) map
 		pool := tr.Pairs[op]
 		if len(pool) == 0 {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		n := f.Cfg.WorkloadOperands
 		if op == fpu.DDiv || op == fpu.SDiv {
@@ -207,11 +262,14 @@ func (f *Framework) WorkloadSummaries(level vscale.VRLevel, tr *trace.Trace) map
 		for i := range pairs {
 			pairs[i] = pool[rs.Intn(len(pool))]
 		}
-		recs := dta.AnalyzeStreamObs(f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers, f.Cfg.Metrics)
+		recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers, f.Cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
 		out[op] = dta.Summarize(op, recs)
-		_ = f.Cfg.Artifacts.Save(key, out[op])
+		f.noteSaveErr(f.Cfg.Artifacts.Save(key, out[op]))
 	}
-	return out
+	return out, nil
 }
 
 // CaptureTrace extracts the workload's operand trace (the model
@@ -225,6 +283,11 @@ func (f *Framework) CaptureTrace(w *workloads.Workload) (*trace.Trace, error) {
 // instruction distribution (instructions outside the FPU datapath cannot
 // fail and dilute the ratio, as in the paper's fixed-ER estimate).
 func (f *Framework) DevelopDA(level vscale.VRLevel, traces []*trace.Trace) (*errmodel.DAModel, error) {
+	return f.DevelopDACtx(context.Background(), level, traces)
+}
+
+// DevelopDACtx is DevelopDA with cooperative cancellation.
+func (f *Framework) DevelopDACtx(ctx context.Context, level vscale.VRLevel, traces []*trace.Trace) (*errmodel.DAModel, error) {
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("core: DA development needs workload traces")
 	}
@@ -239,7 +302,10 @@ func (f *Framework) DevelopDA(level vscale.VRLevel, traces []*trace.Trace) (*err
 	if totalInstr == 0 {
 		return nil, fmt.Errorf("core: empty traces")
 	}
-	sums := f.RandomSummaries(level)
+	sums, err := f.RandomSummariesCtx(ctx, level)
+	if err != nil {
+		return nil, err
+	}
 	// Expected faulty instructions in a DASample-sized mixed draw.
 	var faulty float64
 	for op, c := range opCounts {
@@ -251,27 +317,59 @@ func (f *Framework) DevelopDA(level vscale.VRLevel, traces []*trace.Trace) (*err
 
 // DevelopIA builds the instruction-aware model at the level.
 func (f *Framework) DevelopIA(level vscale.VRLevel) *errmodel.IAModel {
-	return errmodel.BuildIA(level.Name, f.RandomSummaries(level))
+	m, _ := f.DevelopIACtx(context.Background(), level)
+	return m
+}
+
+// DevelopIACtx is DevelopIA with cooperative cancellation.
+func (f *Framework) DevelopIACtx(ctx context.Context, level vscale.VRLevel) (*errmodel.IAModel, error) {
+	sums, err := f.RandomSummariesCtx(ctx, level)
+	if err != nil {
+		return nil, err
+	}
+	return errmodel.BuildIA(level.Name, sums), nil
 }
 
 // DevelopWA builds the workload-aware model for one benchmark trace.
 func (f *Framework) DevelopWA(level vscale.VRLevel, tr *trace.Trace) *errmodel.WAModel {
-	return errmodel.BuildWA(level.Name, tr.Workload, f.WorkloadSummaries(level, tr))
+	m, _ := f.DevelopWACtx(context.Background(), level, tr)
+	return m
+}
+
+// DevelopWACtx is DevelopWA with cooperative cancellation.
+func (f *Framework) DevelopWACtx(ctx context.Context, level vscale.VRLevel, tr *trace.Trace) (*errmodel.WAModel, error) {
+	sums, err := f.WorkloadSummariesCtx(ctx, level, tr)
+	if err != nil {
+		return nil, err
+	}
+	return errmodel.BuildWA(level.Name, tr.Workload, sums), nil
 }
 
 // Evaluate runs the application-evaluation phase for one cell with the
 // model injecting stochastically throughout each run.
 func (f *Framework) Evaluate(w *workloads.Workload, m errmodel.Model, runs int) (*campaign.Result, error) {
-	return f.evaluate(w, m, runs, false)
+	return f.evaluate(context.Background(), w, m, runs, false)
+}
+
+// EvaluateCtx is Evaluate with cooperative cancellation: workers stop
+// picking up injection runs once ctx is done and the cell errors out
+// instead of producing a partially sampled (statistically biased) result.
+func (f *Framework) EvaluateCtx(ctx context.Context, w *workloads.Workload, m errmodel.Model, runs int) (*campaign.Result, error) {
+	return f.evaluate(ctx, w, m, runs, false)
 }
 
 // EvaluateSingle runs the paper's statistical-fault-injection discipline:
 // exactly one injected error per run (Section V's 1068-run methodology).
 func (f *Framework) EvaluateSingle(w *workloads.Workload, m errmodel.Model, runs int) (*campaign.Result, error) {
-	return f.evaluate(w, m, runs, true)
+	return f.evaluate(context.Background(), w, m, runs, true)
 }
 
-func (f *Framework) evaluate(w *workloads.Workload, m errmodel.Model, runs int, single bool) (*campaign.Result, error) {
+// EvaluateSingleCtx is EvaluateSingle with cooperative cancellation.
+func (f *Framework) EvaluateSingleCtx(ctx context.Context, w *workloads.Workload, m errmodel.Model, runs int) (*campaign.Result, error) {
+	return f.evaluate(ctx, w, m, runs, true)
+}
+
+func (f *Framework) evaluate(ctx context.Context, w *workloads.Workload, m errmodel.Model, runs int, single bool) (*campaign.Result, error) {
 	return campaign.Run(campaign.Spec{
 		Workload:        w,
 		Model:           m,
@@ -280,6 +378,7 @@ func (f *Framework) evaluate(w *workloads.Workload, m errmodel.Model, runs int, 
 		Workers:         f.Cfg.Workers,
 		SingleInjection: single,
 		Metrics:         f.Cfg.Metrics,
+		Context:         ctx,
 	})
 }
 

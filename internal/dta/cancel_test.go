@@ -1,0 +1,44 @@
+package dta
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"teva/internal/fpu"
+	"teva/internal/vscale"
+)
+
+func TestAnalyzeStreamCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pairs := randPairs(fpu.DMul, 2*cancelChunk, 7)
+	recs, err := AnalyzeStreamCtx(ctx, testFPU, fpu.DMul,
+		testModel.ScaleFor(vscale.VR20), false, pairs, 2, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(recs) != len(pairs) {
+		t.Fatalf("record slice length %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.A != 0 || r.B != 0 || r.Golden != 0 {
+			t.Fatalf("record %d analyzed after cancellation: %+v", i, r)
+		}
+	}
+}
+
+func TestAnalyzeStreamCtxMatchesUncanceledPath(t *testing.T) {
+	pairs := randPairs(fpu.DAdd, 700, 3)
+	scale := testModel.ScaleFor(vscale.VR20)
+	want := AnalyzeStreamObs(testFPU, fpu.DAdd, scale, false, pairs, 1, nil)
+	got, err := AnalyzeStreamCtx(context.Background(), testFPU, fpu.DAdd, scale, false, pairs, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("record %d diverges under ctx path: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+}

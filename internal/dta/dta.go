@@ -14,6 +14,7 @@
 package dta
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -238,6 +239,24 @@ const (
 // cannot change them — so snapshots stay deterministic. A nil registry
 // records nothing.
 func AnalyzeStreamObs(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []Pair, workers int, m *obs.Registry) []Record {
+	records, _ := AnalyzeStreamCtx(context.Background(), f, op, scale, exact, pairs, workers, m)
+	return records
+}
+
+// cancelChunk is how many pairs a shard analyzes between cancellation
+// checks. Small enough that a canceled matrix run stops within
+// milliseconds, large enough that the check is free against the cost of a
+// gate-level walk.
+const cancelChunk = 256
+
+// AnalyzeStreamCtx is AnalyzeStreamObs with cooperative cancellation:
+// every shard checks ctx between cancelChunk-sized batches and abandons
+// the remainder once ctx is done. On cancellation the partially filled
+// records are returned alongside ctx.Err(); metrics are published only
+// for runs that complete, so interrupted runs cannot skew deterministic
+// snapshots. The success path is byte-identical to AnalyzeStreamObs for
+// any worker count.
+func AnalyzeStreamCtx(ctx context.Context, f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []Pair, workers int, m *obs.Registry) ([]Record, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -246,7 +265,7 @@ func AnalyzeStreamObs(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []
 	}
 	records := make([]Record, len(pairs))
 	if len(pairs) == 0 {
-		return records
+		return records, ctx.Err()
 	}
 	sp := m.Phase("dta")
 	chunk := (len(pairs) + workers - 1) / workers
@@ -272,11 +291,23 @@ func AnalyzeStreamObs(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []
 				// not from a pairs[lo]→pairs[lo] self-transition.
 				a.Warm(pairs[lo-1])
 			}
-			a.AnalyzeBatch(pairs[lo:hi], records[lo:hi])
+			for s := lo; s < hi; s += cancelChunk {
+				if ctx.Err() != nil {
+					return
+				}
+				e := s + cancelChunk
+				if e > hi {
+					e = hi
+				}
+				a.AnalyzeBatch(pairs[s:e], records[s:e])
+			}
 		}(lo, hi)
 	}
 	wg.Wait()
 	sp.End()
+	if err := ctx.Err(); err != nil {
+		return records, err
+	}
 	if m != nil {
 		cyclesPerPair := 0
 		for _, s := range f.Pipeline(op).Stages {
@@ -294,7 +325,7 @@ func AnalyzeStreamObs(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []
 		m.Counter(MetricViolations).Add(violations)
 		m.Counter(MetricShards).Add(int64(shards))
 	}
-	return records
+	return records, nil
 }
 
 // Summary aggregates a record set into the statistics the error models are

@@ -24,8 +24,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -93,6 +95,20 @@ type Env struct {
 	F    *core.Framework
 	Opts Options
 
+	// ctx is the environment's hard-cancellation context (wall-clock
+	// budget, fatal-error abort): once done, in-flight work stops at its
+	// next check and new cells are not dispatched.
+	ctx context.Context
+	// drain is the soft-stop channel: once closed (Drain), the matrix
+	// build dispatches no new cells but in-flight ones run to completion
+	// and reach the artifact cache, so a re-run resumes incrementally.
+	drain     chan struct{}
+	drainOnce sync.Once
+	// saveWarn rate-limits the non-fatal cache-write-failure warning to
+	// once per Env (the store counts every failure on
+	// artifact.write_errors regardless).
+	saveWarn sync.Once
+
 	ws      []*workloads.Workload
 	wsErr   error
 	wsOnce  sync.Once
@@ -114,10 +130,23 @@ type Env struct {
 // metrics registry, every memo reports its single-flight hit/miss tallies
 // under the experiments.* names.
 func NewEnv(f *core.Framework, opts Options) *Env {
+	return NewEnvContext(context.Background(), f, opts)
+}
+
+// NewEnvContext is NewEnv bound to a cancellation context: when ctx is
+// done (a -max-duration budget expired, or a hard failure aborted the
+// run), campaign cells and characterization streams stop at their next
+// cooperative check instead of running the matrix to completion.
+func NewEnvContext(ctx context.Context, f *core.Framework, opts Options) *Env {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m := f.Cfg.Metrics
 	return &Env{
 		F:       f,
 		Opts:    opts,
+		ctx:     ctx,
+		drain:   make(chan struct{}),
 		traces:  newMemoObs[*trace.Trace](m),
 		waSums:  newMemoObs[map[fpu.Op]*dta.Summary](m),
 		daBy:    newMemoObs[*errmodel.DAModel](m),
@@ -127,6 +156,39 @@ func NewEnv(f *core.Framework, opts Options) *Env {
 		streams: newMemoObs[*dta.Summary](m),
 		intUnit: newMemoObs[*alu.Unit](m),
 	}
+}
+
+// Drain requests a graceful stop: the matrix build dispatches no new
+// cells, in-flight cells complete and are cached, and RunCampaigns
+// returns the partial set alongside ErrDrained. Safe to call from any
+// goroutine, any number of times.
+func (e *Env) Drain() { e.drainOnce.Do(func() { close(e.drain) }) }
+
+// Draining reports whether a drain has been requested (or the hard
+// context is already done) — experiment drivers check it between
+// experiments to skip the remainder of a run being shut down.
+func (e *Env) Draining() bool {
+	select {
+	case <-e.drain:
+		return true
+	default:
+		return e.ctx.Err() != nil
+	}
+}
+
+// noteSaveError surfaces a non-fatal artifact cache write failure exactly
+// once per Env on stderr; every failure is counted by the store on
+// artifact.write_errors either way. Losing a cache write costs only
+// recomputation on the next run, so it must not fail the experiment — but
+// a silently read-only cache directory should not be silent.
+func (e *Env) noteSaveError(err error) {
+	if err == nil {
+		return
+	}
+	e.saveWarn.Do(func() {
+		fmt.Fprintf(os.Stderr, "teva: artifact cache write failed (non-fatal, counted on %s): %v\n",
+			artifact.MetricWriteErrors, err)
+	})
 }
 
 // Levels returns the evaluated voltage-reduction levels.
@@ -152,7 +214,7 @@ func (e *Env) WASummaries(level vscale.VRLevel, w *workloads.Workload) (map[fpu.
 		if err != nil {
 			return nil, err
 		}
-		return e.F.WorkloadSummaries(level, tr), nil
+		return e.F.WorkloadSummariesCtx(e.ctx, level, tr)
 	})
 }
 
@@ -171,16 +233,22 @@ func (e *Env) DAModel(level vscale.VRLevel) (*errmodel.DAModel, error) {
 			}
 			trs = append(trs, tr)
 		}
-		return e.F.DevelopDA(level, trs)
+		return e.F.DevelopDACtx(e.ctx, level, trs)
 	})
 }
 
 // IAModel returns (building once) the instruction-aware model at a level.
 func (e *Env) IAModel(level vscale.VRLevel) *errmodel.IAModel {
-	m, _ := e.iaBy.do(level.Name, func() (*errmodel.IAModel, error) {
-		return e.F.DevelopIA(level), nil
-	})
+	m, _ := e.IAModelErr(level)
 	return m
+}
+
+// IAModelErr is IAModel with the build error (a canceled or panicking
+// characterization) surfaced instead of swallowed.
+func (e *Env) IAModelErr(level vscale.VRLevel) (*errmodel.IAModel, error) {
+	return e.iaBy.do(level.Name, func() (*errmodel.IAModel, error) {
+		return e.F.DevelopIACtx(e.ctx, level)
+	})
 }
 
 // WAModel returns (building once) the workload-aware model for a cell.
@@ -199,6 +267,14 @@ func (e *Env) WAModel(level vscale.VRLevel, w *workloads.Workload) (*errmodel.WA
 // building its model at all — on a warm cache the whole matrix resolves
 // without a single simulation.
 func (e *Env) Cell(w *workloads.Workload, kind errmodel.Kind, level vscale.VRLevel) (*campaign.Result, error) {
+	return e.CellCtx(e.ctx, w, kind, level)
+}
+
+// CellCtx is Cell under an explicit cancellation context (RunCampaigns
+// passes its fail-fast inner context so in-flight cells abort promptly
+// once another cell hard-fails). A panic anywhere in the cell's model
+// build or campaign is recovered into an error labeled with the cell key.
+func (e *Env) CellCtx(ctx context.Context, w *workloads.Workload, kind errmodel.Kind, level vscale.VRLevel) (*campaign.Result, error) {
 	key := fmt.Sprintf("%s/%s/%s", w.Name, kind, level.Name)
 	return e.cells.do(key, func() (*campaign.Result, error) {
 		store := e.F.Cfg.Artifacts
@@ -216,7 +292,7 @@ func (e *Env) Cell(w *workloads.Workload, kind errmodel.Kind, level vscale.VRLev
 		case errmodel.DA:
 			m, err = e.DAModel(level)
 		case errmodel.IA:
-			m = e.IAModel(level)
+			m, err = e.IAModelErr(level)
 		case errmodel.WA:
 			m, err = e.WAModel(level, w)
 		default:
@@ -226,12 +302,14 @@ func (e *Env) Cell(w *workloads.Workload, kind errmodel.Kind, level vscale.VRLev
 			return nil, err
 		}
 		// Figures 9 and the AVM analysis use the paper's single-injection
-		// statistical discipline.
-		r, err := e.F.EvaluateSingle(w, m, e.Opts.Runs)
+		// statistical discipline. Cancellation discards the cell entirely
+		// (campaign.Run never returns partial results), so the store below
+		// only ever sees complete cells.
+		r, err := e.F.EvaluateSingleCtx(ctx, w, m, e.Opts.Runs)
 		if err != nil {
 			return nil, err
 		}
-		_ = store.Save(ak, r)
+		e.noteSaveError(store.Save(ak, r))
 		e.cellsDone.Add(1)
 		return r, nil
 	})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,6 +38,13 @@ func (cs *CampaignSet) Get(workload string, kind errmodel.Kind, level string) *c
 // without any simulation on a warm one. The assembled set is identical
 // to a serial build: every cell's campaign derives its own seed from
 // (workload, kind, level), independent of scheduling order.
+//
+// Failure semantics (see forEachLimit): the first hard error cancels the
+// remaining cells; a cell that panics is reported by name while the rest
+// of the matrix completes; a drain request stops dispatch but finishes
+// in-flight cells. In every one of those cases the returned set still
+// holds all cells that did complete (so partial results can be rendered
+// or inspected) alongside the errors.Join of what went wrong.
 func RunCampaigns(e *Env) (*CampaignSet, error) {
 	ws, err := e.Workloads()
 	if err != nil {
@@ -58,18 +66,23 @@ func RunCampaigns(e *Env) (*CampaignSet, error) {
 		}
 	}
 	e.cellsTotal.Store(int64(len(jobs)))
+	aborted := e.F.Cfg.Metrics.Counter(MetricCellsAborted)
 	results := make([]*campaign.Result, len(jobs))
-	if err := forEachLimit(e.workers(), len(jobs), func(i int) error {
-		r, err := e.Cell(jobs[i].w, jobs[i].kind, jobs[i].level)
+	err = forEachLimit(e.ctx, e.drain, e.workers(), len(jobs), func(ctx context.Context, i int) error {
+		r, err := e.CellCtx(ctx, jobs[i].w, jobs[i].kind, jobs[i].level)
+		if err != nil {
+			aborted.Inc()
+			return err
+		}
 		results[i] = r
-		return err
-	}); err != nil {
-		return nil, err
-	}
+		return nil
+	})
 	for i, j := range jobs {
-		cs.Cells[cellKey(j.w.Name, j.kind, j.level.Name)] = results[i]
+		if results[i] != nil {
+			cs.Cells[cellKey(j.w.Name, j.kind, j.level.Name)] = results[i]
+		}
 	}
-	return cs, nil
+	return cs, err
 }
 
 // RenderFig9 prints the outcome distributions and the aggregate crash
@@ -151,7 +164,10 @@ func Fig10(e *Env) (*Fig10Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			ia := e.IAModel(level)
+			ia, err := e.IAModelErr(level)
+			if err != nil {
+				return nil, err
+			}
 			wa, err := e.WAModel(level, w)
 			if err != nil {
 				return nil, err

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,27 +11,43 @@ import (
 	"teva/internal/artifact"
 	"teva/internal/dta"
 	"teva/internal/fpu"
+	"teva/internal/guard"
 	"teva/internal/obs"
 )
 
 // Metric names published by the experiment pipeline. A memo "hit" is a
 // do() call that found an existing entry (the single-flight dedup saved a
-// model build or campaign cell); a "miss" created the entry.
+// model build or campaign cell); a "miss" created the entry. Panics
+// recovered counts worker panics the memo barrier converted into labeled
+// per-cell errors; cells aborted counts matrix cells that ended in an
+// error instead of a result.
 const (
-	MetricMemoHits   = "experiments.memo_hits"
-	MetricMemoMisses = "experiments.memo_misses"
+	MetricMemoHits        = "experiments.memo_hits"
+	MetricMemoMisses      = "experiments.memo_misses"
+	MetricPanicsRecovered = "experiments.panics_recovered"
+	MetricCellsAborted    = "experiments.cells_aborted"
 )
+
+// ErrDrained reports that a soft drain request (first SIGINT) stopped the
+// matrix build before every cell was dispatched. The cells that finished
+// were cached as usual, so a re-run resumes from where the drain cut off.
+var ErrDrained = errors.New("experiments: run drained before completing the matrix")
 
 // memo is a generic single-flight lazy map: the first caller of a key
 // computes the value while concurrent callers of the same key block until
 // it is ready, so the parallel experiment pipeline never duplicates a
 // model build, trace capture, or campaign cell. Values (and errors) are
-// retained for the life of the Env.
+// retained for the life of the Env. A compute that panics is converted by
+// the guard barrier into an error labeled with the memo key (the cell
+// identity), so one poisoned cell reports itself instead of killing the
+// process — and instead of leaving waiters of the same key deadlocked on
+// a half-initialized entry.
 type memo[V any] struct {
 	mu      sync.Mutex
 	entries map[string]*memoEntry[V]
-	// hits/misses, when non-nil, tally do() lookups on the Env's registry.
-	hits, misses *obs.Counter
+	// hits/misses/panics, when non-nil, tally do() lookups and recovered
+	// compute panics on the Env's registry.
+	hits, misses, panics *obs.Counter
 }
 
 type memoEntry[V any] struct {
@@ -48,11 +66,13 @@ func newMemoObs[V any](m *obs.Registry) *memo[V] {
 	mm := newMemo[V]()
 	mm.hits = m.Counter(MetricMemoHits)
 	mm.misses = m.Counter(MetricMemoMisses)
+	mm.panics = m.Counter(MetricPanicsRecovered)
 	return mm
 }
 
 // do returns the memoized value for key, computing it with fn exactly
-// once across all goroutines.
+// once across all goroutines. A panicking fn is recorded as the entry's
+// error (a *guard.PanicError carrying the key and stack), never re-raised.
 func (m *memo[V]) do(key string, fn func() (V, error)) (V, error) {
 	m.mu.Lock()
 	e, ok := m.entries[key]
@@ -66,47 +86,99 @@ func (m *memo[V]) do(key string, fn func() (V, error)) (V, error) {
 	} else {
 		m.misses.Inc()
 	}
-	e.once.Do(func() { e.val, e.err = fn() })
+	e.once.Do(func() {
+		e.err = guard.Recovered(key, func() error {
+			var err error
+			e.val, err = fn()
+			return err
+		})
+		if guard.IsPanic(e.err) {
+			m.panics.Inc()
+		}
+	})
 	return e.val, e.err
 }
 
-// forEachLimit runs fn(i) for every i in [0, n) on at most workers
-// goroutines (errgroup-style bounded fan-out). Every task runs to
-// completion; the first error observed is returned.
-func forEachLimit(workers, n int, fn func(i int) error) error {
+// forEachLimit runs fn for every index in [0, n) on at most workers
+// goroutines, with the failure semantics the matrix build needs:
+//
+//   - Fail fast: the first hard error cancels the inner context and stops
+//     dispatch, so a 1000-cell matrix with a broken cell #3 does not burn
+//     hours finishing the other 997 before reporting.
+//   - Panic isolation: an error that is a recovered panic
+//     (guard.IsPanic) marks its cell poisoned but does NOT abort the
+//     rest — one bad cell is reported by name while the matrix completes.
+//   - Drain: a closed drain channel stops dispatching new tasks but lets
+//     in-flight ones finish (and be cached); the result then includes
+//     ErrDrained.
+//   - All failures are returned together via errors.Join; cancellation
+//     echoes from in-flight tasks aborted by the fail-fast are filtered
+//     out so the join names root causes only.
+func forEachLimit(ctx context.Context, drain <-chan struct{}, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
-		wg       sync.WaitGroup
-		next     atomic.Int64
-		errMu    sync.Mutex
-		firstErr error
+		wg      sync.WaitGroup
+		next    atomic.Int64
+		drained atomic.Bool
+		sink    guard.Sink
 	)
+	draining := func() bool {
+		if drain == nil {
+			return false
+		}
+		select {
+		case <-drain:
+			drained.Store(true)
+			return true
+		default:
+			return false
+		}
+	}
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		guard.Go(&wg, &sink, fmt.Sprintf("pipeline worker %d", w), func() error {
 			for {
+				if inner.Err() != nil || draining() {
+					return nil
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					return nil
 				}
-				if err := fn(i); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
+				err := fn(inner, i)
+				switch {
+				case err == nil:
+				case guard.IsPanic(err):
+					sink.Add(err)
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					// An in-flight task aborted by the fail-fast cancel (or
+					// by the caller's deadline); the root cause is already
+					// in the sink or is ctx's own error, reported below.
+				default:
+					sink.Add(err)
+					cancel()
 				}
 			}
-		}()
+		})
 	}
 	wg.Wait()
-	return firstErr
+	var errs []error
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := sink.Join(); err != nil {
+		errs = append(errs, err)
+	}
+	if drained.Load() {
+		errs = append(errs, ErrDrained)
+	}
+	return errors.Join(errs...)
 }
 
 // workers returns the pipeline's fan-out width.
@@ -168,7 +240,10 @@ func (e *Env) cachedSummary(tag string, op fpu.Op, scale float64, samples int, c
 			return sum, nil
 		}
 		sum = compute()
-		_ = store.Save(ak, sum)
+		// Cache write failures are non-fatal (the summary is recomputed
+		// next run): counted by the store on artifact.write_errors, warned
+		// about once per Env.
+		e.noteSaveError(store.Save(ak, sum))
 		return sum, nil
 	})
 	return s

@@ -1,0 +1,102 @@
+// Package guard provides the panic-isolation primitives for TEVA's
+// worker pools. The experiment pipeline fans a campaign matrix out over
+// hundreds of goroutines; without a barrier, a single panicking cell
+// (a simulator invariant violation, a corrupt model, an injected chaos
+// fault) kills the whole process and throws away every in-flight result.
+// guard converts panics at the worker boundary into ordinary errors that
+// carry the identity of the failing work unit plus the goroutine stack,
+// so one bad cell degrades to one named error while the rest of the
+// matrix completes.
+//
+// The panicbarrier analyzer in internal/lint enforces that every
+// goroutine launched inside internal/experiments and internal/campaign
+// routes through Go (or an equivalent Recovered-wrapped body), so the
+// barrier cannot silently erode as the pipeline grows.
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError is a worker panic converted into an error at the isolation
+// barrier. Label identifies the work unit that panicked (a campaign cell
+// key, a task index), Value is the recovered panic value, and Stack is
+// the panicking goroutine's stack captured at recovery time.
+type PanicError struct {
+	Label string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v\n%s", e.Label, e.Value, e.Stack)
+}
+
+// IsPanic reports whether err wraps a *PanicError anywhere in its tree —
+// the pipeline uses this to distinguish isolatable per-cell failures
+// (report, keep going) from hard errors (fail fast, cancel the rest).
+func IsPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// Recovered runs fn, converting a panic into a *PanicError labeled with
+// the work unit's identity. A nil return from fn stays nil; an error
+// return passes through unchanged.
+func Recovered(label string, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Label: label, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Sink collects errors from concurrent workers. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Sink struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+// Add records a non-nil error (nil is ignored, so workers can report
+// unconditionally).
+func (s *Sink) Add(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errs = append(s.errs, err)
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded errors.
+func (s *Sink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.errs)
+}
+
+// Join returns every recorded error combined with errors.Join (nil when
+// none were recorded), in the order they were added.
+func (s *Sink) Join() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return errors.Join(s.errs...)
+}
+
+// Go launches fn on a new goroutine registered on wg, with the panic
+// barrier installed: a panic inside fn is recovered into a *PanicError
+// and delivered, like any returned error, to sink. This is the required
+// launch path for worker goroutines in internal/experiments and
+// internal/campaign (enforced by the panicbarrier analyzer).
+func Go(wg *sync.WaitGroup, sink *Sink, label string, fn func() error) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sink.Add(Recovered(label, fn))
+	}()
+}

@@ -1,0 +1,96 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecoveredPassesThroughResults(t *testing.T) {
+	if err := Recovered("ok", func() error { return nil }); err != nil {
+		t.Fatalf("nil result mangled: %v", err)
+	}
+	want := errors.New("boom")
+	if err := Recovered("err", func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("error result mangled: %v", err)
+	}
+}
+
+func TestRecoveredConvertsPanic(t *testing.T) {
+	err := Recovered("cg/WA/VR20", func() error { panic("injected") })
+	if err == nil {
+		t.Fatal("panic must surface as an error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T", err)
+	}
+	if pe.Label != "cg/WA/VR20" || pe.Value != "injected" {
+		t.Fatalf("panic identity lost: %+v", pe)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "guard") {
+		t.Fatal("stack not captured")
+	}
+	if !IsPanic(err) {
+		t.Fatal("IsPanic must detect a bare PanicError")
+	}
+	wrapped := fmt.Errorf("cell failed: %w", err)
+	if !IsPanic(wrapped) || !IsPanic(errors.Join(errors.New("other"), wrapped)) {
+		t.Fatal("IsPanic must see through wrapping and joins")
+	}
+	if IsPanic(errors.New("plain")) || IsPanic(nil) {
+		t.Fatal("IsPanic false positives")
+	}
+}
+
+func TestSinkCollectsAndJoins(t *testing.T) {
+	var s Sink
+	s.Add(nil) // ignored
+	if s.Len() != 0 || s.Join() != nil {
+		t.Fatal("empty sink must join to nil")
+	}
+	e1, e2 := errors.New("one"), errors.New("two")
+	s.Add(e1)
+	s.Add(e2)
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	j := s.Join()
+	if !errors.Is(j, e1) || !errors.Is(j, e2) {
+		t.Fatalf("join lost errors: %v", j)
+	}
+}
+
+func TestGoIsolatesWorkerPanics(t *testing.T) {
+	var (
+		wg   sync.WaitGroup
+		sink Sink
+		mu   sync.Mutex
+		done []int
+	)
+	for i := 0; i < 16; i++ {
+		Go(&wg, &sink, fmt.Sprintf("task %d", i), func() error {
+			if i == 7 {
+				panic("worker 7 explodes")
+			}
+			mu.Lock()
+			done = append(done, i)
+			mu.Unlock()
+			return nil
+		})
+	}
+	wg.Wait()
+	if len(done) != 15 {
+		t.Fatalf("healthy workers must complete: %d/15 done", len(done))
+	}
+	err := sink.Join()
+	if err == nil || !IsPanic(err) {
+		t.Fatalf("panic not delivered to sink: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Label != "task 7" {
+		t.Fatalf("panic label lost: %v", err)
+	}
+}

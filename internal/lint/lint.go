@@ -62,6 +62,7 @@ func All() []*Analyzer {
 		FloatEq(),
 		GoroutineHygiene(),
 		ObsNames(),
+		PanicBarrier(),
 	}
 }
 

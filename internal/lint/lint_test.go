@@ -102,6 +102,9 @@ func TestGoldenFixtures(t *testing.T) {
 		{"floateq", "teva/internal/lintfixture/floateq"},
 		{"goroutine", "teva/internal/lintfixture/goroutine"},
 		{"obsnames", "teva/internal/lintfixture/obsnames"},
+		// panicbarrier is path-gated: positives fire only under the
+		// guarded worker-pool packages.
+		{"panicbarrier", "teva/internal/experiments/lintfixture"},
 	}
 	l := newTestLoader(t)
 	for _, tc := range cases {
@@ -125,6 +128,27 @@ func TestSimPurityAllowlist(t *testing.T) {
 			p := loadFixture(t, l, "simpurity", asPath)
 			if got := RunAnalyzers(p, []*Analyzer{SimPurity()}); len(got) != 0 {
 				t.Errorf("simpurity under exempt path %s: want 0 findings, got %d: %v", asPath, len(got), got)
+			}
+		})
+	}
+}
+
+// TestPanicBarrierPathGate loads the panicbarrier fixture under paths
+// outside the guarded worker-pool packages: the same raw go statements
+// that fire under internal/experiments must stay silent everywhere else
+// (and under internal/campaign they must fire again).
+func TestPanicBarrierPathGate(t *testing.T) {
+	l := newTestLoader(t)
+	for asPath, wantFindings := range map[string]int{
+		"teva/internal/dta/lintfixture":      0,
+		"teva/internal/campaign/lintfixture": 2,
+	} {
+		t.Run(asPath, func(t *testing.T) {
+			p := loadFixture(t, l, "panicbarrier", asPath)
+			got := RunAnalyzers(p, []*Analyzer{PanicBarrier()})
+			if len(got) != wantFindings {
+				t.Errorf("panicbarrier under %s: want %d findings, got %d: %v",
+					asPath, wantFindings, len(got), got)
 			}
 		})
 	}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PanicBarrier flags raw `go` statements in the packages whose worker
+// pools are required to survive a panicking task (internal/experiments
+// and internal/campaign): every goroutine there must be launched through
+// guard.Go, whose recover barrier converts a worker panic into an error
+// labeled with the work's identity. A raw goroutine that panics instead
+// kills the whole process mid-matrix — exactly the failure mode the
+// fault-tolerant pipeline exists to prevent.
+func PanicBarrier() *Analyzer {
+	return &Analyzer{
+		Name: "panicbarrier",
+		Doc:  "raw go statement where workers must route through guard.Go's recover barrier",
+		Run:  runPanicBarrier,
+	}
+}
+
+// panicBarrierPaths are the import-path fragments under the barrier
+// requirement. internal/guard itself hosts the one legitimate raw `go`
+// (inside guard.Go) and is exempt by not being listed.
+var panicBarrierPaths = []string{
+	"internal/experiments",
+	"internal/campaign",
+}
+
+func runPanicBarrier(p *Package) []Finding {
+	guarded := false
+	for _, frag := range panicBarrierPaths {
+		if strings.Contains(p.Path, frag) {
+			guarded = true
+			break
+		}
+	}
+	if !guarded {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				out = append(out, p.finding("panicbarrier", gs,
+					"raw go statement in a panic-barrier package: launch workers through guard.Go so a panic becomes a labeled per-cell error instead of killing the run"))
+			}
+			return true
+		})
+	}
+	return out
+}

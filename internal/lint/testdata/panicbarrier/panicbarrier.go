@@ -1,0 +1,41 @@
+// Package panicbarrier exercises the panic-barrier analyzer. Loaded
+// under a guarded import path (internal/experiments or
+// internal/campaign) the raw go statements below must be flagged; loaded
+// under any other path the same file must stay silent.
+package panicbarrier
+
+import (
+	"sync"
+
+	"teva/internal/guard"
+)
+
+// rawWorker joins its goroutine (so goroutinehygiene stays silent) but
+// bypasses the recover barrier: a panic inside the literal kills the run.
+func rawWorker(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want panicbarrier
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// rawCall launches a named function; the statement form does not matter.
+func rawCall(wg *sync.WaitGroup, fn func()) {
+	wg.Add(1)
+	go fn() // want panicbarrier
+	wg.Wait()
+}
+
+// guardedWorker is the required idiom: guard.Go recovers a worker panic
+// into a labeled error on the sink.
+func guardedWorker(wg *sync.WaitGroup, sink *guard.Sink) {
+	guard.Go(wg, sink, "worker", func() error { return nil })
+	wg.Wait()
+}
+
+// allowedEscape shows the suppression hatch for a reviewed exception.
+func allowedEscape(done chan struct{}) {
+	go close(done) //teva:allow panicbarrier -- reviewed: close cannot panic here
+	<-done
+}
