@@ -242,10 +242,35 @@ func benchTimingSim(b *testing.B, exact bool) {
 		prev[i] = src.Bool()
 		cur[i] = src.Bool()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Run(prev, cur, 85, 4400)
 	}
+	b.ReportMetric(float64(stage.NumGates()), "gates")
+}
+
+// BenchmarkTimingSimWide measures the 64-lane levelized timing engine on
+// the same stage; ns/transition counts all 64 lanes of each walk.
+func BenchmarkTimingSimWide(b *testing.B) {
+	e := benchEnv(b)
+	stage := e.F.FPU.Pipeline(fpu.DMul).Stages[3].N // s4-cpa
+	sim := timingsim.NewWideFast(stage.Compiled(), 1.256)
+	src := prng.New(7)
+	prev := make([]uint64, len(stage.Inputs()))
+	cur := make([]uint64, len(stage.Inputs()))
+	for i := range prev {
+		prev[i] = src.Uint64()
+		cur[i] = src.Uint64()
+	}
+	b.ReportAllocs()
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(prev, cur, 85, 4400)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(time.Since(start).Nanoseconds())/float64(b.N*64), "ns/transition")
 	b.ReportMetric(float64(stage.NumGates()), "gates")
 }
 
@@ -299,6 +324,7 @@ func BenchmarkDTAStreamFAdd(b *testing.B) {
 	for i := range pairs {
 		pairs[i] = dta.Pair{A: src.Uint64(), B: src.Uint64()}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dta.AnalyzeStream(e.F.FPU, fpu.DAdd, e.F.Volt, vscale.VR20, false, pairs, 1)
@@ -307,11 +333,35 @@ func BenchmarkDTAStreamFAdd(b *testing.B) {
 }
 
 // BenchmarkGateLevelDTA measures full-pipeline dynamic timing analysis
-// per instruction (both golden and undervolted instances, all stages).
+// (both golden and undervolted instances, all stages) the way
+// characterization consumes it: 64 consecutive instructions per batch,
+// one 64-lane circuit walk per pipeline cycle. ns/op is one batch;
+// dta-ops/op normalizes to instructions.
 func BenchmarkGateLevelDTA(b *testing.B) {
 	e := benchEnv(b)
 	a := dta.New(e.F.FPU, fpu.DMul, e.F.Volt, vscale.VR20, false)
 	src := prng.New(9)
+	pairs := make([]dta.Pair, 64)
+	recs := make([]dta.Record, len(pairs))
+	for i := range pairs {
+		pairs[i] = dta.Pair{A: src.Uint64(), B: src.Uint64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AnalyzeBatch(pairs, recs)
+	}
+	b.ReportMetric(float64(len(pairs)), "dta-ops/op")
+}
+
+// BenchmarkGateLevelDTASingle measures single-instruction Analyze latency
+// (a one-lane wide walk — the worst case for the wide engine; batching is
+// the intended usage).
+func BenchmarkGateLevelDTASingle(b *testing.B) {
+	e := benchEnv(b)
+	a := dta.New(e.F.FPU, fpu.DMul, e.F.Volt, vscale.VR20, false)
+	src := prng.New(9)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.Analyze(dta.Pair{A: src.Uint64(), B: src.Uint64()})

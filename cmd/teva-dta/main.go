@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"teva/internal/core"
+	"teva/internal/dta"
 	"teva/internal/errmodel"
 	"teva/internal/trace"
 	"teva/internal/vscale"
@@ -31,7 +32,8 @@ func main() {
 	out := flag.String("o", "", "output model file (default stdout)")
 	operands := flag.Int("operands", 0, "DTA operands per instruction type (0: default)")
 	seed := flag.Uint64("seed", 0xF00D, "master seed")
-	exact := flag.Bool("exact", false, "use the event-driven timing engine (slow, reference)")
+	exact := flag.Bool("exact", false, "use the event-driven timing engine (slow, reference; same as -timing exact)")
+	timing := flag.String("timing", "", "timing engine: wide (default), fast, exact")
 	flag.Parse()
 
 	level, err := parseLevel(*levelName)
@@ -42,11 +44,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	eng := dta.EngineWide
+	if *exact {
+		eng = dta.EngineExact
+	}
+	if *timing != "" {
+		if eng, err = dta.ParseEngine(*timing); err != nil {
+			fatal(err)
+		}
+	}
 	f, err := core.New(core.Config{
 		Seed:             *seed,
 		RandomOperands:   *operands,
 		WorkloadOperands: *operands,
-		ExactTiming:      *exact,
+		Timing:           eng,
 	})
 	if err != nil {
 		fatal(err)

@@ -50,6 +50,7 @@ import (
 
 	"teva/internal/artifact"
 	"teva/internal/core"
+	"teva/internal/dta"
 	"teva/internal/experiments"
 	"teva/internal/obs"
 	"teva/internal/vscale"
@@ -71,13 +72,18 @@ func main() {
 	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile to this file")
 	pprofMem := flag.String("pprof-mem", "", "write a heap profile to this file on exit")
 	maxDuration := flag.Duration("max-duration", 0, "wall-clock budget; when exceeded, in-flight work is canceled and the run exits 124 (0: unlimited)")
+	timing := flag.String("timing", "wide", "DTA timing engine: wide (64-lane, default), fast (scalar reference), exact (event-driven, slow)")
 	flag.Parse()
 
+	eng, err := dta.ParseEngine(*timing)
+	if err != nil {
+		fatal(err)
+	}
 	reg := newMetrics()
 	stopProfiles := startProfiles(*pprofCPU, *pprofMem)
 
 	opts := experiments.DefaultOptions()
-	cfg := core.Config{Seed: *seed, Workers: *workers, Metrics: reg}
+	cfg := core.Config{Seed: *seed, Workers: *workers, Metrics: reg, Timing: eng}
 	switch {
 	case *quick:
 		opts.Scale = workloads.Tiny

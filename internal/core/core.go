@@ -47,9 +47,12 @@ type Config struct {
 	DASample int
 	// Workers bounds DTA/campaign parallelism (0: GOMAXPROCS).
 	Workers int
-	// ExactTiming selects the event-driven gate-level engine instead of
-	// the fast levelized engine.
-	ExactTiming bool
+	// Timing selects the reduced-voltage timing engine. The zero value is
+	// dta.EngineWide (64-lane levelized, the fastest); dta.EngineFast and
+	// dta.EngineExact are the scalar reference engines. Wide and fast
+	// produce identical records, so only Exact() is folded into artifact
+	// cache keys.
+	Timing dta.Engine
 	// Artifacts, when non-nil, persists DTA characterization summaries
 	// across runs: a second run with the same seed and sample sizes
 	// reloads every summary instead of re-simulating. A nil store
@@ -204,14 +207,14 @@ func (f *Framework) randomSummaries(ctx context.Context, level vscale.VRLevel) (
 			n /= 8 // the iterative divider is ~50x slower to analyze
 		}
 		opSeed := f.Cfg.Seed ^ 0x1A5EED ^ hashString("random/"+op.String())
-		key := artifact.SummaryKey("random", op.String(), scale, opSeed, n, f.Cfg.ExactTiming)
+		key := artifact.SummaryKey("random", op.String(), scale, opSeed, n, f.Cfg.Timing.Exact())
 		s := new(dta.Summary)
 		if f.Cfg.Artifacts.Load(key, s) {
 			out[op] = s
 			continue
 		}
 		pairs := randomPairs(op, n, prng.New(opSeed))
-		recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers, f.Cfg.Metrics)
+		recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.Timing, pairs, f.Cfg.Workers, f.Cfg.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -251,7 +254,7 @@ func (f *Framework) WorkloadSummariesCtx(ctx context.Context, level vscale.VRLev
 			n = 1
 		}
 		opSeed := f.Cfg.Seed ^ 0x3A5EED ^ hashString(tr.Workload+"/"+op.String())
-		key := artifact.SummaryKey(source, op.String(), scale, opSeed, n, f.Cfg.ExactTiming)
+		key := artifact.SummaryKey(source, op.String(), scale, opSeed, n, f.Cfg.Timing.Exact())
 		s := new(dta.Summary)
 		if f.Cfg.Artifacts.Load(key, s) {
 			out[op] = s
@@ -262,7 +265,7 @@ func (f *Framework) WorkloadSummariesCtx(ctx context.Context, level vscale.VRLev
 		for i := range pairs {
 			pairs[i] = pool[rs.Intn(len(pool))]
 		}
-		recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.ExactTiming, pairs, f.Cfg.Workers, f.Cfg.Metrics)
+		recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.Timing, pairs, f.Cfg.Workers, f.Cfg.Metrics)
 		if err != nil {
 			return nil, err
 		}

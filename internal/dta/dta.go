@@ -15,6 +15,7 @@ package dta
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -48,28 +49,108 @@ func (r Record) Erroneous() bool { return r.Mask != 0 }
 // Pair is one operand pair for the analyzed instruction type.
 type Pair struct{ A, B uint64 }
 
+// Engine selects the reduced-voltage timing engine. The zero value is
+// EngineWide, the fastest engine; all three produce the same Records for
+// chain/levelized semantics (Wide is bit-exact against Fast by
+// construction, and differential tests enforce it), so the choice is a
+// speed/fidelity knob, not a correctness one.
+type Engine uint8
+
+const (
+	// EngineWide is the 64-lane levelized engine: one circuit walk per
+	// pipeline cycle times up to 64 consecutive instructions. Bit-exact
+	// against EngineFast; the default.
+	EngineWide Engine = iota
+	// EngineFast is the scalar levelized arrival engine (one walk per
+	// instruction), kept as the differential reference for EngineWide.
+	EngineFast
+	// EngineExact is the event-driven engine with inertial delays and
+	// glitch-accurate captures — the slow reference. Glitch handling is
+	// inherently serial (event order couples lanes), so it has no wide
+	// variant.
+	EngineExact
+)
+
+var engineNames = map[Engine]string{
+	EngineWide:  "wide",
+	EngineFast:  "fast",
+	EngineExact: "exact",
+}
+
+func (e Engine) String() string {
+	if n, ok := engineNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
+// Exact reports whether the engine models glitch-accurate captures. It is
+// also the provenance bit for cached DTA summaries: wide and fast produce
+// identical records, so they share cache entries.
+func (e Engine) Exact() bool { return e == EngineExact }
+
+// ParseEngine maps a CLI flag value ("wide", "fast", "exact") to an
+// Engine.
+func ParseEngine(s string) (Engine, error) {
+	for e, n := range engineNames {
+		if n == s {
+			return e, nil
+		}
+	}
+	return EngineWide, fmt.Errorf("dta: unknown timing engine %q (wide, fast, exact)", s)
+}
+
+// engineFor maps the legacy exact flag onto an engine.
+func engineFor(exact bool) Engine {
+	if exact {
+		return EngineExact
+	}
+	return EngineWide
+}
+
 // Analyzer runs DTA for one instruction type at one voltage corner.
 type Analyzer struct {
 	p     *fpu.Pipeline
 	clk   float64
 	scale float64
+	eng   Engine
 	// Per-cycle (stage-repeat expanded) engines and state. The golden
 	// instance runs on the 64-wide bit-parallel engine: one circuit walk
 	// per cycle evaluates up to 64 operand pairs. Every engine shares the
 	// stage's cached compiled IR, so parallel shards re-derive nothing.
 	golden  []*logicsim.WideSim
-	timing  []timingsim.Runner
 	stages  []*fpu.Stage
-	prevIn  [][]bool   // faulty-domain previous input per expanded cycle
-	wordBuf [][]uint64 // golden-domain 64-lane words per cycle boundary
-	haveHot bool
+	wordBuf [][]uint64 // 64-lane words per cycle boundary (golden + wide faulty)
+	// Scalar faulty path (EngineFast, EngineExact). All buffers are
+	// preallocated: one undervolted instruction allocates nothing.
+	timing []timingsim.Runner
+	prevIn [][]bool // faulty-domain previous input per expanded cycle
+	curOut [][]bool // faulty-domain captured output per expanded cycle
+	inBuf  []bool   // rank-0 input vector, reused per pair
+	// Wide faulty path (EngineWide): the undervolted instance also runs
+	// 64 lanes per walk. Lane L's previous input is lane L-1's current
+	// one (consecutive instructions), so the per-cycle transition words
+	// are the current words shifted up one lane; carry holds the last
+	// analyzed instruction's input bits per cycle (the lane-0 carry-in),
+	// which replays the exact serial history across batch boundaries.
+	wtiming   []*timingsim.WideFastSim
+	carry     [][]uint64 // per cycle, per input net: previous batch's last lane (bit 0)
+	widePrev  []uint64   // lane-shifted transition scratch, max stage width
+	warmPairs [1]Pair    // scratch for Warm's single-lane batch
+	warmRec   [1]Record  // scratch for Warm's discarded record
+	haveHot   bool
 }
 
 // New returns an analyzer for the op's pipeline on the given FPU at the
 // given voltage-reduction level. When exact is true the event-driven
-// timing engine is used instead of the fast levelized engine.
+// timing engine is used instead of the (wide) levelized engine.
 func New(f *fpu.FPU, op fpu.Op, model vscale.Model, level vscale.VRLevel, exact bool) *Analyzer {
-	return NewAt(f, op, model.ScaleFor(level), exact)
+	return NewEngineAt(f, op, model.ScaleFor(level), engineFor(exact))
+}
+
+// NewEngine is New with an explicit engine choice.
+func NewEngine(f *fpu.FPU, op fpu.Op, model vscale.Model, level vscale.VRLevel, eng Engine) *Analyzer {
+	return NewEngineAt(f, op, model.ScaleFor(level), eng)
 }
 
 // NewAt returns an analyzer at an arbitrary delay-scale factor. This is
@@ -77,25 +158,118 @@ func New(f *fpu.FPU, op fpu.Op, model vscale.Model, level vscale.VRLevel, exact 
 // (overclocking, temperature, aging — see vscale.StressCorner) reuse the
 // same analysis path.
 func NewAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool) *Analyzer {
+	return NewEngineAt(f, op, scale, engineFor(exact))
+}
+
+// NewEngineAt is NewAt with an explicit engine choice.
+func NewEngineAt(f *fpu.FPU, op fpu.Op, scale float64, eng Engine) *Analyzer {
 	p := f.Pipeline(op)
-	a := &Analyzer{p: p, clk: f.CLK, scale: scale}
+	a := &Analyzer{p: p, clk: f.CLK, scale: scale, eng: eng}
+	// The golden engines run strictly cycle by cycle and keep no state
+	// across Runs, so stage repeats share one engine per distinct stage.
+	gByStage := make(map[*fpu.Stage]*logicsim.WideSim, len(p.Stages))
 	for _, s := range p.Stages {
-		c := s.N.Compiled()
-		for r := 0; r < s.Repeat; r++ {
-			a.stages = append(a.stages, s)
-			a.golden = append(a.golden, logicsim.NewWide(c))
-			if exact {
-				a.timing = append(a.timing, timingsim.NewExact(c, scale))
-			} else {
-				a.timing = append(a.timing, timingsim.NewFast(c, scale))
+		gByStage[s] = logicsim.NewWide(s.N.Compiled())
+	}
+	maxIn := 0
+	if eng == EngineWide {
+		// Stage repeats rerun the same circuit, and the analyzer runs its
+		// cycles strictly in order, so one engine per distinct stage on
+		// one shared scratch (sized for the widest netlist) serves every
+		// expanded cycle. Per-cycle state (the lane-shift carries) stays
+		// outside the engines.
+		maxNets := 0
+		for _, s := range p.Stages {
+			if n := s.N.Compiled().NumNets; n > maxNets {
+				maxNets = n
 			}
-			a.prevIn = append(a.prevIn, make([]bool, len(s.N.Inputs())))
-			a.wordBuf = append(a.wordBuf, make([]uint64, len(s.N.Inputs())))
+		}
+		ws := timingsim.NewWideScratch(maxNets)
+		byStage := make(map[*fpu.Stage]*timingsim.WideFastSim, len(p.Stages))
+		for _, s := range p.Stages {
+			byStage[s] = timingsim.NewWideFastShared(s.N.Compiled(), scale, ws)
+		}
+		for _, s := range p.Stages {
+			ins := len(s.N.Inputs())
+			if ins > maxIn {
+				maxIn = ins
+			}
+			for r := 0; r < s.Repeat; r++ {
+				a.stages = append(a.stages, s)
+				a.golden = append(a.golden, gByStage[s])
+				a.wtiming = append(a.wtiming, byStage[s])
+				a.carry = append(a.carry, make([]uint64, ins))
+				a.wordBuf = append(a.wordBuf, make([]uint64, ins))
+			}
+		}
+	} else {
+		for _, s := range p.Stages {
+			c := s.N.Compiled()
+			ins := len(s.N.Inputs())
+			if ins > maxIn {
+				maxIn = ins
+			}
+			for r := 0; r < s.Repeat; r++ {
+				a.stages = append(a.stages, s)
+				a.golden = append(a.golden, gByStage[s])
+				if eng == EngineExact {
+					a.timing = append(a.timing, timingsim.NewExact(c, scale))
+				} else {
+					a.timing = append(a.timing, timingsim.NewFast(c, scale))
+				}
+				a.prevIn = append(a.prevIn, make([]bool, ins))
+				a.curOut = append(a.curOut, make([]bool, len(s.N.Outputs())))
+				a.wordBuf = append(a.wordBuf, make([]uint64, ins))
+			}
 		}
 	}
 	last := a.stages[len(a.stages)-1]
 	a.wordBuf = append(a.wordBuf, make([]uint64, len(last.N.Outputs())))
+	if eng == EngineWide {
+		a.widePrev = make([]uint64, maxIn)
+	} else {
+		a.inBuf = make([]bool, len(a.stages[0].N.Inputs()))
+	}
 	return a
+}
+
+// Reset returns the analyzer to its just-constructed state: cold history,
+// zero lane-shift carries, zero scalar previous-input vectors. A reset
+// analyzer produces byte-identical records to a freshly built one, which
+// is what lets AnalyzeStream pool analyzers across calls.
+func (a *Analyzer) Reset() {
+	a.haveHot = false
+	for _, c := range a.carry {
+		clear(c)
+	}
+	for _, p := range a.prevIn {
+		clear(p)
+	}
+}
+
+// poolKey identifies one analyzer configuration inside an FPU's scratch
+// cache. Unexported so no other package's scratch entries can collide.
+type poolKey struct {
+	op    fpu.Op
+	scale float64
+	eng   Engine
+}
+
+// getAnalyzer fetches a pooled analyzer for the configuration (resetting
+// it) or builds a fresh one. Engine construction is ~1MB of arrival/lane
+// buffers per analyzer; characterization sweeps call AnalyzeStream
+// hundreds of times per FPU, so pooling keeps the steady state
+// allocation-free. The pool lives on the FPU so retired designs are
+// collectable.
+func getAnalyzer(f *fpu.FPU, op fpu.Op, scale float64, eng Engine) (*Analyzer, *sync.Pool) {
+	pi, _ := f.Scratch().LoadOrStore(poolKey{op, scale, eng}, &sync.Pool{})
+	pool := pi.(*sync.Pool)
+	if v := pool.Get(); v != nil {
+		a := v.(*Analyzer)
+		a.Reset()
+		return a, pool
+	}
+	return NewEngineAt(f, op, scale, eng), pool
 }
 
 // Op returns the analyzed instruction.
@@ -107,7 +281,15 @@ func (a *Analyzer) Scale() float64 { return a.scale }
 // Warm primes the pipeline history with an operand pair without recording
 // a result. Analyze warms automatically with its first pair when the
 // analyzer is cold.
-func (a *Analyzer) Warm(pair Pair) { a.faultyStep(pair) }
+func (a *Analyzer) Warm(pair Pair) {
+	if a.eng == EngineWide {
+		a.warmPairs[0] = pair
+		a.packBatch(a.warmPairs[:])
+		a.faultyBatch(a.warmPairs[:], a.warmRec[:])
+		return
+	}
+	a.faultyStep(pair)
+}
 
 // Analyze runs one instruction through both instances and returns its
 // record. Consecutive calls model back-to-back instructions: each stage's
@@ -138,6 +320,20 @@ func (a *Analyzer) AnalyzeBatch(pairs []Pair, recs []Record) {
 		if hi > len(pairs) {
 			hi = len(pairs)
 		}
+		if a.eng == EngineWide {
+			// One packing serves both instances: goldenBatch only reads
+			// the rank-0 words, faultyBatch consumes (and then clobbers)
+			// them afterwards.
+			a.packBatch(pairs[lo:hi])
+			a.goldenBatch(pairs[lo:hi], recs[lo:hi])
+			a.faultyBatch(pairs[lo:hi], recs[lo:hi])
+			for i := lo; i < hi; i++ {
+				rec := &recs[i]
+				rec.A, rec.B = pairs[i].A, pairs[i].B
+				rec.Mask = rec.Golden ^ rec.Faulty
+			}
+			continue
+		}
 		a.goldenBatch(pairs[lo:hi], recs[lo:hi])
 		for i := lo; i < hi; i++ {
 			rec := &recs[i]
@@ -148,32 +344,111 @@ func (a *Analyzer) AnalyzeBatch(pairs []Pair, recs []Record) {
 	}
 }
 
-// goldenBatch runs the golden (nominal, zero-delay) instance for up to 64
-// pairs in one 64-wide walk per pipeline cycle, filling recs[i].Golden.
-func (a *Analyzer) goldenBatch(pairs []Pair, recs []Record) {
+// packBatch packs the pairs' operand encodings into the rank-0 lane words
+// (wordBuf[0]) with one 64x64 bit transpose per operand, lanes beyond
+// len(pairs) zero.
+func (a *Analyzer) packBatch(pairs []Pair) {
 	op := a.p.Op
 	w := op.OperandWidth()
 	words := a.wordBuf[0]
-	clear(words)
+	var rows [64]uint64
 	for lane, pair := range pairs {
-		logicsim.PackLaneBits(words, lane, 0, w, pair.A)
-		if op.NumOperands() == 2 {
-			logicsim.PackLaneBits(words, lane, w, w, pair.B)
+		rows[lane] = pair.A
+	}
+	logicsim.Transpose64(&rows)
+	copy(words[:w], rows[:w])
+	packed := w
+	if op.NumOperands() == 2 {
+		for lane := range rows {
+			if lane < len(pairs) {
+				rows[lane] = pairs[lane].B
+			} else {
+				rows[lane] = 0
+			}
 		}
+		logicsim.Transpose64(&rows)
+		copy(words[w:2*w], rows[:w])
+		packed = 2 * w
+	}
+	for i := packed; i < len(words); i++ {
+		words[i] = 0
+	}
+}
+
+// goldenBatch runs the golden (nominal, zero-delay) instance for up to 64
+// packed pairs (see packBatch) in one 64-wide walk per pipeline cycle,
+// filling recs[i].Golden.
+func (a *Analyzer) goldenBatch(pairs []Pair, recs []Record) {
+	if a.eng != EngineWide {
+		a.packBatch(pairs)
 	}
 	for ci, g := range a.golden {
 		g.Run(a.wordBuf[ci])
 		g.Outputs(a.wordBuf[ci+1])
 	}
 	final := a.wordBuf[len(a.wordBuf)-1]
-	rw := op.ResultWidth()
+	rw := a.p.Op.ResultWidth()
+	var rows [64]uint64
+	copy(rows[:], final[:rw])
+	logicsim.Transpose64(&rows)
 	for lane := range pairs {
-		recs[lane].Golden = logicsim.UnpackLaneBits(final, lane, 0, rw)
+		recs[lane].Golden = rows[lane]
 	}
 }
 
-// faultyStep executes one instruction in the undervolted domain,
-// returning the captured result encoding and the worst arrival observed.
+// faultyBatch executes up to 64 consecutive instructions in the
+// undervolted domain with one wide walk per pipeline cycle, filling
+// recs[i].Faulty and recs[i].MaxArrivalPS. The transition history is the
+// exact serial one: lane L's previous stage input is lane L-1's current
+// one (the preceding instruction), realized by shifting each cycle's
+// input words up one lane with a.carry supplying lane 0 across batch
+// boundaries. Lanes past len(pairs) are forced transition-free so a
+// short batch costs (and records) nothing extra.
+func (a *Analyzer) faultyBatch(pairs []Pair, recs []Record) {
+	a.haveHot = true
+	n := len(pairs)
+	lib := a.stages[0].N.Lib
+	inputArrival := lib.ClockToQ * a.scale
+	deadline := a.clk - lib.Setup*a.scale
+	active := ^uint64(0) >> uint(64-n)
+	for i := range recs[:n] {
+		recs[i].MaxArrivalPS = 0
+	}
+	for ci := range a.stages {
+		cur := a.wordBuf[ci]
+		prev := a.widePrev[:len(cur)]
+		carry := a.carry[ci]
+		for j, cw := range cur {
+			pw := cw<<1 | carry[j]
+			// Inactive lanes adopt their previous value: no transition,
+			// no toggles, no arrival work.
+			cw = cw&active | pw&^active
+			cur[j] = cw
+			prev[j] = pw
+			carry[j] = cw >> uint(n-1) & 1
+		}
+		sm := a.wtiming[ci].Run(prev, cur, inputArrival, deadline)
+		for lane := 0; lane < n; lane++ {
+			if wa := sm.WorstArrival[lane]; wa > recs[lane].MaxArrivalPS {
+				recs[lane].MaxArrivalPS = wa
+			}
+		}
+		// Erroneously captured values feed the next stage, lane by lane.
+		copy(a.wordBuf[ci+1], sm.Captured)
+	}
+	final := a.wordBuf[len(a.wordBuf)-1]
+	rw := a.p.Op.ResultWidth()
+	var rows [64]uint64
+	copy(rows[:], final[:rw])
+	logicsim.Transpose64(&rows)
+	for lane := 0; lane < n; lane++ {
+		recs[lane].Faulty = rows[lane]
+	}
+}
+
+// faultyStep executes one instruction in the undervolted domain on a
+// scalar engine, returning the captured result encoding and the worst
+// arrival observed.
 func (a *Analyzer) faultyStep(pair Pair) (faulty uint64, maxArrivalPS float64) {
 	a.haveHot = true
 	lib := a.stages[0].N.Lib
@@ -188,17 +463,21 @@ func (a *Analyzer) faultyStep(pair Pair) (faulty uint64, maxArrivalPS float64) {
 		if sample.WorstArrival > maxArrivalPS {
 			maxArrivalPS = sample.WorstArrival
 		}
-		faultyOut := append([]bool(nil), sample.Captured...)
+		// The sample is only valid until the engine's next Run; copy the
+		// captured outputs into this cycle's reusable buffer before the
+		// next stage overwrites them.
+		copy(a.curOut[ci], sample.Captured)
 		copy(a.prevIn[ci], faultyIn)
-		faultyIn = faultyOut
+		faultyIn = a.curOut[ci]
 	}
 	return logicsim.UnpackOutputs(faultyIn, 0, a.p.Op.ResultWidth()), maxArrivalPS
 }
 
-// packInputs builds the rank-0 input vector.
+// packInputs builds the rank-0 input vector into the reusable a.inBuf.
 func (a *Analyzer) packInputs(pair Pair) []bool {
 	op := a.p.Op
-	in := make([]bool, len(a.stages[0].N.Inputs()))
+	in := a.inBuf
+	clear(in)
 	w := op.OperandWidth()
 	logicsim.PackInputs(in, 0, w, pair.A)
 	if op.NumOperands() == 2 {
@@ -219,7 +498,7 @@ func AnalyzeStream(f *fpu.FPU, op fpu.Op, model vscale.Model, level vscale.VRLev
 
 // AnalyzeStreamAt is AnalyzeStream at an arbitrary delay-scale factor.
 func AnalyzeStreamAt(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []Pair, workers int) []Record {
-	return AnalyzeStreamObs(f, op, scale, exact, pairs, workers, nil)
+	return AnalyzeStreamObs(f, op, scale, engineFor(exact), pairs, workers, nil)
 }
 
 // Metric names published by AnalyzeStreamObs. A "cycle" here is one
@@ -238,8 +517,8 @@ const (
 // m. All counts are pure functions of the inputs — worker scheduling
 // cannot change them — so snapshots stay deterministic. A nil registry
 // records nothing.
-func AnalyzeStreamObs(f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []Pair, workers int, m *obs.Registry) []Record {
-	records, _ := AnalyzeStreamCtx(context.Background(), f, op, scale, exact, pairs, workers, m)
+func AnalyzeStreamObs(f *fpu.FPU, op fpu.Op, scale float64, eng Engine, pairs []Pair, workers int, m *obs.Registry) []Record {
+	records, _ := AnalyzeStreamCtx(context.Background(), f, op, scale, eng, pairs, workers, m)
 	return records
 }
 
@@ -256,7 +535,7 @@ const cancelChunk = 256
 // for runs that complete, so interrupted runs cannot skew deterministic
 // snapshots. The success path is byte-identical to AnalyzeStreamObs for
 // any worker count.
-func AnalyzeStreamCtx(ctx context.Context, f *fpu.FPU, op fpu.Op, scale float64, exact bool, pairs []Pair, workers int, m *obs.Registry) ([]Record, error) {
+func AnalyzeStreamCtx(ctx context.Context, f *fpu.FPU, op fpu.Op, scale float64, eng Engine, pairs []Pair, workers int, m *obs.Registry) ([]Record, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -284,7 +563,8 @@ func AnalyzeStreamCtx(ctx context.Context, f *fpu.FPU, op fpu.Op, scale float64,
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			a := NewAt(f, op, scale, exact)
+			a, pool := getAnalyzer(f, op, scale, eng)
+			defer pool.Put(a)
 			if lo > 0 {
 				// Reproduce the serial history at the shard boundary: the
 				// transition into pairs[lo] starts from the previous pair,

@@ -64,7 +64,7 @@ func Sources(e *Env) ([]SourceRow, error) {
 	for _, c := range corners {
 		scale := m.Scale(c.sc)
 		sum := e.cachedSummary("sources/"+c.name, fpu.DMul, scale, len(pairs), func() *dta.Summary {
-			recs := dta.AnalyzeStreamAt(e.F.FPU, fpu.DMul, scale, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
+			recs := dta.AnalyzeStreamObs(e.F.FPU, fpu.DMul, scale, e.F.Cfg.Timing, pairs, e.F.Cfg.Workers, nil)
 			return dta.Summarize(fpu.DMul, recs)
 		})
 		rows = append(rows, SourceRow{
@@ -169,14 +169,14 @@ func HistoryAblation(e *Env, level vscale.VRLevel) ([]HistoryRow, error) {
 		}
 		scale := e.F.Volt.ScaleFor(level)
 		with := e.cachedSummary("history/with/"+level.Name, op, scale, n, func() *dta.Summary {
-			recs := dta.AnalyzeStream(e.F.FPU, op, e.F.Volt, level, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
+			recs := dta.AnalyzeStreamObs(e.F.FPU, op, scale, e.F.Cfg.Timing, pairs, e.F.Cfg.Workers, nil)
 			return dta.Summarize(op, recs)
 		})
 		fixed := e.cachedSummary("history/fixed/"+level.Name, op, scale, n, func() *dta.Summary {
 			// Fixed history: re-warm the analyzer with the same reference
 			// pair before every instruction.
 			recs := make([]dta.Record, len(pairs))
-			a := dta.NewAt(e.F.FPU, op, scale, e.F.Cfg.ExactTiming)
+			a := dta.NewEngineAt(e.F.FPU, op, scale, e.F.Cfg.Timing)
 			ref := dta.Pair{A: 0x3FF0000000000000, B: 0x3FF0000000000000} // 1.0, 1.0
 			for i, p := range pairs {
 				a.Warm(ref)
@@ -233,7 +233,7 @@ func ProcessVariation(e *Env, dies int, sigma float64) (*ProcessResult, error) {
 		sum := e.cachedSummary(fmt.Sprintf("process/sigma%g/die%d", sigma, die),
 			fpu.DMul, scale, n, func() *dta.Summary {
 				f := e.F.FPU.Vary(sigma, uint64(die)+1)
-				recs := dta.AnalyzeStreamAt(f, fpu.DMul, scale, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
+				recs := dta.AnalyzeStreamObs(f, fpu.DMul, scale, e.F.Cfg.Timing, pairs, e.F.Cfg.Workers, nil)
 				return dta.Summarize(fpu.DMul, recs)
 			})
 		res.ERs = append(res.ERs, sum.ErrorRatio())
@@ -304,7 +304,7 @@ func Validate(e *Env, level vscale.VRLevel) ([]ValidationRow, float64, error) {
 			op := op
 			sum := e.cachedSummary("validate/"+level.Name+"/"+w.Name, op,
 				e.F.Volt.ScaleFor(level), n, func() *dta.Summary {
-					recs := dta.AnalyzeStream(e.F.FPU, op, e.F.Volt, level, e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
+					recs := dta.AnalyzeStreamObs(e.F.FPU, op, e.F.Volt.ScaleFor(level), e.F.Cfg.Timing, pairs, e.F.Cfg.Workers, nil)
 					return dta.Summarize(op, recs)
 				})
 			obs := sum.ErrorRatio()

@@ -275,8 +275,8 @@ func Fig6(e *Env) (*Fig6Result, error) {
 			pairs[i] = pool[src.Intn(len(pool))]
 		}
 		sum := e.cachedSummary("fig6/"+tag, fpu.DMul, scale, n, func() *dta.Summary {
-			recs := dta.AnalyzeStreamAt(e.F.FPU, fpu.DMul, scale,
-				e.F.Cfg.ExactTiming, pairs, e.F.Cfg.Workers)
+			recs := dta.AnalyzeStreamObs(e.F.FPU, fpu.DMul, scale,
+				e.F.Cfg.Timing, pairs, e.F.Cfg.Workers, nil)
 			return dta.Summarize(fpu.DMul, recs)
 		})
 		return sum.BER()

@@ -218,7 +218,7 @@ func (e *Env) Progress() Progress {
 func (e *Env) cfgTag() string {
 	c := e.F.Cfg
 	return fmt.Sprintf("scale=%s,ro=%d,wo=%d,da=%d,exact=%v",
-		e.Opts.Scale, c.RandomOperands, c.WorkloadOperands, c.DASample, c.ExactTiming)
+		e.Opts.Scale, c.RandomOperands, c.WorkloadOperands, c.DASample, c.Timing.Exact())
 }
 
 // cachedSummary memoizes (in-process and, when a store is configured,
@@ -234,7 +234,7 @@ func (e *Env) cachedSummary(tag string, op fpu.Op, scale float64, samples int, c
 	s, _ := e.streams.do(key, func() (*dta.Summary, error) {
 		store := e.F.Cfg.Artifacts
 		ak := artifact.SummaryKey(tag+","+e.cfgTag(), op.String(), scale,
-			e.F.Cfg.Seed, samples, e.F.Cfg.ExactTiming)
+			e.F.Cfg.Seed, samples, e.F.Cfg.Timing.Exact())
 		sum := new(dta.Summary)
 		if store.Load(ak, sum) {
 			return sum, nil

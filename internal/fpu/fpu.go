@@ -3,6 +3,7 @@ package fpu
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"teva/internal/cell"
 	"teva/internal/sta"
@@ -46,7 +47,15 @@ type FPU struct {
 	Seed uint64
 
 	pipelines [NumOps]*Pipeline
+	scratch   sync.Map
 }
+
+// Scratch is a per-FPU cache for derived state (e.g. pooled DTA
+// analyzers). Consumers must key entries with their own unexported types
+// so packages cannot collide; everything cached here dies with the FPU,
+// which keeps such caches from pinning retired designs the way a global
+// registry would.
+func (f *FPU) Scratch() *sync.Map { return &f.scratch }
 
 // New generates and calibrates the FPU. The same seed reproduces the
 // identical design, including interconnect annotation.

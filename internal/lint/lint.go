@@ -63,6 +63,7 @@ func All() []*Analyzer {
 		GoroutineHygiene(),
 		ObsNames(),
 		PanicBarrier(),
+		SampleRetain(),
 	}
 }
 

@@ -105,6 +105,8 @@ func TestGoldenFixtures(t *testing.T) {
 		// panicbarrier is path-gated: positives fire only under the
 		// guarded worker-pool packages.
 		{"panicbarrier", "teva/internal/experiments/lintfixture"},
+		// sampleretain needs the real timingsim import for its types.
+		{"sampleretain", "teva/internal/lintfixture/sampleretain"},
 	}
 	l := newTestLoader(t)
 	for _, tc := range cases {

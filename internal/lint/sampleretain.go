@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// timingsimPath is the package whose sample types are borrow-only.
+const timingsimPath = "teva/internal/timingsim"
+
+// SampleRetain flags timingsim Sample/WideSample pointers that are stored
+// past the Run call that produced them. Every timing engine returns its
+// one internal sample by pointer — the result is valid only until the
+// engine's next Run — so appending it to a slice, assigning it to a
+// struct field, map entry, or a variable declared outside the analysis
+// loop, sending it on a channel, or returning a Run call's result aliases
+// storage the next iteration silently overwrites. Callers that need to
+// keep a result must deep-copy it first (Sample.Clone / WideSample.Clone),
+// which is the only recognized escape: Clone results are fresh and may be
+// retained freely.
+func SampleRetain() *Analyzer {
+	return &Analyzer{
+		Name: "sampleretain",
+		Doc:  "timingsim sample pointer retained past the engine's next Run",
+		Run:  runSampleRetain,
+	}
+}
+
+func runSampleRetain(p *Package) []Finding {
+	if p.Path == timingsimPath {
+		// The engines themselves own the samples they hand out.
+		return nil
+	}
+	var out []Finding
+	report := func(n ast.Node, how string) {
+		out = append(out, p.finding("sampleretain",
+			n, "timingsim sample %s outlives the engine's next Run; Clone() it (or copy the needed fields) before storing", how))
+	}
+	for _, file := range p.Files {
+		// stack mirrors ast.Inspect's traversal so the innermost
+		// enclosing loop of any node is at hand.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 1 {
+					for _, arg := range n.Args[1:] {
+						if retainsSample(p, arg) {
+							report(arg, "appended to a slice")
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if retainsSample(p, n.Value) {
+					report(n.Value, "sent on a channel")
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					if retainsSample(p, el) {
+						report(el, "stored in a composite literal")
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if call, ok := res.(*ast.CallExpr); ok && isRunCall(call) && retainsSample(p, res) {
+						report(res, "returned from a Run call")
+					}
+				}
+			case *ast.AssignStmt:
+				checkSampleAssign(p, n, stack, report)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkSampleAssign flags sample-typed right-hand sides stored into
+// fields, map/slice entries, or identifiers declared outside the
+// innermost enclosing loop (a value that survives into the iteration
+// that invalidates it).
+func checkSampleAssign(p *Package, n *ast.AssignStmt, stack []ast.Node, report func(ast.Node, string)) {
+	if len(n.Lhs) != len(n.Rhs) {
+		// Tuple assignment from a multi-result call: no engine API
+		// returns a sample in a tuple, so nothing to check.
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if !retainsSample(p, rhs) {
+			continue
+		}
+		switch lhs := n.Lhs[i].(type) {
+		case *ast.SelectorExpr:
+			report(n, "assigned to a struct field")
+		case *ast.IndexExpr:
+			report(n, "assigned to a map or slice element")
+		case *ast.Ident:
+			if n.Tok != token.ASSIGN {
+				continue // := declares a loop-local borrow, the intended idiom
+			}
+			obj := p.Info.ObjectOf(lhs)
+			loop := innermostLoop(stack)
+			if obj != nil && loop != nil && (obj.Pos() < loop.Pos() || obj.Pos() > loop.End()) {
+				report(n, "assigned to a variable declared outside the loop")
+			}
+		}
+	}
+}
+
+// innermostLoop returns the deepest for/range statement on the traversal
+// stack (excluding the node itself at the top), or nil.
+func innermostLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// retainsSample reports whether the expression is a borrow-only timingsim
+// sample pointer. Clone calls are the sanctioned escape hatch: their
+// result is an independent copy.
+func retainsSample(p *Package, e ast.Expr) bool {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Clone" {
+			return false
+		}
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	return named.Obj().Pkg().Path() == timingsimPath &&
+		(name == "Sample" || name == "WideSample")
+}
+
+// isRunCall reports whether the call's method is named Run.
+func isRunCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Run"
+}

@@ -1,0 +1,116 @@
+// Package fixture seeds sampleretain golden cases: timingsim sample
+// pointers retained past the Run that produced them must fire; the
+// borrow-within-the-iteration idiom and Clone escapes must stay silent.
+package fixture
+
+import (
+	"teva/internal/timingsim"
+)
+
+type keeper struct {
+	last *timingsim.Sample
+	wide *timingsim.WideSample
+}
+
+// retainAppend is a true positive: the appended pointer aliases the
+// engine's single sample, so every element ends up identical.
+func retainAppend(r timingsim.Runner, prev, cur [][]bool) []*timingsim.Sample {
+	var out []*timingsim.Sample
+	for i := range prev {
+		s := r.Run(prev[i], cur[i], 0, 1000)
+		out = append(out, s) // want sampleretain
+	}
+	return out
+}
+
+// retainField is a true positive: a struct field outlives the loop.
+func retainField(k *keeper, r timingsim.Runner, prev, cur [][]bool) {
+	for i := range prev {
+		k.last = r.Run(prev[i], cur[i], 0, 1000) // want sampleretain
+	}
+}
+
+// retainWideField is a true positive on the 64-lane sample type.
+func retainWideField(k *keeper, w *timingsim.WideFastSim, prev, cur [][]uint64) {
+	for i := range prev {
+		k.wide = w.Run(prev[i], cur[i], 0, 1000) // want sampleretain
+	}
+}
+
+// retainMap is a true positive: map entries survive the iteration.
+func retainMap(r timingsim.Runner, prev, cur [][]bool) map[int]*timingsim.Sample {
+	m := make(map[int]*timingsim.Sample)
+	for i := range prev {
+		m[i] = r.Run(prev[i], cur[i], 0, 1000) // want sampleretain
+	}
+	return m
+}
+
+// retainOuterVar is a true positive: the variable is declared outside the
+// loop, so the final iteration's alias escapes.
+func retainOuterVar(r timingsim.Runner, prev, cur [][]bool) *timingsim.Sample {
+	var last *timingsim.Sample
+	for i := range prev {
+		last = r.Run(prev[i], cur[i], 0, 1000) // want sampleretain
+	}
+	return last
+}
+
+// retainChannel is a true positive: the receiver sees overwritten data.
+func retainChannel(r timingsim.Runner, prev, cur [][]bool, ch chan *timingsim.Sample) {
+	for i := range prev {
+		ch <- r.Run(prev[i], cur[i], 0, 1000) // want sampleretain
+	}
+}
+
+// retainComposite is a true positive: the literal stores the alias.
+func retainComposite(r timingsim.Runner, prev, cur []bool) keeper {
+	return keeper{
+		last: r.Run(prev, cur, 0, 1000), // want sampleretain
+	}
+}
+
+// retainReturn is a true positive: returning the engine's sample hands
+// the caller a pointer the next Run invalidates.
+func retainReturn(r timingsim.Runner, prev, cur []bool) *timingsim.Sample {
+	return r.Run(prev, cur, 0, 1000) // want sampleretain
+}
+
+// borrow is a true negative: the loop-local := borrow, consumed within
+// the iteration, is the intended idiom.
+func borrow(r timingsim.Runner, prev, cur [][]bool) float64 {
+	worst := 0.0
+	for i := range prev {
+		s := r.Run(prev[i], cur[i], 0, 1000)
+		if s.WorstArrival > worst {
+			worst = s.WorstArrival
+		}
+	}
+	return worst
+}
+
+// cloneEscape is a true negative: Clone results are independent copies
+// and may be retained freely.
+func cloneEscape(r timingsim.Runner, prev, cur [][]bool) []*timingsim.Sample {
+	var out []*timingsim.Sample
+	for i := range prev {
+		out = append(out, r.Run(prev[i], cur[i], 0, 1000).Clone())
+	}
+	return out
+}
+
+// cloneWideEscape is a true negative on the 64-lane sample type.
+func cloneWideEscape(k *keeper, w *timingsim.WideFastSim, prev, cur []uint64) {
+	k.wide = w.Run(prev, cur, 0, 1000).Clone()
+}
+
+// copiedFields is a true negative: copying the needed slices detaches the
+// data from the engine's storage.
+func copiedFields(r timingsim.Runner, prev, cur [][]bool) [][]bool {
+	var out [][]bool
+	for i := range prev {
+		s := r.Run(prev[i], cur[i], 0, 1000)
+		out = append(out, append([]bool(nil), s.Captured...))
+	}
+	return out
+}

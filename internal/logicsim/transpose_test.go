@@ -1,0 +1,26 @@
+package logicsim
+
+import (
+	"testing"
+
+	"teva/internal/prng"
+)
+
+func TestTranspose64MatchesPackLaneBits(t *testing.T) {
+	src := prng.New(5)
+	var rows [64]uint64
+	for i := range rows {
+		rows[i] = src.Uint64()
+	}
+	want := make([]uint64, 64)
+	for lane, v := range rows {
+		PackLaneBits(want, lane, 0, 64, v)
+	}
+	got := rows
+	Transpose64(&got)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("word %d: got %#x want %#x", j, got[j], want[j])
+		}
+	}
+}

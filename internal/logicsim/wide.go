@@ -111,6 +111,26 @@ func PackLaneBits(words []uint64, lane, offset, width int, value uint64) {
 	}
 }
 
+// Transpose64 transposes the 64x64 bit matrix in place: bit j of a[i]
+// moves to bit i of a[j]. With rows holding one lane's value each
+// (row L = lane L), the result holds one bit position's lanes each
+// (word j = bit j across lanes) — a whole-batch PackLaneBits (and, being
+// an involution, UnpackLaneBits) in O(64 log 64) word operations instead
+// of one conditional per (lane, bit) pair.
+func Transpose64(a *[64]uint64) {
+	j := 32
+	m := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k+j] ^ (a[k] >> uint(j))) & m
+			a[k+j] ^= t
+			a[k] ^= t << uint(j)
+		}
+		j >>= 1
+		m ^= m << uint(j)
+	}
+}
+
 // UnpackLaneBits reads width bits of the given lane from words[offset:],
 // LSB-first; the counterpart of UnpackOutputs.
 func UnpackLaneBits(words []uint64, lane, offset, width int) uint64 {

@@ -463,6 +463,87 @@ func TestCompiledTimingEnginesMatchReference(t *testing.T) {
 	}
 }
 
+// compareLaneExact asserts a wide lane reproduces the scalar FastSim
+// sample bit for bit — including exact float equality on every arrival,
+// the energy sum and the worst arrival, which the wide engine guarantees
+// by performing the identical float operations in the identical order.
+func compareLaneExact(t *testing.T, seed uint64, trial, lane int, want, got *timingsim.Sample) {
+	t.Helper()
+	if want.Violations != got.Violations || want.Toggles != got.Toggles {
+		t.Fatalf("seed %d trial %d lane %d: violations/toggles %d/%d want %d/%d",
+			seed, trial, lane, got.Violations, got.Toggles, want.Violations, want.Toggles)
+	}
+	//teva:allow floateq -- bit-exactness is the contract under test
+	if want.EnergyFJ != got.EnergyFJ || want.WorstArrival != got.WorstArrival {
+		t.Fatalf("seed %d trial %d lane %d: energy/worst %v/%v want %v/%v",
+			seed, trial, lane, got.EnergyFJ, got.WorstArrival, want.EnergyFJ, want.WorstArrival)
+	}
+	for i := range want.Captured {
+		//teva:allow floateq -- bit-exactness is the contract under test
+		if want.Captured[i] != got.Captured[i] || want.Settled[i] != got.Settled[i] || want.Arrival[i] != got.Arrival[i] {
+			t.Fatalf("seed %d trial %d lane %d output %d: captured/settled/arrival %v/%v/%v want %v/%v/%v",
+				seed, trial, lane, i, got.Captured[i], got.Settled[i], got.Arrival[i],
+				want.Captured[i], want.Settled[i], want.Arrival[i])
+		}
+	}
+}
+
+// TestWideFastMatchesScalarFast drives 64 random transitions per circuit
+// through one WideFastSim walk and through 64 scalar FastSim runs, and
+// requires every lane to match bit for bit. Circuits include
+// duplicate-pin gates and outputs tapping primary inputs; deadlines sit
+// inside the contested settling window so late captures occur.
+func TestWideFastMatchesScalarFast(t *testing.T) {
+	for _, seed := range []uint64{2, 17, 404, 90210} {
+		n := randomCircuit(t, seed)
+		c := n.Compiled()
+		src := prng.New(seed*0x9E3779B9 + 1)
+		ins := len(n.Inputs())
+		prevs := make([][]bool, 64)
+		curs := make([][]bool, 64)
+		prevW := make([]uint64, ins)
+		curW := make([]uint64, ins)
+		for _, scale := range []float64{1.0, 1.27} {
+			fast := timingsim.NewFast(c, scale)
+			wide := timingsim.NewWideFast(c, scale)
+			exact := timingsim.NewExact(c, scale)
+			var laneBuf timingsim.Sample
+			for trial := 0; trial < 10; trial++ {
+				for i := range prevW {
+					prevW[i] = 0
+					curW[i] = 0
+				}
+				for lane := 0; lane < 64; lane++ {
+					p := make([]bool, ins)
+					q := make([]bool, ins)
+					for i := range p {
+						p[i] = src.Bool()
+						q[i] = src.Bool()
+						if p[i] {
+							prevW[i] |= 1 << uint(lane)
+						}
+						if q[i] {
+							curW[i] |= 1 << uint(lane)
+						}
+					}
+					prevs[lane], curs[lane] = p, q
+				}
+				// Pick a deadline in the contested region of lane 0.
+				worst := exact.Run(prevs[0], curs[0], 10, timingsim.MaxDeadline).WorstArrival
+				for _, frac := range []float64{0.4, 0.8, 1.1} {
+					deadline := worst * frac
+					wide.Run(prevW, curW, 10, deadline)
+					for lane := 0; lane < 64; lane++ {
+						want := fast.Run(prevs[lane], curs[lane], 10, deadline)
+						got := wide.LaneSample(lane, &laneBuf)
+						compareLaneExact(t, seed, trial, lane, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestCompiledLogicAndWideMatchReference(t *testing.T) {
 	for _, seed := range []uint64{3, 99, 2024} {
 		n := randomCircuit(t, seed)

@@ -16,7 +16,6 @@
 package timingsim
 
 import (
-	"container/heap"
 	"math"
 
 	"teva/internal/netlist"
@@ -48,6 +47,18 @@ type Sample struct {
 
 // Erroneous reports whether any output captured a wrong value.
 func (s *Sample) Erroneous() bool { return s.Violations > 0 }
+
+// Clone returns an independent deep copy of the sample. Runner.Run
+// returns an engine-owned Sample that the next Run overwrites; callers
+// that need to keep a result past the next Run must Clone it (the
+// sampleretain teva-vet analyzer flags retained Run results).
+func (s *Sample) Clone() *Sample {
+	c := *s
+	c.Captured = append([]bool(nil), s.Captured...)
+	c.Settled = append([]bool(nil), s.Settled...)
+	c.Arrival = append([]float64(nil), s.Arrival...)
+	return &c
+}
 
 // Runner is a timing engine bound to one netlist and corner.
 type Runner interface {
@@ -197,19 +208,62 @@ type event struct {
 	stamp uint32 // per-net validity stamp
 }
 
+// before is the heap ordering: earliest time first, global sequence number
+// as the tiebreak. seq is unique per event, so the order is total and the
+// pop sequence is independent of heap internals.
+func (e event) before(o event) bool {
+	//teva:allow floateq -- tie-break comparator: equal times fall through to seq
+	if e.time != o.time {
+		return e.time < o.time
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a typed binary min-heap of events. Unlike container/heap
+// it moves concrete values — no interface boxing, so pushing an event
+// allocates nothing once the backing array has grown to the run's
+// high-water mark (it is reset with h = h[:0] between runs and its
+// capacity reused).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	//teva:allow floateq -- tie-break comparator: equal times fall through to seq
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (h *eventHeap) push(e event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = q
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && q[r].before(q[kid]) {
+			kid = r
+		}
+		if !q[kid].before(q[i]) {
+			break
+		}
+		q[i], q[kid] = q[kid], q[i]
+		i = kid
+	}
+	*h = q
+	return top
+}
 
 // ExactSim is the event-driven engine with inertial delays.
 type ExactSim struct {
@@ -282,7 +336,7 @@ func (s *ExactSim) scheduleGate(gi, changedPin int32, t float64) {
 		d = c.Fall[base+int(changedPin)]
 	}
 	s.seq++
-	heap.Push(&s.heap, event{
+	s.heap.push(event{
 		time:  t + d*s.scale,
 		seq:   s.seq,
 		net:   out,
@@ -310,7 +364,7 @@ func (s *ExactSim) Run(prev, cur []bool, inputArrival, deadline float64) *Sample
 		if cur[i] != prev[i] {
 			s.seq++
 			s.stamp[net]++
-			heap.Push(&s.heap, event{
+			s.heap.push(event{
 				time:  inputArrival,
 				seq:   s.seq,
 				net:   net,
@@ -323,8 +377,8 @@ func (s *ExactSim) Run(prev, cur []bool, inputArrival, deadline float64) *Sample
 	snapshotTaken := false
 	var toggles int64
 	var energy float64
-	for s.heap.Len() > 0 {
-		e := heap.Pop(&s.heap).(event)
+	for len(s.heap) > 0 {
+		e := s.heap.pop()
 		if e.stamp != s.stamp[e.net] {
 			continue // superseded
 		}
