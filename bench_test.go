@@ -23,6 +23,7 @@ import (
 	"teva/internal/isa"
 	"teva/internal/logicsim"
 	"teva/internal/prng"
+	"teva/internal/sta"
 	"teva/internal/timingsim"
 	"teva/internal/vscale"
 	"teva/internal/workloads"
@@ -272,6 +273,33 @@ func BenchmarkTimingSimWide(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(time.Since(start).Nanoseconds())/float64(b.N*64), "ns/transition")
 	b.ReportMetric(float64(stage.NumGates()), "gates")
+}
+
+// BenchmarkSTAForwardBackward measures the two-pass slack engine
+// (forward arrival plus backward required-time propagation) across every
+// stage of the double-precision multiplier pipeline, the design's
+// deepest. One iteration is a full per-net slack characterization of the
+// whole pipeline.
+func BenchmarkSTAForwardBackward(b *testing.B) {
+	e := benchEnv(b)
+	p := e.F.FPU.Pipeline(fpu.DMul)
+	lib := e.F.Lib
+	clk := e.F.FPU.CLK
+	var gates int
+	for _, s := range p.Stages {
+		gates += s.N.NumGates()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range p.Stages {
+			r := sta.Analyze(s.N.Compiled(), lib.ClockToQ, lib.Setup)
+			if r.WNS(clk) > clk {
+				b.Fatal("impossible slack")
+			}
+		}
+	}
+	b.ReportMetric(float64(gates), "gates")
 }
 
 // BenchmarkLogicSim measures the scalar zero-delay functional engine on

@@ -34,6 +34,9 @@ func main() {
 	seed := flag.Uint64("seed", 0xF00D, "master seed")
 	exact := flag.Bool("exact", false, "use the event-driven timing engine (slow, reference; same as -timing exact)")
 	timing := flag.String("timing", "", "timing engine: wide (default), fast, exact")
+	staScreen := flag.Bool("sta-screen", false, "skip dense DTA for ops whose worst STA slack clears the guardband")
+	screenGuardband := flag.Float64("screen-guardband", 0, "minimum positive slack in ps an op must clear to be screened (with -sta-screen)")
+	screenValidate := flag.Bool("screen-validate", false, "with -sta-screen: still simulate screened ops and fail on any disagreement")
 	flag.Parse()
 
 	level, err := parseLevel(*levelName)
@@ -58,6 +61,11 @@ func main() {
 		RandomOperands:   *operands,
 		WorkloadOperands: *operands,
 		Timing:           eng,
+		Screen: dta.ScreenConfig{
+			Enabled:   *staScreen,
+			Guardband: *screenGuardband,
+			Validate:  *screenValidate,
+		},
 	})
 	if err != nil {
 		fatal(err)

@@ -58,7 +58,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments (all, table1, table2, fig4..fig10, avm, sources, power, history, process, validate, design, adders)")
+	exp := flag.String("exp", "all", "comma-separated experiments (all, table1, table2, fig4..fig10, avm, sources, power, history, process, validate, design, adders, corners)")
 	quick := flag.Bool("quick", false, "tiny inputs and counts for a fast smoke run")
 	full := flag.Bool("full", false, "paper-scale statistics (1068 injections per cell; slow)")
 	scaleName := flag.String("scale", "", "workload scale override: tiny, small, full")
@@ -73,6 +73,10 @@ func main() {
 	pprofMem := flag.String("pprof-mem", "", "write a heap profile to this file on exit")
 	maxDuration := flag.Duration("max-duration", 0, "wall-clock budget; when exceeded, in-flight work is canceled and the run exits 124 (0: unlimited)")
 	timing := flag.String("timing", "wide", "DTA timing engine: wide (64-lane, default), fast (scalar reference), exact (event-driven, slow)")
+	cornerSpec := flag.String("corners", "", "corners for the multi-corner STA sweep: named corners (nominal, VR15, VR20) and/or supply voltages in volts, comma-separated (default: nominal,VR15,VR20)")
+	staScreen := flag.Bool("sta-screen", false, "skip dense DTA for ops whose worst STA slack clears the guardband (screened ops are reported error-free)")
+	screenGuardband := flag.Float64("screen-guardband", 0, "minimum positive slack in ps an op must clear to be screened (with -sta-screen)")
+	screenValidate := flag.Bool("screen-validate", false, "with -sta-screen: still simulate screened ops and fail on any disagreement with the slack screen")
 	flag.Parse()
 
 	eng, err := dta.ParseEngine(*timing)
@@ -83,7 +87,14 @@ func main() {
 	stopProfiles := startProfiles(*pprofCPU, *pprofMem)
 
 	opts := experiments.DefaultOptions()
-	cfg := core.Config{Seed: *seed, Workers: *workers, Metrics: reg, Timing: eng}
+	cfg := core.Config{
+		Seed: *seed, Workers: *workers, Metrics: reg, Timing: eng,
+		Screen: dta.ScreenConfig{
+			Enabled:   *staScreen,
+			Guardband: *screenGuardband,
+			Validate:  *screenValidate,
+		},
+	}
 	switch {
 	case *quick:
 		opts.Scale = workloads.Tiny
@@ -216,6 +227,30 @@ func main() {
 		}
 		return nil
 	})
+	run("corners", func() error {
+		corners, err := experiments.ParseCorners(*cornerSpec)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.CornerSweep(env, corners)
+		if err != nil {
+			return err
+		}
+		cached := 0
+		for _, r := range rows {
+			if r.Cached {
+				cached++
+			}
+		}
+		// Cache-dependent, so stderr: stdout must stay identical between
+		// cold and warm runs.
+		fmt.Fprintf(os.Stderr, "corner reports reloaded %d/%d\n", cached, len(rows))
+		experiments.RenderCorners(out, env, rows)
+		if *csvDir != "" {
+			return experiments.CSVCorners(*csvDir, rows)
+		}
+		return nil
+	})
 	run("table1", func() error { experiments.Table1(out); return nil })
 	run("table2", func() error {
 		rows, err := experiments.Table2(env)
@@ -232,6 +267,11 @@ func main() {
 		r, err := experiments.Fig4(env)
 		if err != nil {
 			return err
+		}
+		if r.Truncated {
+			fmt.Fprintf(os.Stderr,
+				"teva-experiments: fig4 path enumeration hit its expansion budget before yielding %d paths per stage; tail counts may undercount some units\n",
+				env.Opts.Fig4Paths)
 		}
 		experiments.RenderFig4(out, r)
 		if *csvDir != "" {

@@ -74,6 +74,21 @@ func SummaryKey(source, op string, scale float64, seed uint64, samples int, exac
 	}
 }
 
+// CornerKey builds the key for one multi-corner STA characterization
+// cell. Design names the analyzed unit ("fpu"), seed reproduces its exact
+// placement, and the corner's full operating point (supply, temperature,
+// process multiplier) plus the register parameters are encoded in hex
+// float form so the provenance is exact per corner — two corners that
+// differ in any parameter never alias.
+func CornerKey(design string, seed uint64, corner string, voltage, tempC, process, clkToQ, setup float64) Key {
+	hx := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	return Key{
+		Kind: "sta-corner",
+		ID: fmt.Sprintf("design=%s|seed=%#x|corner=%s|v=%s|t=%s|p=%s|clk2q=%s|setup=%s",
+			design, seed, corner, hx(voltage), hx(tempC), hx(process), hx(clkToQ), hx(setup)),
+	}
+}
+
 // CampaignKey builds the key for one injection-campaign cell. The cfg tag
 // folds in every framework setting that shapes the injected model
 // (characterization sample sizes, workload scale, timing engine), so a

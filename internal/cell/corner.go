@@ -1,0 +1,80 @@
+package cell
+
+import (
+	"fmt"
+
+	"teva/internal/vscale"
+)
+
+// Corner is one operating point of the characterized library: a supply
+// voltage, a junction temperature, and a process speed multiplier. It is
+// the unit of re-characterization — a compiled netlist is analyzed at a
+// corner by derating its nominal delays (alpha-power law for voltage,
+// linear coefficient for temperature, direct multiplier for process)
+// without being rebuilt, mirroring how SiliconSmart re-characterizes a
+// .lib per PVT point without touching the gate-level design.
+//
+// Zero values mean "nominal": Voltage 0 is the model's nominal supply,
+// TempC 0 is the 25C characterization temperature, Process 0 (or 1) is
+// the typical-speed die. Nominal() is therefore the zero Corner with a
+// name.
+type Corner struct {
+	// Name labels the corner in reports and cache keys ("nominal",
+	// "VR15", "hot-slow", ...).
+	Name string
+	// Voltage is the supply in volts (0: nominal supply).
+	Voltage float64
+	// TempC is the junction temperature in Celsius (0: the nominal 25C
+	// characterization point).
+	TempC float64
+	// Process is the process delay multiplier (0 or 1: typical; >1 slow
+	// corner, <1 fast corner).
+	Process float64
+}
+
+// Nominal returns the library's characterization corner.
+func Nominal() Corner { return Corner{Name: "nominal"} }
+
+// Label returns the corner's display name, deriving one from the
+// parameters when Name is empty.
+func (co Corner) Label() string {
+	if co.Name != "" {
+		return co.Name
+	}
+	return fmt.Sprintf("v%.3g-t%.3g-p%.3g", co.Voltage, co.TempC, co.process())
+}
+
+func (co Corner) process() float64 {
+	if co.Process == 0 {
+		return 1
+	}
+	return co.Process
+}
+
+// DelayScale returns the corner's multiplicative delay inflation under a
+// technology model: the product of the alpha-power voltage scale, the
+// linear temperature scale, and the process multiplier. DelayScale of the
+// nominal corner is exactly 1.
+func (co Corner) DelayScale(m vscale.Model) float64 {
+	s := co.process()
+	if co.Voltage > 0 {
+		s *= m.DelayScale(co.Voltage)
+	}
+	if co.TempC != 0 {
+		s *= m.TemperatureScale(co.TempC)
+	}
+	return s
+}
+
+// Derate is DelayScale under the repository's default 45nm model — the
+// model every other layer (core, dta, vscale corners) runs with.
+func (co Corner) Derate() float64 {
+	return co.DelayScale(vscale.Default45nm())
+}
+
+// AtReduction builds a corner at a fractional supply reduction of the
+// model's nominal voltage (0.15 → the paper's VR15 band), at nominal
+// temperature and typical process.
+func AtReduction(name string, m vscale.Model, fraction float64) Corner {
+	return Corner{Name: name, Voltage: m.SupplyAtReduction(fraction)}
+}

@@ -62,6 +62,12 @@ type Config struct {
 	// experiments.* counters plus phase timers from every framework
 	// operation. A nil registry disables instrumentation at zero cost.
 	Metrics *obs.Registry
+	// Screen configures slack-driven DTA screening: ops whose worst STA
+	// slack at the analyzed corner clears the guardband are predicted
+	// error-free and skip dense DTA (see dta.ScreenConfig). Screened ops
+	// are counted on dta.screened_ops; validation mode simulates them
+	// anyway and fails loudly on any disagreement.
+	Screen dta.ScreenConfig
 }
 
 // DefaultConfig returns the scaled-down defaults.
@@ -206,22 +212,60 @@ func (f *Framework) randomSummaries(ctx context.Context, level vscale.VRLevel) (
 		if op == fpu.DDiv || op == fpu.SDiv {
 			n /= 8 // the iterative divider is ~50x slower to analyze
 		}
+		screened := f.screens(op, scale)
+		if screened && !f.Cfg.Screen.Validate {
+			out[op] = dta.ScreenedSummary(op, n)
+			continue
+		}
 		opSeed := f.Cfg.Seed ^ 0x1A5EED ^ hashString("random/"+op.String())
 		key := artifact.SummaryKey("random", op.String(), scale, opSeed, n, f.Cfg.Timing.Exact())
 		s := new(dta.Summary)
 		if f.Cfg.Artifacts.Load(key, s) {
 			out[op] = s
-			continue
+		} else {
+			pairs := randomPairs(op, n, prng.New(opSeed))
+			recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.Timing, pairs, f.Cfg.Workers, f.Cfg.Metrics)
+			if err != nil {
+				return nil, err
+			}
+			out[op] = dta.Summarize(op, recs)
+			f.noteSaveErr(f.Cfg.Artifacts.Save(key, out[op]))
 		}
-		pairs := randomPairs(op, n, prng.New(opSeed))
-		recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.Timing, pairs, f.Cfg.Workers, f.Cfg.Metrics)
-		if err != nil {
+		if err := f.validateScreen(screened, op, scale, out[op]); err != nil {
 			return nil, err
 		}
-		out[op] = dta.Summarize(op, recs)
-		f.noteSaveErr(f.Cfg.Artifacts.Save(key, out[op]))
 	}
 	return out, nil
+}
+
+// screens evaluates (and counts) the slack screen for one op at a corner.
+func (f *Framework) screens(op fpu.Op, scale float64) bool {
+	if !f.Cfg.Screen.Enabled {
+		return false
+	}
+	m := f.Cfg.Metrics
+	m.Counter(dta.MetricScreenChecked).Inc()
+	if !f.Cfg.Screen.Screens(f.FPU, op, scale) {
+		return false
+	}
+	m.Counter(dta.MetricScreenedOps).Inc()
+	return true
+}
+
+// validateScreen cross-checks a screened op's simulated summary in
+// validation mode: the STA bound guarantees zero faulty instructions, so
+// any fault the simulation found is a soundness bug worth failing the run
+// over.
+func (f *Framework) validateScreen(screened bool, op fpu.Op, scale float64, s *dta.Summary) error {
+	if !screened || !f.Cfg.Screen.Validate {
+		return nil
+	}
+	f.Cfg.Metrics.Counter(dta.MetricScreenValidated).Inc()
+	if s.Faulty != 0 {
+		return fmt.Errorf("core: STA screen predicted %s error-free at delay scale %.6g (slack %.1f ps >= guardband %.1f ps), but simulation found %d/%d faulty instructions",
+			op, scale, dta.OpSlack(f.FPU, op, scale), f.Cfg.Screen.Guardband, s.Faulty, s.Total)
+	}
+	return nil
 }
 
 // WorkloadSummaries runs DTA over operands extracted from the workload
@@ -253,24 +297,32 @@ func (f *Framework) WorkloadSummariesCtx(ctx context.Context, level vscale.VRLev
 		if n < 1 {
 			n = 1
 		}
+		screened := f.screens(op, scale)
+		if screened && !f.Cfg.Screen.Validate {
+			out[op] = dta.ScreenedSummary(op, n)
+			continue
+		}
 		opSeed := f.Cfg.Seed ^ 0x3A5EED ^ hashString(tr.Workload+"/"+op.String())
 		key := artifact.SummaryKey(source, op.String(), scale, opSeed, n, f.Cfg.Timing.Exact())
 		s := new(dta.Summary)
 		if f.Cfg.Artifacts.Load(key, s) {
 			out[op] = s
-			continue
+		} else {
+			pairs := make([]dta.Pair, n)
+			rs := prng.New(opSeed)
+			for i := range pairs {
+				pairs[i] = pool[rs.Intn(len(pool))]
+			}
+			recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.Timing, pairs, f.Cfg.Workers, f.Cfg.Metrics)
+			if err != nil {
+				return nil, err
+			}
+			out[op] = dta.Summarize(op, recs)
+			f.noteSaveErr(f.Cfg.Artifacts.Save(key, out[op]))
 		}
-		pairs := make([]dta.Pair, n)
-		rs := prng.New(opSeed)
-		for i := range pairs {
-			pairs[i] = pool[rs.Intn(len(pool))]
-		}
-		recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.Timing, pairs, f.Cfg.Workers, f.Cfg.Metrics)
-		if err != nil {
+		if err := f.validateScreen(screened, op, scale, out[op]); err != nil {
 			return nil, err
 		}
-		out[op] = dta.Summarize(op, recs)
-		f.noteSaveErr(f.Cfg.Artifacts.Save(key, out[op]))
 	}
 	return out, nil
 }

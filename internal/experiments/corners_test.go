@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"teva/internal/artifact"
+	"teva/internal/core"
+	"teva/internal/obs"
+	"teva/internal/workloads"
+)
+
+func cornerEnv(t *testing.T, dir string) (*Env, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry(nil)
+	cfg := core.Config{Seed: 0xF00D, Metrics: reg}
+	if dir != "" {
+		store, err := artifact.OpenIn(dir, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Artifacts = store
+	}
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEnv(f, Options{Scale: workloads.Tiny, Runs: 8}), reg
+}
+
+func TestCornerSweepCachesPerCorner(t *testing.T) {
+	dir := t.TempDir()
+	e, reg := cornerEnv(t, dir)
+	corners := DefaultCorners()
+	rows, err := CornerSweep(e, corners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricCornerSTA).Value(); got != int64(len(corners)) {
+		t.Fatalf("cold sweep ran %d analyses, want %d", got, len(corners))
+	}
+	for i, r := range rows {
+		if r.Cached {
+			t.Fatalf("cold sweep row %d claims to be cached", i)
+		}
+	}
+
+	// Warm cache: a fresh Env over the same store must reload every row
+	// without a single analysis.
+	e2, reg2 := cornerEnv(t, dir)
+	rows2, err := CornerSweep(e2, corners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Counter(MetricCornerSTA).Value(); got != 0 {
+		t.Fatalf("warm sweep ran %d analyses, want 0", got)
+	}
+	for i := range rows2 {
+		if !rows2[i].Cached {
+			t.Fatalf("warm sweep row %d not marked cached", i)
+		}
+		rows2[i].Cached = false
+		if rows2[i] != rows[i] {
+			t.Fatalf("row %d differs across cache reload:\ncold %+v\nwarm %+v", i, rows[i], rows2[i])
+		}
+	}
+
+	// Rendered output must not depend on cache state.
+	var cold, warm bytes.Buffer
+	RenderCorners(&cold, e, rows)
+	for i := range rows2 {
+		rows2[i].Cached = true
+	}
+	RenderCorners(&warm, e2, rows2)
+	if cold.String() != warm.String() {
+		t.Fatalf("render differs between cold and warm runs:\n%s\nvs\n%s", cold.String(), warm.String())
+	}
+}
+
+func TestCornerSweepPhysics(t *testing.T) {
+	e, _ := cornerEnv(t, "")
+	rows, err := CornerSweep(e, DefaultCorners())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	nom, vr15, vr20 := rows[0], rows[1], rows[2]
+	clk := e.F.FPU.CLK
+	if nom.Derate != 1 || nom.ClockPeriod > clk+1e-6 || nom.WNS < -1e-6 {
+		t.Fatalf("nominal corner fails its own calibration: %+v", nom)
+	}
+	if nom.FailingStages != 0 || nom.FailingEndpoints != 0 {
+		t.Fatalf("nominal corner has failures: %+v", nom)
+	}
+	if !(vr20.Derate > vr15.Derate && vr15.Derate > 1) {
+		t.Fatalf("derate ordering wrong: %v vs %v", vr15.Derate, vr20.Derate)
+	}
+	if !(vr20.ClockPeriod > vr15.ClockPeriod && vr15.ClockPeriod > nom.ClockPeriod) {
+		t.Fatalf("clock period ordering wrong: %+v %+v %+v", nom, vr15, vr20)
+	}
+	// Reduced-voltage corners must fail the calibrated clock (the premise
+	// of the whole timing-error study) with VR20 strictly worse.
+	if vr15.WNS >= 0 || vr20.WNS >= vr15.WNS {
+		t.Fatalf("WNS ordering wrong: VR15 %v, VR20 %v", vr15.WNS, vr20.WNS)
+	}
+	if vr15.FailingStages == 0 || vr20.FailingEndpoints < vr15.FailingEndpoints {
+		t.Fatalf("failure counts not monotone: %+v vs %+v", vr15, vr20)
+	}
+}
+
+func TestParseCorners(t *testing.T) {
+	got, err := ParseCorners(" nominal, VR15,vr20 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Name != "nominal" || got[1].Name != "VR15" || got[2].Name != "VR20" {
+		t.Fatalf("parsed %+v", got)
+	}
+	def, err := ParseCorners("")
+	if err != nil || len(def) != 3 {
+		t.Fatalf("empty spec: %v %+v", err, def)
+	}
+	custom, err := ParseCorners("0.95")
+	if err != nil || len(custom) != 1 || custom[0].Voltage != 0.95 || custom[0].Name != "0.95V" {
+		t.Fatalf("custom voltage: %v %+v", err, custom)
+	}
+	if _, err := ParseCorners("bogus"); err == nil {
+		t.Fatal("bogus corner accepted")
+	}
+	if _, err := ParseCorners("0.2"); err == nil {
+		t.Fatal("sub-threshold supply accepted")
+	}
+}

@@ -80,6 +80,11 @@ type Fig4Result struct {
 	// UnitWorst maps every functional-unit group (including those absent
 	// from the top-K tail) to its worst static path delay.
 	UnitWorst map[string]float64
+	// Truncated reports that at least one stage's path enumeration hit
+	// its expansion budget before yielding the requested K, so the tail
+	// counts may undercount that unit. The CLI surfaces this as a
+	// warning on stderr (stdout stays deterministic either way).
+	Truncated bool
 }
 
 // Fig4 enumerates the longest paths of the placed core (FPU + integer
@@ -90,7 +95,7 @@ func Fig4(e *Env) (*Fig4Result, error) {
 		return nil, err
 	}
 	reports := append(e.F.FPU.StageReports(), intU.StageReports()...)
-	paths := sta.TopPathsAcross(reports, e.Opts.Fig4Paths)
+	paths, truncated := sta.TopPathsAcross(reports, e.Opts.Fig4Paths)
 	res := &Fig4Result{
 		CLK:       e.F.FPU.CLK,
 		Paths:     paths,
@@ -98,6 +103,7 @@ func Fig4(e *Env) (*Fig4Result, error) {
 		MinSlack:  e.F.FPU.CLK,
 		IntWorst:  intU.WorstDelay(),
 		UnitWorst: make(map[string]float64),
+		Truncated: truncated,
 	}
 	for _, p := range paths {
 		res.ByGroup[pathGroup(p)]++

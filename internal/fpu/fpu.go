@@ -139,6 +139,17 @@ func (f *FPU) StageReports() []*sta.Report {
 	return all
 }
 
+// StageReportsCorner is StageReports re-derated at an operating corner:
+// one STA per stage with every cell delay inflated by the corner's
+// alpha-power scale, without rebuilding any netlist.
+func (f *FPU) StageReportsCorner(corner cell.Corner) []*sta.Report {
+	var all []*sta.Report
+	for _, op := range Ops() {
+		all = append(all, f.pipelines[op].STACorner(corner)...)
+	}
+	return all
+}
+
 // ClockPeriod evaluates Eq. 1 over all pipeline stages: the maximum
 // worst-case stage delay, which the calibration pins to CLK.
 func (f *FPU) ClockPeriod() float64 {

@@ -180,6 +180,16 @@ func (p *Pipeline) STA() []*sta.Report {
 	return reports
 }
 
+// STACorner is STA with every stage re-derated at an operating corner
+// (the netlists are not rebuilt; see sta.AnalyzeCorner).
+func (p *Pipeline) STACorner(corner cell.Corner) []*sta.Report {
+	reports := make([]*sta.Report, len(p.Stages))
+	for i, s := range p.Stages {
+		reports[i] = sta.AnalyzeCorner(s.N.Compiled(), p.lib.ClockToQ, p.lib.Setup, corner)
+	}
+	return reports
+}
+
 // WorstStageDelay returns the slowest stage's STA delay and its index.
 func (p *Pipeline) WorstStageDelay() (float64, int) {
 	var worst float64

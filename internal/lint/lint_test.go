@@ -144,6 +144,7 @@ func TestPanicBarrierPathGate(t *testing.T) {
 	for asPath, wantFindings := range map[string]int{
 		"teva/internal/dta/lintfixture":      0,
 		"teva/internal/campaign/lintfixture": 2,
+		"teva/internal/sta/lintfixture":      2,
 	} {
 		t.Run(asPath, func(t *testing.T) {
 			p := loadFixture(t, l, "panicbarrier", asPath)

@@ -6,12 +6,15 @@ import (
 )
 
 // PanicBarrier flags raw `go` statements in the packages whose worker
-// pools are required to survive a panicking task (internal/experiments
-// and internal/campaign): every goroutine there must be launched through
-// guard.Go, whose recover barrier converts a worker panic into an error
-// labeled with the work's identity. A raw goroutine that panics instead
-// kills the whole process mid-matrix — exactly the failure mode the
-// fault-tolerant pipeline exists to prevent.
+// pools are required to survive a panicking task (internal/experiments,
+// internal/campaign and internal/sta): every goroutine there must be
+// launched through guard.Go, whose recover barrier converts a worker
+// panic into an error labeled with the work's identity. A raw goroutine
+// that panics instead kills the whole process mid-matrix — exactly the
+// failure mode the fault-tolerant pipeline exists to prevent. The STA
+// level workers are under the same rule: a panic in a level chunk must
+// surface as the analysis's own panic after the join, not as a process
+// abort from an anonymous goroutine.
 func PanicBarrier() *Analyzer {
 	return &Analyzer{
 		Name: "panicbarrier",
@@ -26,6 +29,7 @@ func PanicBarrier() *Analyzer {
 var panicBarrierPaths = []string{
 	"internal/experiments",
 	"internal/campaign",
+	"internal/sta",
 }
 
 func runPanicBarrier(p *Package) []Finding {

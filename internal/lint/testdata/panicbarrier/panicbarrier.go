@@ -1,6 +1,6 @@
 // Package panicbarrier exercises the panic-barrier analyzer. Loaded
-// under a guarded import path (internal/experiments or
-// internal/campaign) the raw go statements below must be flagged; loaded
+// under a guarded import path (internal/experiments, internal/campaign
+// or internal/sta) the raw go statements below must be flagged; loaded
 // under any other path the same file must stay silent.
 package panicbarrier
 

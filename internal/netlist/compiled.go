@@ -59,6 +59,17 @@ type Compiled struct {
 	FanOff  []int32
 	FanGate []int32
 	FanPin  []int32
+
+	// Level schedule in compressed-sparse-row form: the gates at
+	// topological level L are Levels[LevelOff[L]:LevelOff[L+1]], in
+	// ascending gate-id order. A gate's level is its longest input depth,
+	// so every gate at level L reads only nets driven at levels < L (or
+	// primary inputs/constants) — engines may process one level's gates
+	// in any order, or in parallel, without races. NumLevels is the
+	// schedule depth (0 for an empty circuit).
+	NumLevels int
+	LevelOff  []int32
+	Levels    []int32
 }
 
 // compileBox caches a netlist's Compiled form. It lives behind a pointer
@@ -155,6 +166,32 @@ func (n *Netlist) compile() *Compiled {
 			c.FanPin[idx] = pin
 			idx++
 		}
+	}
+	// Level schedule: bucket gates by topological level (counting sort —
+	// levels are dense small ints). Gate ids within a level come out
+	// ascending because gates are visited in storage order, which keeps
+	// the schedule deterministic for any consumer that walks it serially.
+	numLevels := 0
+	for gi := range n.gates {
+		if l := int(n.level[gi]) + 1; l > numLevels {
+			numLevels = l
+		}
+	}
+	c.NumLevels = numLevels
+	c.LevelOff = make([]int32, numLevels+1)
+	for gi := range n.gates {
+		c.LevelOff[n.level[gi]+1]++
+	}
+	for l := 0; l < numLevels; l++ {
+		c.LevelOff[l+1] += c.LevelOff[l]
+	}
+	c.Levels = make([]int32, numGates)
+	fill := make([]int32, numLevels)
+	copy(fill, c.LevelOff[:numLevels])
+	for gi := range n.gates {
+		l := n.level[gi]
+		c.Levels[fill[l]] = int32(gi)
+		fill[l]++
 	}
 	return c
 }

@@ -1,0 +1,99 @@
+package netlist_test
+
+import (
+	"testing"
+
+	"teva/internal/netlist"
+)
+
+// buildLevelCircuit returns a compiled multi-level circuit with a mix of
+// depths: a ripple adder has one gate chain per bit position.
+func buildLevelCircuit(t *testing.T) *netlist.Compiled {
+	t.Helper()
+	b := netlist.NewBuilder("levels", lib, 9)
+	x := b.Input(16)
+	y := b.Input(16)
+	sum, cout := b.RippleAdder(x, y, b.InputNet())
+	b.Output(append(append(netlist.Bus{}, sum...), cout))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.Compiled()
+}
+
+func TestLevelScheduleCoversEveryGateOnce(t *testing.T) {
+	c := buildLevelCircuit(t)
+	if c.NumLevels <= 1 {
+		t.Fatalf("adder should be multi-level, got %d levels", c.NumLevels)
+	}
+	if len(c.LevelOff) != c.NumLevels+1 {
+		t.Fatalf("LevelOff length %d, want %d", len(c.LevelOff), c.NumLevels+1)
+	}
+	if c.LevelOff[0] != 0 || int(c.LevelOff[c.NumLevels]) != c.NumGates {
+		t.Fatalf("LevelOff bounds [%d, %d], want [0, %d]",
+			c.LevelOff[0], c.LevelOff[c.NumLevels], c.NumGates)
+	}
+	seen := make([]bool, c.NumGates)
+	for l := 0; l < c.NumLevels; l++ {
+		lo, hi := c.LevelOff[l], c.LevelOff[l+1]
+		if lo > hi {
+			t.Fatalf("level %d has negative extent [%d, %d)", l, lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			gi := c.Levels[i]
+			if seen[gi] {
+				t.Fatalf("gate %d scheduled twice", gi)
+			}
+			seen[gi] = true
+			if i > lo && c.Levels[i-1] >= gi {
+				t.Fatalf("level %d not in ascending gate order at slot %d", l, i)
+			}
+		}
+	}
+	for gi, ok := range seen {
+		if !ok {
+			t.Fatalf("gate %d missing from the level schedule", gi)
+		}
+	}
+}
+
+// TestLevelScheduleRespectsDependencies checks the property engines rely
+// on: every input of a gate at level L is a primary input, a constant, or
+// driven by a gate at a strictly lower level.
+func TestLevelScheduleRespectsDependencies(t *testing.T) {
+	c := buildLevelCircuit(t)
+	levelOf := make([]int, c.NumGates)
+	for l := 0; l < c.NumLevels; l++ {
+		for i := c.LevelOff[l]; i < c.LevelOff[l+1]; i++ {
+			levelOf[c.Levels[i]] = l
+		}
+	}
+	for gi := int32(0); gi < int32(c.NumGates); gi++ {
+		for _, in := range c.Pins(gi) {
+			d := c.Driver[in]
+			if d < 0 {
+				continue // primary input or constant
+			}
+			if levelOf[d] >= levelOf[gi] {
+				t.Fatalf("gate %d (level %d) reads net driven at level %d",
+					gi, levelOf[gi], levelOf[d])
+			}
+		}
+	}
+}
+
+func TestLevelScheduleEmptyCircuit(t *testing.T) {
+	b := netlist.NewBuilder("feedthrough", lib, 1)
+	x := b.InputNet()
+	b.Output(netlist.Bus{x})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.Compiled()
+	if c.NumLevels != 0 || len(c.Levels) != 0 || len(c.LevelOff) != 1 {
+		t.Fatalf("gate-free circuit schedule: NumLevels=%d Levels=%v LevelOff=%v",
+			c.NumLevels, c.Levels, c.LevelOff)
+	}
+}

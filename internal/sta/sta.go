@@ -1,20 +1,38 @@
-// Package sta performs static timing analysis on netlists: worst-case
-// arrival per endpoint, clock-period determination (Eq. 1 of the paper),
-// slack histograms, and enumeration of the K longest register-to-register
-// paths (the analysis behind the paper's Figure 4). Analysis runs on the
+// Package sta performs static timing analysis on netlists as a two-pass
+// engine: a forward pass propagates worst-case arrival times from the
+// launching registers, and a backward pass propagates required times from
+// the capturing registers, so every net carries a real slack
+// (Slack = Required − Arrival), not just the endpoints. On top of the two
+// passes sit clock-period determination (Eq. 1 of the paper), slack
+// histograms, and enumeration of the K longest register-to-register paths
+// (the analysis behind the paper's Figure 4). Analysis runs on the
 // compiled flat IR (netlist.Compiled), the same substrate the simulation
-// engines use.
+// engines use, and schedules by the IR's precomputed topological levels:
+// gates within a level are independent, so both passes fan wide levels
+// out over a bounded worker pool. Each gate's value is computed by
+// exactly one worker with a fixed pin-iteration order, so the report is
+// bitwise identical for any worker count.
 //
 // Path delay follows the paper's convention: D(P) includes the launching
 // register's clock-to-output delay and the capturing register's setup time.
+//
+// AnalyzeCorner re-derates the compiled library at an operating corner
+// (voltage, temperature, process; see cell.Corner) without rebuilding the
+// netlist: the alpha-power delay scale is applied per pin during both
+// passes, which keeps the corner abstraction open for future non-uniform
+// derating models.
 package sta
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
+	"teva/internal/cell"
+	"teva/internal/guard"
 	"teva/internal/netlist"
 )
 
@@ -37,13 +55,20 @@ func (p Path) Slack(clk float64) float64 { return clk - p.Delay }
 type Report struct {
 	// Netlist names the analyzed circuit.
 	Netlist string
+	// Corner labels the operating corner the analysis ran at ("nominal"
+	// for plain Analyze).
+	Corner string
+	// Derate is the uniform delay inflation applied to every cell delay
+	// (1 at the nominal corner).
+	Derate float64
 	// WorstDelay is the longest path delay (with clock-to-Q and setup), ps.
 	WorstDelay float64
 	// EndpointDelay maps each primary output index to its worst delay.
 	EndpointDelay []float64
 	arrival       []float64 // per net, worst arrival (incl. clock-to-Q)
+	toEnd         []float64 // per net, longest remaining delay to any endpoint (excl. setup); -Inf when none is reachable
 	c             *netlist.Compiled
-	clkToQ, setup float64
+	clkToQ, setup float64 // derated register parameters
 }
 
 // pinDelayMax returns the worse of a pin's rise/fall delays at flat pin
@@ -56,9 +81,83 @@ func pinDelayMax(c *netlist.Compiled, pi int) float64 {
 	}
 }
 
+// parallelGrain is the minimum level width worth fanning out: below it,
+// goroutine handoff costs more than the per-gate arithmetic saves.
+const parallelGrain = 512
+
+// forEachLevelGate applies fn to every gate of the half-open schedule
+// range [lo, hi), splitting wide ranges across up to workers goroutines.
+// Every gate is visited by exactly one worker, so fn may write per-gate
+// (or per-output-net) state freely; results are independent of the split
+// because each gate's own computation is sequential. Worker panics are
+// funneled through the guard barrier and re-raised after the join, so a
+// poisoned analysis surfaces exactly like a serial panic would.
+func forEachLevelGate(c *netlist.Compiled, lo, hi int32, workers int, fn func(gi int32)) {
+	n := hi - lo
+	if workers <= 1 || n < parallelGrain {
+		for i := lo; i < hi; i++ {
+			fn(c.Levels[i])
+		}
+		return
+	}
+	chunks := int32(workers)
+	if chunks > n {
+		chunks = n
+	}
+	var wg sync.WaitGroup
+	var sink guard.Sink
+	for w := int32(0); w < chunks; w++ {
+		first := lo + n*w/chunks
+		last := lo + n*(w+1)/chunks
+		guard.Go(&wg, &sink, fmt.Sprintf("sta level worker %d", w), func() error {
+			for i := first; i < last; i++ {
+				fn(c.Levels[i])
+			}
+			return nil
+		})
+	}
+	wg.Wait()
+	if err := sink.Join(); err != nil {
+		panic(err)
+	}
+}
+
 // Analyze runs STA on the compiled netlist with the given register timing
-// parameters (typically Library.ClockToQ and Library.Setup).
+// parameters (typically Library.ClockToQ and Library.Setup), using all
+// available cores for wide levels. The report is bitwise identical for
+// any worker count.
 func Analyze(c *netlist.Compiled, clkToQ, setup float64) *Report {
+	return analyze(c, clkToQ, setup, 1, "nominal", runtime.GOMAXPROCS(0))
+}
+
+// AnalyzeWorkers is Analyze with an explicit worker bound (<= 1: serial).
+func AnalyzeWorkers(c *netlist.Compiled, clkToQ, setup float64, workers int) *Report {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return analyze(c, clkToQ, setup, 1, "nominal", workers)
+}
+
+// AnalyzeCorner runs STA with the compiled library re-derated at the
+// operating corner: every pin delay, the clock-to-Q delay and the setup
+// time are inflated by the corner's alpha-power delay scale (see
+// cell.Corner.Derate). The netlist is not rebuilt — derating happens
+// during the passes.
+func AnalyzeCorner(c *netlist.Compiled, clkToQ, setup float64, corner cell.Corner) *Report {
+	return analyze(c, clkToQ, setup, corner.Derate(), corner.Label(), runtime.GOMAXPROCS(0))
+}
+
+// analyze is the two-pass engine core. derate multiplies every cell delay
+// (1 for the nominal corner; note x*1 is exact in IEEE arithmetic, so the
+// nominal path is bit-identical to an underate-free walk).
+func analyze(c *netlist.Compiled, clkToQ, setup, derate float64, cornerName string, workers int) *Report {
+	clkToQ *= derate
+	setup *= derate
+	stride := c.Stride
+
+	// Forward pass: worst arrival per net, levels ascending. A gate reads
+	// only nets driven at lower levels (or inputs/constants) and writes
+	// only its own output net, so gates within a level are race-free.
 	arrival := make([]float64, c.NumNets)
 	for i := range arrival {
 		arrival[i] = math.Inf(-1)
@@ -68,24 +167,85 @@ func Analyze(c *netlist.Compiled, clkToQ, setup float64) *Report {
 	for _, in := range c.Inputs {
 		arrival[in] = clkToQ
 	}
-	stride := c.Stride
-	for gi := 0; gi < c.NumGates; gi++ {
-		base := gi * stride
+	forward := func(gi int32) {
+		base := int(gi) * stride
 		worst := math.Inf(-1)
 		ni := int(c.NumIn[gi])
 		for pin := 0; pin < ni; pin++ {
 			if a := arrival[c.In[base+pin]]; !math.IsInf(a, -1) {
-				if t := a + pinDelayMax(c, base+pin); t > worst {
+				if t := a + derate*pinDelayMax(c, base+pin); t > worst {
 					worst = t
 				}
 			}
 		}
 		arrival[c.Out[gi]] = worst
 	}
+	for l := 0; l < c.NumLevels; l++ {
+		forEachLevelGate(c, c.LevelOff[l], c.LevelOff[l+1], workers, forward)
+	}
+
+	// Backward pass: longest remaining delay from each net to any
+	// endpoint, levels descending. A gate's fanout lives strictly above
+	// its own level (a reader's level exceeds every driver's), so when
+	// gate gi computes toEnd of its output net, every continuation it
+	// reads is already final; it writes only its own output net.
+	isOutput := make([]bool, c.NumNets)
+	for _, out := range c.Outputs {
+		isOutput[out] = true
+	}
+	toEnd := make([]float64, c.NumNets)
+	for i := range toEnd {
+		toEnd[i] = math.Inf(-1)
+	}
+	relax := func(net int32) float64 {
+		best := math.Inf(-1)
+		if isOutput[net] {
+			best = 0
+		}
+		for j := c.FanOff[net]; j < c.FanOff[net+1]; j++ {
+			g := c.FanGate[j]
+			te := toEnd[c.Out[g]]
+			if math.IsInf(te, -1) {
+				continue
+			}
+			// Scan every pin of the reader connected to this net (a gate
+			// may read the same net on several pins with different
+			// delays); the CSR holds one entry per occurrence but always
+			// names the first pin, so the scan keeps the bound exact.
+			base := int(g) * stride
+			ni := int(c.NumIn[g])
+			for pin := 0; pin < ni; pin++ {
+				if c.In[base+pin] != net {
+					continue
+				}
+				if t := derate*pinDelayMax(c, base+pin) + te; t > best {
+					best = t
+				}
+			}
+		}
+		return best
+	}
+	backward := func(gi int32) {
+		out := c.Out[gi]
+		toEnd[out] = relax(out)
+	}
+	for l := c.NumLevels - 1; l >= 0; l-- {
+		forEachLevelGate(c, c.LevelOff[l], c.LevelOff[l+1], workers, backward)
+	}
+	// Primary inputs are driven by no gate; their continuations are all
+	// gate outputs, final after the level sweep. Constants stay -Inf:
+	// paths never launch from a constant net.
+	for _, in := range c.Inputs {
+		toEnd[in] = relax(int32(in))
+	}
+
 	r := &Report{
 		Netlist:       c.Name,
+		Corner:        cornerName,
+		Derate:        derate,
 		EndpointDelay: make([]float64, len(c.Outputs)),
 		arrival:       arrival,
+		toEnd:         toEnd,
 		c:             c,
 		clkToQ:        clkToQ,
 		setup:         setup,
@@ -105,6 +265,58 @@ func Analyze(c *netlist.Compiled, clkToQ, setup float64) *Report {
 	return r
 }
 
+// Arrival returns the worst-case arrival time at a net (including
+// clock-to-Q), or -Inf when the net is unreachable from any register
+// output (constants, dead nets).
+func (r *Report) Arrival(net netlist.NetID) float64 { return r.arrival[net] }
+
+// Required returns the backward-pass required time at a net for a clock
+// period: the latest arrival that still meets setup at every endpoint the
+// net reaches. Nets that reach no endpoint have +Inf required time.
+func (r *Report) Required(net netlist.NetID, clk float64) float64 {
+	te := r.toEnd[net]
+	if math.IsInf(te, -1) {
+		return math.Inf(1)
+	}
+	return clk - r.setup - te
+}
+
+// NetSlack returns Required − Arrival at a net: the margin of the worst
+// register-to-register path through it. Nets outside any path (constants,
+// nets that reach no endpoint) have +Inf slack.
+func (r *Report) NetSlack(net netlist.NetID, clk float64) float64 {
+	a, te := r.arrival[net], r.toEnd[net]
+	if math.IsInf(a, -1) || math.IsInf(te, -1) {
+		return math.Inf(1)
+	}
+	return clk - (a + te + r.setup)
+}
+
+// NetSlacks returns the per-net slack vector at a clock period.
+func (r *Report) NetSlacks(clk float64) []float64 {
+	slacks := make([]float64, len(r.arrival))
+	for net := range slacks {
+		slacks[net] = r.NetSlack(netlist.NetID(net), clk)
+	}
+	return slacks
+}
+
+// WNS returns the worst negative slack at a clock period: clk −
+// WorstDelay, negative when the circuit fails timing. (The name follows
+// signoff convention; the value is positive when every path meets clk.)
+func (r *Report) WNS(clk float64) float64 { return clk - r.WorstDelay }
+
+// FailingEndpoints counts endpoints with negative slack at a clock period.
+func (r *Report) FailingEndpoints(clk float64) int {
+	n := 0
+	for _, d := range r.EndpointDelay {
+		if clk-d < 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // SlackHistogram returns per-endpoint slacks for a clock period.
 func (r *Report) SlackHistogram(clk float64) []float64 {
 	slacks := make([]float64, len(r.EndpointDelay))
@@ -117,7 +329,12 @@ func (r *Report) SlackHistogram(clk float64) []float64 {
 // ClockPeriod implements Eq. 1 over a set of stage reports: the max worst
 // delay across all pipeline stages, optionally padded by a margin factor
 // (1.0 = zero-margin signoff, as in the paper's "fastest CLK achieved").
+// It panics on an empty report set — a misconfigured pipeline would
+// otherwise silently sign off at a 0 ps clock.
 func ClockPeriod(reports []*Report, margin float64) float64 {
+	if len(reports) == 0 {
+		panic("sta: ClockPeriod over an empty report set")
+	}
 	var clk float64
 	for _, r := range reports {
 		if r.WorstDelay > clk {
@@ -136,7 +353,7 @@ type pathNode struct {
 }
 
 type searchItem struct {
-	// bound = delaySoFar + bestToEnd(net): the exact best completion.
+	// bound = delaySoFar + toEnd(net): the exact best completion.
 	bound      float64
 	delaySoFar float64
 	node       *pathNode
@@ -157,52 +374,28 @@ func (h *searchHeap) Pop() any {
 }
 
 // TopPaths enumerates the k longest register-to-register paths in
-// descending delay order using best-first search with an exact
-// completion bound (longest-distance-to-endpoint precomputation). The
-// search is exact; a generous expansion budget guards against pathological
-// path explosion and is reported via the truncated return.
+// descending delay order using best-first search with an exact completion
+// bound — the backward pass the report already carries, so enumeration
+// shares one longest-distance-to-endpoint table with slack reporting
+// instead of recomputing its own. The search is exact; a generous
+// expansion budget guards against pathological path explosion and is
+// reported via the truncated return.
 func (r *Report) TopPaths(k int) (paths []Path, truncated bool) {
 	c := r.c
 	isOutput := make([]bool, c.NumNets)
 	for _, out := range c.Outputs {
 		isOutput[out] = true
 	}
-	// bestToEnd[net]: longest delay from net to any endpoint (0 at
-	// endpoints), -inf when no endpoint is reachable.
-	bestToEnd := make([]float64, c.NumNets)
-	for i := range bestToEnd {
-		if isOutput[netlist.NetID(i)] {
-			bestToEnd[i] = 0
-		} else {
-			bestToEnd[i] = math.Inf(-1)
-		}
-	}
+	toEnd := r.toEnd
 	stride := c.Stride
-	for gi := c.NumGates - 1; gi >= 0; gi-- {
-		out := c.Out[gi]
-		if math.IsInf(bestToEnd[out], -1) {
-			continue
-		}
-		base := gi * stride
-		ni := int(c.NumIn[gi])
-		for pin := 0; pin < ni; pin++ {
-			in := netlist.NetID(c.In[base+pin])
-			if in == netlist.Const0 || in == netlist.Const1 {
-				continue
-			}
-			if t := pinDelayMax(c, base+pin) + bestToEnd[out]; t > bestToEnd[in] {
-				bestToEnd[in] = t
-			}
-		}
-	}
 
 	h := &searchHeap{}
 	for _, in := range c.Inputs {
-		if math.IsInf(bestToEnd[in], -1) {
+		if math.IsInf(toEnd[in], -1) {
 			continue
 		}
 		heap.Push(h, searchItem{
-			bound:      bestToEnd[in],
+			bound:      toEnd[in],
 			delaySoFar: 0,
 			node:       &pathNode{net: in},
 		})
@@ -228,12 +421,12 @@ func (r *Report) TopPaths(k int) (paths []Path, truncated bool) {
 				if netlist.NetID(c.In[base+pin]) != net {
 					continue
 				}
-				if math.IsInf(bestToEnd[out], -1) {
+				if math.IsInf(toEnd[out], -1) {
 					continue
 				}
-				d := it.delaySoFar + pinDelayMax(c, base+pin)
+				d := it.delaySoFar + r.Derate*pinDelayMax(c, base+pin)
 				heap.Push(h, searchItem{
-					bound:      d + bestToEnd[out],
+					bound:      d + toEnd[out],
 					delaySoFar: d,
 					node:       &pathNode{net: netlist.NetID(out), prev: it.node},
 				})
@@ -266,18 +459,21 @@ func (r *Report) materialize(it searchItem) Path {
 }
 
 // TopPathsAcross merges the k longest paths across multiple reports
-// (e.g. all pipeline stages of all functional units), descending by delay.
-func TopPathsAcross(reports []*Report, k int) []Path {
-	var all []Path
+// (e.g. all pipeline stages of all functional units), descending by
+// delay. The truncated return is the OR of the per-report truncation
+// flags: when set, at least one report hit its expansion budget before
+// yielding k paths, so the merged tail may undercount that report's unit.
+func TopPathsAcross(reports []*Report, k int) (all []Path, truncated bool) {
 	for _, r := range reports {
-		p, _ := r.TopPaths(k)
+		p, t := r.TopPaths(k)
+		truncated = truncated || t
 		all = append(all, p...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Delay > all[j].Delay })
 	if len(all) > k {
 		all = all[:k]
 	}
-	return all
+	return all, truncated
 }
 
 // UnitDistribution counts paths per functional-unit tag; the quantity

@@ -237,7 +237,10 @@ func TestTopPathsAcrossAndUnitDistribution(t *testing.T) {
 
 	rFPU := sta.Analyze(nFPU.Compiled(), clkToQ, setup)
 	rALU := sta.Analyze(nALU.Compiled(), clkToQ, setup)
-	paths := sta.TopPathsAcross([]*sta.Report{rFPU, rALU}, 30)
+	paths, truncated := sta.TopPathsAcross([]*sta.Report{rFPU, rALU}, 30)
+	if truncated {
+		t.Fatal("small circuits should not hit the enumeration budget")
+	}
 	if len(paths) != 30 {
 		t.Fatalf("got %d paths", len(paths))
 	}
