@@ -305,6 +305,13 @@ func (a *Analyzer) Analyze(pair Pair) Record {
 // circuit walk; the undervolted instance replays the same serial
 // transition history a pair-at-a-time loop would, so the records are
 // identical to repeated Analyze calls.
+//
+// This is the DTA stream's per-instruction engine loop: AnalyzeStream
+// shards call it for every 64-pair window of the workload, so it and
+// everything it reaches must not allocate in steady state (the
+// AllocsPerRun tests measure it; the hotalloc analyzer proves it).
+//
+//teva:hotpath
 func (a *Analyzer) AnalyzeBatch(pairs []Pair, recs []Record) {
 	if len(pairs) != len(recs) {
 		panic("dta: AnalyzeBatch length mismatch")
@@ -459,6 +466,7 @@ func (a *Analyzer) faultyStep(pair Pair) (faulty uint64, maxArrivalPS float64) {
 	for ci := range a.stages {
 		// Timing simulation from the previous cycle's (faulty-domain)
 		// stage inputs to the current ones.
+		//teva:allow hotalloc -- reviewed: Runner dispatch picks FastSim/Exact; both are steady-state alloc-free (AllocsPerRun tests)
 		sample := a.timing[ci].Run(a.prevIn[ci], faultyIn, inputArrival, deadline)
 		if sample.WorstArrival > maxArrivalPS {
 			maxArrivalPS = sample.WorstArrival

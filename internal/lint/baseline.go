@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline support: a checked-in inventory of accepted findings so a new
+// analyzer can land blocking in CI before the repo is fully swept.
+// Baselined findings are suppressed at report time and burned down
+// incrementally; stale entries (fixed findings still in the file) are
+// reported so the inventory only shrinks.
+//
+// Entries are keyed by (analyzer, file, message) — deliberately without
+// line numbers, so unrelated edits shifting a finding up or down do not
+// resurrect it.
+
+// baselineVersion is bumped when the entry key changes shape.
+const baselineVersion = 1
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// baselineFile is the on-disk shape of a baseline.
+type baselineFile struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// Baseline is a loaded set of accepted findings.
+type Baseline struct {
+	entries map[BaselineEntry]bool
+}
+
+// NewBaseline builds an empty baseline (nothing suppressed).
+func NewBaseline() *Baseline { return &Baseline{entries: make(map[BaselineEntry]bool)} }
+
+// LoadBaseline reads a baseline file. A missing or malformed file is an
+// error: the CLI passes the flag explicitly, and silently running without
+// the baseline would flip CI from incremental to all-or-nothing.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if bf.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s has version %d, want %d", path, bf.Version, baselineVersion)
+	}
+	b := NewBaseline()
+	for _, e := range bf.Entries {
+		b.entries[e] = true
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the findings as a baseline file, sorted and
+// deduplicated so the file is byte-stable across runs.
+func WriteBaseline(path string, findings []Finding) error {
+	set := make(map[BaselineEntry]bool)
+	for _, f := range findings {
+		set[entryOf(f)] = true
+	}
+	entries := make([]BaselineEntry, 0, len(set))
+	for e := range set {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(baselineFile{Version: baselineVersion, Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func entryOf(f Finding) BaselineEntry {
+	return BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message}
+}
+
+// Filter splits findings into fresh (reported) and baselined (suppressed)
+// groups, preserving order.
+func (b *Baseline) Filter(findings []Finding) (fresh []Finding, suppressed int) {
+	for _, f := range findings {
+		if b.entries[entryOf(f)] {
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, suppressed
+}
+
+// Stale returns baseline entries no finding matched — fixed findings whose
+// entries should be deleted from the file — in stable order.
+func (b *Baseline) Stale(findings []Finding) []BaselineEntry {
+	seen := make(map[BaselineEntry]bool, len(findings))
+	for _, f := range findings {
+		seen[entryOf(f)] = true
+	}
+	var stale []BaselineEntry
+	for e := range b.entries {
+		if !seen[e] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return stale
+}
+
+// Len reports the number of baseline entries.
+func (b *Baseline) Len() int { return len(b.entries) }

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc proves the //teva:hotpath closure allocation-free at compile
+// time, complementing the AllocsPerRun regression tests (which catch a
+// regression only on the exact path a benchmark drives). A function
+// marked //teva:hotpath — the DTA batch loop, the 64-lane timing kernels,
+// the STA level walk — and everything it transitively calls through
+// statically resolved module functions must not allocate in steady state.
+//
+// Because this is a proof rather than a bug hunt, the analyzer
+// over-approximates: anything it cannot see through is a finding. That
+// means direct allocation sites (append growth, make/new, heap composite
+// literals, string building, slice↔string conversions, closures, go
+// statements, interface boxing at call boundaries) and opaque calls
+// (dynamic dispatch, unsummarized externals outside a small pure
+// allowlist). Failure paths are exempt: anything inside a panic(...)
+// argument runs at most once per crash.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "//teva:hotpath functions and their transitive callees must be allocation-free",
+		Run:  runHotAlloc,
+	}
+}
+
+// hotallocExternalOK lists external packages whose functions are known
+// allocation-free (pure value math), so hot code may call them.
+var hotallocExternalOK = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+func runHotAlloc(p *Package) []Finding {
+	prog := program(p)
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			fi := prog.info(obj)
+			if fi == nil || fi.HotFrom == nil {
+				continue
+			}
+			root := fi.HotFrom.Display()
+			where := "hot path"
+			if fi.HotFrom != fi {
+				where = "hot path rooted at " + root
+			}
+			for _, a := range fi.Allocs {
+				out = append(out, p.finding("hotalloc", a.Node, "%s: %s", where, a.Desc))
+			}
+			for _, c := range fi.Calls {
+				if c.InPanic {
+					continue
+				}
+				if msg := opaqueCall(prog, c); msg != "" {
+					out = append(out, p.finding("hotalloc", c.Site, "%s: %s", where, msg))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// opaqueCall reports why a call site breaks the allocation-freedom proof
+// ("" when the callee is provable or structurally harmless).
+func opaqueCall(prog *Program, c Call) string {
+	switch c.Kind {
+	case CallDynamic:
+		return c.Desc + " cannot be proven allocation-free"
+	case CallModule, CallExternal:
+		if c.Callee == nil {
+			// Builtins, conversions, inline literals: the allocating
+			// subset is flagged structurally by collectAllocs.
+			return ""
+		}
+		if prog.info(c.Callee) != nil {
+			// Summarized module function: its own body is part of the hot
+			// closure and reports its own sites.
+			return ""
+		}
+		pkg := ""
+		if c.Callee.Pkg() != nil {
+			pkg = c.Callee.Pkg().Path()
+		}
+		if hotallocExternalOK[pkg] {
+			return ""
+		}
+		return "calls unsummarized " + c.Desc
+	}
+	return ""
+}
+
+// allocBuiltins are the builtins that (may) allocate.
+var allocBuiltins = map[string]string{
+	"append": "append may grow the backing array",
+	"make":   "make allocates",
+	"new":    "new allocates",
+}
+
+// collectAllocs records the function's direct allocation sites (and
+// constructs the proof cannot see through) into fi.Allocs. Shared with
+// ipa.go's summary collection so the sites are gathered in the same pass
+// discipline as calls and sources.
+func collectAllocs(p *Package, body *ast.BlockStmt, fi *FuncInfo) {
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) {
+		if underPanic(p, stack) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			collectCallAllocs(p, n, fi)
+		case *ast.CompositeLit:
+			collectCompositeAlloc(p, n, stack, fi)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := p.Info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						fi.Allocs = append(fi.Allocs, AllocSite{Node: n, Desc: "string concatenation allocates"})
+					}
+				}
+			}
+		case *ast.FuncLit:
+			fi.Allocs = append(fi.Allocs, AllocSite{Node: n, Desc: "func literal may allocate a closure"})
+		case *ast.GoStmt:
+			fi.Allocs = append(fi.Allocs, AllocSite{Node: n, Desc: "go statement allocates a goroutine"})
+		}
+	})
+}
+
+// collectCallAllocs handles the call-shaped allocation sites: allocating
+// builtins, slice↔string conversions, and interface boxing of arguments.
+func collectCallAllocs(p *Package, call *ast.CallExpr, fi *FuncInfo) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isB := p.Info.Uses[id].(*types.Builtin); isB {
+			if desc, bad := allocBuiltins[id.Name]; bad {
+				fi.Allocs = append(fi.Allocs, AllocSite{Node: call, Desc: desc})
+			}
+			return
+		}
+	}
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: only the slice↔string shapes copy their operand.
+		if len(call.Args) == 1 && conversionAllocates(p.Info.TypeOf(call.Args[0]), tv.Type) {
+			fi.Allocs = append(fi.Allocs, AllocSite{Node: call, Desc: "slice/string conversion copies its operand"})
+		}
+		return
+	}
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && call.Ellipsis == token.NoPos && i >= params.Len()-1:
+			if params.Len() > 0 {
+				if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		at := p.Info.TypeOf(arg)
+		if pt == nil || at == nil {
+			continue
+		}
+		if types.IsInterface(pt.Underlying()) && !types.IsInterface(at.Underlying()) && !isUntypedNil(at) {
+			fi.Allocs = append(fi.Allocs, AllocSite{Node: arg,
+				Desc: "interface boxing of " + at.String() + " argument may allocate"})
+		}
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= params.Len() {
+		// The variadic slice itself is allocated per call.
+		fi.Allocs = append(fi.Allocs, AllocSite{Node: call, Desc: "variadic call allocates its argument slice"})
+	}
+}
+
+// collectCompositeAlloc flags heap-shaped composite literals: slice and
+// map literals always allocate; &T{...} escapes to the heap in general.
+// Plain value struct and array literals are assignment, not allocation.
+func collectCompositeAlloc(p *Package, lit *ast.CompositeLit, stack []ast.Node, fi *FuncInfo) {
+	t := p.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		fi.Allocs = append(fi.Allocs, AllocSite{Node: lit, Desc: "slice literal allocates"})
+		return
+	case *types.Map:
+		fi.Allocs = append(fi.Allocs, AllocSite{Node: lit, Desc: "map literal allocates"})
+		return
+	}
+	if len(stack) > 0 {
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			fi.Allocs = append(fi.Allocs, AllocSite{Node: u, Desc: "&composite literal may escape to the heap"})
+		}
+	}
+}
+
+// conversionAllocates reports whether converting from -> to copies the
+// operand ([]byte(s), string(b), []rune(s), ...). Pointer, numeric and
+// same-kind conversions are free.
+func conversionAllocates(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	_, fromSlice := from.Underlying().(*types.Slice)
+	_, toSlice := to.Underlying().(*types.Slice)
+	return (isStr(from) && toSlice) || (fromSlice && isStr(to))
+}
+
+// isUntypedNil reports whether t is the untyped nil type (boxing nil into
+// an interface stores no value).
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// underPanic reports whether the node is inside a panic(...) argument —
+// the crash path may allocate its message freely.
+func underPanic(p *Package, stack []ast.Node) bool {
+	for _, n := range stack {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(p, call, "panic") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,563 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural core of the suite: a whole-program call
+// graph over every loaded package with one summary per function, plus the
+// fixed-point propagation the detflow/ctxflow/hotalloc analyzers query.
+//
+// The single-function analyzers (maporder, simpurity, ...) inspect one
+// package at a time; the summary engine instead reasons about paths that
+// cross package boundaries — experiments → campaign → dta — the way
+// FastFlip composes per-section injection results into whole-program
+// outcomes. Summaries are collected in one AST pass per function and the
+// propagation lattices are tiny (a boolean plus a witness edge), so
+// whole-repo analysis stays in the tens of milliseconds.
+//
+// Two deliberate asymmetries, matching each analyzer's job:
+//
+//   - detflow UNDER-approximates through dynamic calls (interface methods,
+//     func values do not propagate taint): it is a bug finder, and
+//     assuming every dynamic call nondeterministic would drown real
+//     source→sink paths in noise.
+//   - hotalloc OVER-approximates (a dynamic or unsummarized call in a hot
+//     path is itself a finding): it is a proof of allocation-freedom, and
+//     a call it cannot see through is a hole in the proof.
+
+// hotpathDirective marks a function whose transitive closure must be
+// allocation-free (checked by the hotalloc analyzer).
+const hotpathDirective = "teva:hotpath"
+
+// CallKind classifies one call site for the summary consumers.
+type CallKind uint8
+
+const (
+	// CallModule targets a function whose body the program has loaded
+	// (summaries compose through it).
+	CallModule CallKind = iota
+	// CallExternal targets a function outside the loaded set (stdlib);
+	// only name-based tables (sources, allowlists) apply.
+	CallExternal
+	// CallDynamic is an interface-method or func-value invocation: the
+	// callee is unresolvable statically.
+	CallDynamic
+)
+
+// Call is one resolved call site inside a function body.
+type Call struct {
+	Kind CallKind
+	// Callee is the invoked function (its generic origin for instantiated
+	// generics); nil for CallDynamic.
+	Callee *types.Func
+	// Site is the call expression (positions, arguments).
+	Site *ast.CallExpr
+	// Desc names the target for reporting ("timingsim.Runner.Run",
+	// "func value f", "fmt.Sprintf").
+	Desc string
+	// InPanic is true when the call sits inside a panic(...) argument —
+	// the failure path is exempt from hot-closure propagation and the
+	// allocation proof (it runs at most once per crash).
+	InPanic bool
+}
+
+// SourceUse is one direct nondeterminism source inside a function.
+type SourceUse struct {
+	Node ast.Node
+	// Desc names the source ("time.Now", "map-range order escaping into
+	// an appended slice", ...).
+	Desc string
+}
+
+// AllocSite is one direct allocation (or unprovable construct) inside a
+// function, for the hotalloc proof.
+type AllocSite struct {
+	Node ast.Node
+	Desc string
+}
+
+// FuncInfo is the per-function summary.
+type FuncInfo struct {
+	Obj  *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+
+	// Calls lists every call site in source order (nested literals
+	// included — a closure body executes on behalf of its creator).
+	Calls []Call
+	// Sources are the function's direct nondeterminism sources.
+	Sources []SourceUse
+	// Allocs are the function's direct allocation sites.
+	Allocs []AllocSite
+	// Hotpath is true when the declaration carries //teva:hotpath.
+	Hotpath bool
+	// CtxParams holds the function's context.Context parameter objects.
+	CtxParams []*types.Var
+	// DefaultsCtx is true when the body calls context.Background() or
+	// context.TODO() directly.
+	DefaultsCtx bool
+
+	// Computed by Resolve:
+
+	// Taint, when non-nil, witnesses that the function (transitively)
+	// reaches a nondeterminism source.
+	Taint *Witness
+	// HotFrom, when non-nil, names the //teva:hotpath root that makes this
+	// function part of a hot closure.
+	HotFrom *FuncInfo
+	// HotVia is the call chain (exclusive of self) from HotFrom here.
+	HotVia []*FuncInfo
+	// CtxDefaulting, when non-nil, witnesses that this ctx-less function
+	// transitively reaches a context.Background()/TODO() call through
+	// ctx-less module functions only.
+	CtxDefaulting *Witness
+}
+
+// Witness is one step of an interprocedural evidence chain: either a
+// terminal fact observed directly in the function, or a call edge into the
+// next function on the path.
+type Witness struct {
+	// Desc describes the terminal fact ("calls time.Now") when Via is nil,
+	// or is empty for pure forwarding steps.
+	Desc string
+	// Pos locates the evidence (the source use or the call site).
+	Pos token.Position
+	// Via is the next function on the path (nil at the chain's end).
+	Via *FuncInfo
+}
+
+// Chain renders the full evidence path starting at fn: "a → b: calls
+// time.Now (file:line)".
+func (f *FuncInfo) chain(w *Witness) string {
+	var parts []string
+	cur := f
+	for w != nil {
+		if w.Via == nil {
+			return fmt.Sprintf("%s%s %s (%s:%d)", strings.Join(parts, ""), cur.Display(), w.Desc, shortFile(w.Pos.Filename), w.Pos.Line)
+		}
+		parts = append(parts, cur.Display()+" → ")
+		cur = w.Via
+		w = cur.Taint
+		if len(parts) > 8 { // defensive bound; chains are acyclic in practice
+			break
+		}
+	}
+	return strings.Join(parts, "") + cur.Display()
+}
+
+// ctxChain renders the ctx-defaulting evidence path starting at fn.
+func (f *FuncInfo) ctxChain(w *Witness) string {
+	var parts []string
+	cur := f
+	for w != nil {
+		if w.Via == nil {
+			return fmt.Sprintf("%s%s %s", strings.Join(parts, ""), cur.Display(), w.Desc)
+		}
+		parts = append(parts, cur.Display()+" → ")
+		cur = w.Via
+		w = cur.CtxDefaulting
+		if len(parts) > 8 {
+			break
+		}
+	}
+	return strings.Join(parts, "") + cur.Display()
+}
+
+// Display is the function's compact report name: "dta.AnalyzeStream" or
+// "sta.passes.forward".
+func (f *FuncInfo) Display() string { return displayFunc(f.Obj) }
+
+func displayFunc(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+		if i := strings.LastIndex(pkg, "/"); i >= 0 {
+			pkg = pkg[i+1:]
+		}
+		pkg += "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return pkg + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// shortFile trims a file path to its last two segments for chain rendering.
+func shortFile(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}
+
+// Program is the whole-repo summary database shared by the
+// interprocedural analyzers.
+type Program struct {
+	// Funcs maps each loaded function (generic origin) to its summary.
+	Funcs map[*types.Func]*FuncInfo
+	// order is the deterministic iteration order (package path, then
+	// source position) every fixed point runs in, so witness chains are
+	// byte-identical across runs and loader parallelism.
+	order []*FuncInfo
+}
+
+// BuildProgram collects summaries for every function of the given packages
+// and resolves the interprocedural fixed points. The packages are
+// typically Loader.Loaded() — every package the driver touched, imports
+// included — so cross-package chains compose fully.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{Funcs: make(map[*types.Func]*FuncInfo)}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	for _, p := range sorted {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := collectFunc(p, fd, obj)
+				prog.Funcs[obj] = fi
+				prog.order = append(prog.order, fi)
+			}
+		}
+	}
+	prog.resolve()
+	return prog
+}
+
+// info returns the summary for a callee, resolving generic instantiations
+// to their origin declaration.
+func (prog *Program) info(fn *types.Func) *FuncInfo {
+	if fn == nil {
+		return nil
+	}
+	return prog.Funcs[fn.Origin()]
+}
+
+// collectFunc builds one function's summary in a single AST pass.
+func collectFunc(p *Package, fd *ast.FuncDecl, obj *types.Func) *FuncInfo {
+	fi := &FuncInfo{Obj: obj, Pkg: p, Decl: fd}
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), hotpathDirective) {
+				fi.Hotpath = true
+			}
+		}
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if v := sig.Params().At(i); isContextType(v.Type()) {
+				fi.CtxParams = append(fi.CtxParams, v)
+			}
+		}
+	}
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			call := resolveCall(p, n)
+			call.InPanic = underPanic(p, stack)
+			fi.Calls = append(fi.Calls, call)
+			if src := sourceCall(call); src != "" {
+				fi.Sources = append(fi.Sources, SourceUse{Node: n, Desc: src})
+			}
+			if call.Callee != nil && call.Callee.Pkg() != nil &&
+				call.Callee.Pkg().Path() == "context" &&
+				(call.Callee.Name() == "Background" || call.Callee.Name() == "TODO") {
+				fi.DefaultsCtx = true
+			}
+		case *ast.RangeStmt:
+			collectRangeSources(p, fd.Body, n, fi)
+		}
+	})
+	collectAllocs(p, fd.Body, fi)
+	return fi
+}
+
+// resolveCall classifies one call expression.
+func resolveCall(p *Package, call *ast.CallExpr) Call {
+	c := Call{Site: call, Kind: CallDynamic, Desc: "func value"}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := p.Info.Uses[fun].(type) {
+		case *types.Func:
+			return classifyStatic(p, call, obj)
+		case *types.Builtin:
+			return Call{Site: call, Kind: CallExternal, Desc: "builtin " + fun.Name,
+				Callee: nil}
+		case *types.TypeName:
+			// Type conversion, handled by the alloc collector.
+			return Call{Site: call, Kind: CallExternal, Desc: "conversion"}
+		}
+		if tv, ok := p.Info.Types[fun]; ok && tv.IsType() {
+			return Call{Site: call, Kind: CallExternal, Desc: "conversion"}
+		}
+		c.Desc = "func value " + fun.Name
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if recvIsInterface(fn) {
+					return Call{Site: call, Kind: CallDynamic, Callee: fn,
+						Desc: "dynamic dispatch " + displayFunc(fn)}
+				}
+				return classifyStatic(p, call, fn)
+			}
+			c.Desc = "func-valued field " + fun.Sel.Name
+			return c
+		}
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return classifyStatic(p, call, fn)
+		}
+		if tv, ok := p.Info.Types[fun]; ok && tv.IsType() {
+			return Call{Site: call, Kind: CallExternal, Desc: "conversion"}
+		}
+		c.Desc = "func value " + fun.Sel.Name
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+				return classifyStatic(p, call, fn)
+			}
+		}
+	case *ast.IndexListExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+				return classifyStatic(p, call, fn)
+			}
+		}
+	case *ast.FuncLit:
+		// Immediately invoked literal: its body was already walked as part
+		// of this function, so the call itself is a no-op edge.
+		return Call{Site: call, Kind: CallExternal, Desc: "inline literal"}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.StarExpr:
+		return Call{Site: call, Kind: CallExternal, Desc: "conversion"}
+	}
+	return c
+}
+
+// classifyStatic builds the edge for a statically resolved function.
+// Module-vs-external is decided later by the Program (whether the origin
+// has a summary), so here both get the callee attached.
+func classifyStatic(p *Package, call *ast.CallExpr, fn *types.Func) Call {
+	return Call{Site: call, Kind: CallModule, Callee: fn.Origin(), Desc: displayFunc(fn)}
+}
+
+// recvIsInterface reports whether fn is declared on an interface type
+// (dynamic dispatch at every call site).
+func recvIsInterface(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// nondetSources names the external calls treated as direct nondeterminism
+// sources by detflow: wall-clock reads, environment reads, and the global
+// (unseeded) math/rand streams.
+var nondetSources = map[string]map[string]bool{
+	"time":         {"Now": true, "Since": true, "Until": true},
+	"os":           {"Getenv": true, "LookupEnv": true, "Environ": true},
+	"math/rand":    nil, // nil: every function in the package
+	"math/rand/v2": nil,
+}
+
+// sourceCall returns the source description when the call targets a
+// nondeterminism source, else "".
+func sourceCall(c Call) string {
+	if c.Callee == nil || c.Callee.Pkg() == nil {
+		return ""
+	}
+	names, ok := nondetSources[c.Callee.Pkg().Path()]
+	if !ok {
+		return ""
+	}
+	if names == nil || names[c.Callee.Name()] {
+		return "calls " + c.Callee.Pkg().Path() + "." + c.Callee.Name()
+	}
+	return ""
+}
+
+// collectRangeSources records map-iteration order escaping the function
+// and goroutine-unordered channel collection as nondeterminism sources.
+func collectRangeSources(p *Package, body *ast.BlockStmt, rs *ast.RangeStmt, fi *FuncInfo) {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		// Appending inside a map range without a later sort makes the
+		// slice's element order depend on map iteration — if that slice
+		// reaches a sink, the output is nondeterministic. The
+		// collect-then-sort idiom stays clean.
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(p, call, "append") || len(call.Args) == 0 {
+				return true
+			}
+			if target := appendTarget(call); target != nil && !sortedLater(p, body, target) {
+				fi.Sources = append(fi.Sources, SourceUse{Node: call,
+					Desc: "appends in map-iteration order (unsorted)"})
+			}
+			return true
+		})
+	case *types.Chan:
+		// Ranging a channel and appending yields completion order — only
+		// nondeterministic when several goroutines feed the channel, which
+		// the enclosing function launching goroutines approximates.
+		if !launchesGoroutine(body) {
+			return
+		}
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && isBuiltin(p, call, "append") {
+				fi.Sources = append(fi.Sources, SourceUse{Node: call,
+					Desc: "collects goroutine results in channel-completion order"})
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// launchesGoroutine reports whether the body contains any go statement.
+func launchesGoroutine(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// resolve runs the interprocedural fixed points in deterministic order.
+func (prog *Program) resolve() {
+	prog.resolveTaint()
+	prog.resolveHot()
+	prog.resolveCtxDefaulting()
+}
+
+// resolveTaint computes the transitive nondeterminism taint: a function is
+// tainted when it uses a source directly or calls a tainted module
+// function. Dynamic calls do not propagate (see the file comment).
+func (prog *Program) resolveTaint() {
+	for _, fi := range prog.order {
+		if len(fi.Sources) > 0 {
+			s := fi.Sources[0]
+			fi.Taint = &Witness{Desc: s.Desc, Pos: fi.Pkg.posn(s.Node)}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range prog.order {
+			if fi.Taint != nil {
+				continue
+			}
+			for _, c := range fi.Calls {
+				callee := prog.info(c.Callee)
+				if callee == nil || callee.Taint == nil {
+					continue
+				}
+				fi.Taint = &Witness{Pos: fi.Pkg.posn(c.Site), Via: callee}
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// resolveHot computes the hot closure: every function reachable from a
+// //teva:hotpath root through statically resolved module calls.
+func (prog *Program) resolveHot() {
+	var queue []*FuncInfo
+	for _, fi := range prog.order {
+		if fi.Hotpath {
+			fi.HotFrom = fi
+			queue = append(queue, fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for _, c := range fi.Calls {
+			if c.InPanic {
+				continue // crash-path callees are not hot
+			}
+			callee := prog.info(c.Callee)
+			if callee == nil || callee.HotFrom != nil {
+				continue
+			}
+			callee.HotFrom = fi.HotFrom
+			callee.HotVia = append(append([]*FuncInfo(nil), fi.HotVia...), fi)
+			queue = append(queue, callee)
+		}
+	}
+}
+
+// resolveCtxDefaulting marks ctx-less module functions that reach a
+// context.Background()/TODO() call through ctx-less module functions only:
+// calling one from a context-threaded function silently severs the
+// cancellation chain (ctxflow reports those call sites).
+func (prog *Program) resolveCtxDefaulting() {
+	for _, fi := range prog.order {
+		if len(fi.CtxParams) == 0 && fi.DefaultsCtx {
+			fi.CtxDefaulting = &Witness{Desc: "calls context.Background()/TODO()"}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range prog.order {
+			if fi.CtxDefaulting != nil || len(fi.CtxParams) > 0 {
+				continue
+			}
+			for _, c := range fi.Calls {
+				callee := prog.info(c.Callee)
+				if callee == nil || callee.CtxDefaulting == nil || len(callee.CtxParams) > 0 {
+					continue
+				}
+				fi.CtxDefaulting = &Witness{Pos: fi.Pkg.posn(c.Site), Via: callee}
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// program returns the package's whole-program summary database, building a
+// single-package fallback when the driver did not attach one (fixture
+// tests and direct RunAnalyzers callers attach the real thing).
+func program(p *Package) *Program {
+	if p.Prog == nil {
+		p.Prog = BuildProgram([]*Package{p})
+	}
+	return p.Prog
+}

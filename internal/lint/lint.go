@@ -64,6 +64,9 @@ func All() []*Analyzer {
 		ObsNames(),
 		PanicBarrier(),
 		SampleRetain(),
+		DetFlow(),
+		CtxFlow(),
+		HotAlloc(),
 	}
 }
 
@@ -80,6 +83,11 @@ type Package struct {
 	// Types and Info are the go/types results.
 	Types *types.Package
 	Info  *types.Info
+	// Prog is the whole-program summary database shared by the
+	// interprocedural analyzers (detflow, ctxflow, hotalloc). Drivers set
+	// it once via BuildProgram over every loaded package; when nil, the
+	// analyzers fall back to a single-package program.
+	Prog *Program
 }
 
 // posn converts a node position into a Finding location.
@@ -152,7 +160,7 @@ func (a allows) allowed(f Finding) bool {
 }
 
 // RunAnalyzers applies the analyzers to the package and returns the
-// surviving (unsuppressed) findings, sorted by position.
+// surviving (unsuppressed) findings, deduplicated and in stable order.
 func RunAnalyzers(p *Package, analyzers []*Analyzer) []Finding {
 	sup := buildAllows(p)
 	var out []Finding
@@ -163,18 +171,37 @@ func RunAnalyzers(p *Package, analyzers []*Analyzer) []Finding {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].File != out[j].File {
-			return out[i].File < out[j].File
+	return SortFindings(out)
+}
+
+// SortFindings orders findings by (file, line, col, analyzer, message) and
+// drops exact duplicates, so vet output is byte-identical regardless of
+// loader parallelism or a file reaching the driver through more than one
+// package variant. The slice is sorted in place and the (possibly shorter)
+// deduplicated prefix returned.
+func SortFindings(fs []Finding) []Finding {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
 		}
-		if out[i].Line != out[j].Line {
-			return out[i].Line < out[j].Line
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
 		}
-		if out[i].Col != out[j].Col {
-			return out[i].Col < out[j].Col
+		if fs[i].Col != fs[j].Col {
+			return fs[i].Col < fs[j].Col
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if fs[i].Analyzer != fs[j].Analyzer {
+			return fs[i].Analyzer < fs[j].Analyzer
+		}
+		return fs[i].Message < fs[j].Message
 	})
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
 	return out
 }
 

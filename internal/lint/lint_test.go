@@ -73,16 +73,25 @@ func sortExpects(es []expect) {
 // and //teva:allow-suppressed lines are filtered by the driver.
 func checkFixture(t *testing.T, p *Package) {
 	t.Helper()
+	checkFixtureWith(t, p, All())
+}
+
+// checkFixtureWith is checkFixture restricted to an analyzer subset —
+// interprocedural fixtures deliberately contain violations of other
+// analyzers (a detflow fixture is full of time.Now calls simpurity would
+// also flag), so their markers describe a single analyzer's output.
+func checkFixtureWith(t *testing.T, p *Package, analyzers []*Analyzer) {
+	t.Helper()
 	want := wantMarkers(p)
 	var got []expect
-	for _, f := range RunAnalyzers(p, All()) {
+	for _, f := range RunAnalyzers(p, analyzers) {
 		got = append(got, expect{line: f.Line, analyzer: f.Analyzer})
 	}
 	sortExpects(want)
 	sortExpects(got)
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("findings mismatch for %s\n got: %v\nwant: %v", p.Path, got, want)
-		for _, f := range RunAnalyzers(p, All()) {
+		for _, f := range RunAnalyzers(p, analyzers) {
 			t.Logf("  finding: %s", f)
 		}
 	}
@@ -113,6 +122,102 @@ func TestGoldenFixtures(t *testing.T) {
 		t.Run(tc.fixture, func(t *testing.T) {
 			checkFixture(t, loadFixture(t, l, tc.fixture, tc.asPath))
 		})
+	}
+}
+
+// TestInterproceduralFixtures runs each dataflow analyzer alone over its
+// fixture: the markers are exact (true positives fire, the clean idioms
+// and //teva:allow cases stay silent).
+func TestInterproceduralFixtures(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		asPath   string
+		analyzer *Analyzer
+	}{
+		// detflow's sinks are gated to internal/ packages.
+		{"detflow", "teva/internal/lintfixture/detflow", DetFlow()},
+		// ctxflow is gated to the cancellation-threaded packages.
+		{"ctxflow", "teva/internal/campaign/lintfixture", CtxFlow()},
+		// hotalloc keys off //teva:hotpath, not the import path.
+		{"hotalloc", "teva/internal/lintfixture/hotalloc", HotAlloc()},
+	}
+	l := newTestLoader(t)
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			p := loadFixture(t, l, tc.fixture, tc.asPath)
+			checkFixtureWith(t, p, []*Analyzer{tc.analyzer})
+		})
+	}
+}
+
+// TestInterproceduralPathGates loads the gated dataflow fixtures under
+// exempt import paths: every marker line must stay silent.
+func TestInterproceduralPathGates(t *testing.T) {
+	l := newTestLoader(t)
+	cases := []struct {
+		fixture  string
+		asPath   string
+		analyzer *Analyzer
+	}{
+		// cmd/ binaries own their progress output.
+		{"detflow", "teva/cmd/lintfixture", DetFlow()},
+		// ctxflow fires only inside the threaded packages.
+		{"ctxflow", "teva/internal/lintfixture/ctxflow", CtxFlow()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture+"/"+tc.asPath, func(t *testing.T) {
+			p := loadFixture(t, l, tc.fixture, tc.asPath)
+			if got := RunAnalyzers(p, []*Analyzer{tc.analyzer}); len(got) != 0 {
+				t.Errorf("%s under exempt path %s: want 0 findings, got %d: %v",
+					tc.analyzer.Name, tc.asPath, len(got), got)
+			}
+		})
+	}
+}
+
+// TestHotClosureCrossesPackages asserts the summary engine's whole-repo
+// reach: the //teva:hotpath root on dta.Analyzer.AnalyzeBatch must pull
+// logicsim.WideSim.Outputs (called by goldenBatch two packages away) into
+// the hot closure.
+func TestHotClosureCrossesPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks several packages; skipped in -short")
+	}
+	l := newTestLoader(t)
+	if _, err := l.LoadDir(filepath.Join(l.Root, "internal", "dta")); err != nil {
+		t.Fatalf("loading internal/dta: %v", err)
+	}
+	prog := BuildProgram(l.Loaded())
+	var outputs *FuncInfo
+	for _, fi := range prog.Funcs {
+		if fi.Display() == "logicsim.WideSim.Outputs" {
+			outputs = fi
+		}
+	}
+	if outputs == nil {
+		t.Fatal("no summary for logicsim.WideSim.Outputs")
+	}
+	if outputs.HotFrom == nil {
+		t.Fatal("logicsim.WideSim.Outputs is not in any hot closure; want root dta.Analyzer.AnalyzeBatch")
+	}
+	if got := outputs.HotFrom.Display(); got != "dta.Analyzer.AnalyzeBatch" {
+		t.Errorf("hot root = %s, want dta.Analyzer.AnalyzeBatch", got)
+	}
+}
+
+// TestSortFindingsDedupe covers the stable-output contract: exact
+// duplicates (a file reaching the driver through two package variants)
+// collapse, and order is (file, line, col, analyzer, message) regardless
+// of input order.
+func TestSortFindingsDedupe(t *testing.T) {
+	a := Finding{Analyzer: "x", File: "a.go", Line: 3, Col: 1, Message: "m"}
+	b := Finding{Analyzer: "x", File: "a.go", Line: 3, Col: 1, Message: "n"}
+	c := Finding{Analyzer: "w", File: "a.go", Line: 3, Col: 1, Message: "m"}
+	d := Finding{Analyzer: "x", File: "b.go", Line: 1, Col: 1, Message: "m"}
+	got := SortFindings([]Finding{d, b, a, c, a, d, b})
+	want := []Finding{c, a, b, d}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("SortFindings:\n got: %v\nwant: %v", got, want)
 	}
 }
 
@@ -230,11 +335,15 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, dir := range dirs {
-		p, err := l.LoadDir(dir)
-		if err != nil {
-			t.Fatalf("loading %s: %v", dir, err)
-		}
+	pkgs, err := l.LoadAll(dirs, 8)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	// Mirror the CLI: one summary database over everything loaded, so the
+	// interprocedural analyzers see cross-package chains.
+	prog := BuildProgram(l.Loaded())
+	for _, p := range pkgs {
+		p.Prog = prog
 		for _, f := range RunAnalyzers(p, All()) {
 			t.Errorf("%s", l.RelFile(f))
 		}

@@ -1,16 +1,21 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // modulePath is the repo's module path; module-local imports are resolved
@@ -22,26 +27,42 @@ const modulePath = "teva"
 // imports are type-checked from $GOROOT source via go/importer's "source"
 // compiler; module-local imports are resolved recursively through the
 // loader itself, so one Loader instance memoizes every package it touches.
+//
+// The loader is safe for concurrent use: LoadAll type-checks independent
+// packages in parallel, with per-path promises so a package shared by two
+// load chains is checked exactly once. token.FileSet is concurrency-safe;
+// the stdlib source importer is not, so stdMu serializes it (it memoizes
+// internally, so the serialization only costs on first touch).
 type Loader struct {
 	// Root is the module root (the directory holding go.mod).
 	Root string
 	// Fset positions every file loaded through this loader.
 	Fset *token.FileSet
 
-	std  types.Importer
-	pkgs map[string]*Package
-	errs map[string]error
+	std   types.Importer
+	stdMu sync.Mutex
+
+	mu    sync.Mutex
+	loads map[string]*loadPromise
+}
+
+// loadPromise is the memo entry for one import path: the first goroutine
+// to request the path populates pkg/err and closes done; later requests
+// wait on done and share the result.
+type loadPromise struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewLoader returns a loader for the module rooted at root.
 func NewLoader(root string) *Loader {
 	fset := token.NewFileSet()
 	return &Loader{
-		Root: root,
-		Fset: fset,
-		std:  importer.ForCompiler(fset, "source", nil),
-		pkgs: make(map[string]*Package),
-		errs: make(map[string]error),
+		Root:  root,
+		Fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		loads: make(map[string]*loadPromise),
 	}
 }
 
@@ -144,48 +165,127 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if rel != "." {
 		path = modulePath + "/" + filepath.ToSlash(rel)
 	}
-	return l.load(path, dir)
+	return l.load(path, dir, nil)
+}
+
+// LoadAll loads every directory with up to workers goroutines and returns
+// the packages in the dirs' order (so output is deterministic regardless
+// of scheduling). Shared imports are type-checked once. Per-directory
+// failures are joined into one error; the successfully loaded packages
+// are still returned alongside it.
+func (l *Loader) LoadAll(dirs []string, workers int) ([]*Package, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	pkgs := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				pkgs[i], errs[i] = l.LoadDir(dirs[i])
+			}
+		}()
+	}
+	for i := range dirs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	out := pkgs[:0]
+	for _, p := range pkgs {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// Loaded returns every package this loader has successfully type-checked —
+// requested directories and their transitive module-local imports — sorted
+// by import path. This is the package set BuildProgram wants: summaries
+// over imports included, so cross-package chains compose fully.
+func (l *Loader) Loaded() []*Package {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []*Package
+	for _, pr := range l.loads {
+		select {
+		case <-pr.done:
+			if pr.pkg != nil {
+				out = append(out, pr.pkg)
+			}
+		default: // still loading; caller is racing LoadAll, skip
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // CheckDir type-checks dir as if it had the given import path. Analyzer
 // fixtures use this to exercise path-dependent rules (simpurity) from
 // testdata directories.
 func (l *Loader) CheckDir(dir, asPath string) (*Package, error) {
-	return l.load(asPath, dir)
+	return l.load(asPath, dir, nil)
 }
 
-// Import implements types.Importer so packages can reference each other
-// and the standard library during type-checking.
+// Import implements types.Importer so external callers can resolve paths
+// through the loader; internal type-checking goes through chainImporter,
+// which additionally carries the import chain for cycle detection.
 func (l *Loader) Import(path string) (*types.Package, error) {
+	return chainImporter{l: l}.Import(path)
+}
+
+// chainImporter resolves imports for one package's type-check, carrying
+// the chain of in-progress import paths: a module-local cycle is reported
+// as a named error instead of deadlocking two promise waits.
+type chainImporter struct {
+	l     *Loader
+	chain []string
+}
+
+func (ci chainImporter) Import(path string) (*types.Package, error) {
 	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, modulePath), "/")
-		p, err := l.load(path, filepath.Join(l.Root, filepath.FromSlash(rel)))
+		p, err := ci.l.load(path, filepath.Join(ci.l.Root, filepath.FromSlash(rel)), ci.chain)
 		if err != nil {
 			return nil, err
 		}
 		return p.Types, nil
 	}
-	return l.std.Import(path)
+	ci.l.stdMu.Lock()
+	defer ci.l.stdMu.Unlock()
+	return ci.l.std.Import(path)
 }
 
 // load parses and type-checks one directory, memoized by import path.
-func (l *Loader) load(path, dir string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
-		return p, nil
+// Concurrent requests for the same path share one promise; the chain of
+// import paths currently being loaded by this goroutine detects cycles.
+func (l *Loader) load(path, dir string, chain []string) (*Package, error) {
+	if slices.Contains(chain, path) {
+		return nil, fmt.Errorf("lint: import cycle: %s -> %s", strings.Join(chain, " -> "), path)
 	}
-	if err, ok := l.errs[path]; ok {
-		return nil, err
+	l.mu.Lock()
+	if pr, ok := l.loads[path]; ok {
+		l.mu.Unlock()
+		<-pr.done
+		return pr.pkg, pr.err
 	}
-	p, err := l.loadUncached(path, dir)
-	if err != nil {
-		l.errs[path] = err
-		return nil, err
-	}
-	l.pkgs[path] = p
-	return p, nil
+	pr := &loadPromise{done: make(chan struct{})}
+	l.loads[path] = pr
+	l.mu.Unlock()
+	pr.pkg, pr.err = l.loadUncached(path, dir, append(chain, path))
+	close(pr.done)
+	return pr.pkg, pr.err
 }
 
-func (l *Loader) loadUncached(path, dir string) (*Package, error) {
+func (l *Loader) loadUncached(path, dir string, chain []string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %w", err)
@@ -203,13 +303,22 @@ func (l *Loader) loadUncached(path, dir string) (*Package, error) {
 	}
 	sort.Strings(names)
 	var files []*ast.File
+	excluded := 0
 	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("lint: parsing package %s: %w", path, err)
+		}
+		if !fileIncluded(f) {
+			excluded++
+			continue
 		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: package %s in %s: all %d Go files excluded by build constraints",
+			path, dir, excluded)
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -217,7 +326,7 @@ func (l *Loader) loadUncached(path, dir string) (*Package, error) {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	cfg := types.Config{Importer: l}
+	cfg := types.Config{Importer: chainImporter{l: l, chain: chain}}
 	tpkg, err := cfg.Check(path, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
@@ -230,6 +339,49 @@ func (l *Loader) loadUncached(path, dir string) (*Package, error) {
 		Types: tpkg,
 		Info:  info,
 	}, nil
+}
+
+// fileIncluded evaluates the file's build constraints (//go:build and
+// legacy // +build lines above the package clause) against the host
+// platform. Files constrained away are skipped like `go build` would —
+// they may reference symbols that do not exist here and must not poison
+// the type-check.
+func fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: include, let the checker complain
+			}
+			if !expr.Eval(buildTagSet) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildTagSet answers constraint tags for the host platform. Release tags
+// (go1.x) are all considered satisfied: the toolchain building this
+// binary is at least as new as any constraint in the repo.
+func buildTagSet(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "illumos", "aix":
+			return true
+		}
+		return false
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // RelFile rewrites a finding's file path relative to the module root for

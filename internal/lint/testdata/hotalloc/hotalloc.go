@@ -1,0 +1,64 @@
+// Package hotalloc exercises the hot-path allocation analyzer. The
+// //teva:hotpath roots below and everything they reach must be
+// allocation-free; each marked line carries exactly one violation.
+// Markers assume only the hotalloc analyzer runs.
+package hotalloc
+
+import (
+	"math"
+	"strconv"
+)
+
+type point struct{ x int }
+
+type stepper interface{ Step() }
+
+// box has an interface parameter: passing a concrete value boxes it.
+func box(v any) { _ = v }
+
+// vararg allocates its argument slice at every non-spread call.
+func vararg(vs ...int) int { return len(vs) }
+
+// helper is pulled into the hot closure transitively: its allocation is
+// reported at its own site, attributed to the root.
+func helper(n int) int {
+	tmp := make([]int, n) // want hotalloc
+	return len(tmp)
+}
+
+// cold is identical to helper but unreachable from any hot root: silent.
+func cold(n int) int {
+	tmp := make([]int, n)
+	return len(tmp)
+}
+
+// hot is a hot root exercising every direct violation class.
+//
+//teva:hotpath
+func hot(buf []int, r stepper, name string, n int) int {
+	buf = append(buf, n) // want hotalloc
+	s := make([]int, 1)  // want hotalloc
+	p := &point{x: n}    // want hotalloc
+	sl := []int{n}       // want hotalloc
+	r.Step()             // want hotalloc
+	g := func() {}       // want hotalloc
+	box(n)               // want hotalloc
+	vararg(n, n)         // want hotalloc
+	name = name + "!"    // want hotalloc
+	_ = strconv.Itoa(n)  // want hotalloc
+	go helper(n)         // want hotalloc
+	_ = g
+	_ = math.Abs(float64(n)) // pure allowlisted math: silent
+	helper(n)                // transitive: the finding is inside helper
+	if n < 0 {
+		panic("hotalloc fixture: bad n " + name) // crash path: silent
+	}
+	return buf[0] + s[0] + p.x + sl[0] + len(name)
+}
+
+// warm shows the suppression hatch for a reviewed one-time allocation.
+//
+//teva:hotpath
+func warm(n int) []int {
+	return make([]int, n) //teva:allow hotalloc -- reviewed: one-time warm-up buffer, not steady state
+}

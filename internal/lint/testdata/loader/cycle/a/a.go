@@ -1,0 +1,9 @@
+// Package a is half of a deliberate module-local import cycle: the
+// loader must surface it as a named error, not deadlock two promise
+// waits or recurse forever.
+package a
+
+import "teva/internal/lint/testdata/loader/cycle/b"
+
+// V closes the cycle through b.
+var V = b.V + 1

@@ -1,0 +1,7 @@
+// Package b is the other half of the deliberate import cycle with a.
+package b
+
+import "teva/internal/lint/testdata/loader/cycle/a"
+
+// V closes the cycle through a.
+var V = a.V + 1

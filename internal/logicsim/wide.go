@@ -24,6 +24,8 @@ func NewWide(c *netlist.Compiled) *WideSim {
 // Run evaluates the netlist for the given primary-input words (one word
 // per primary input, lanes packed LSB = vector 0). Unused lanes simply
 // compute garbage vectors; callers extract only the lanes they drove.
+//
+//teva:hotpath
 func (s *WideSim) Run(inputs []uint64) {
 	c := s.c
 	if len(inputs) != len(c.Inputs) {
@@ -89,6 +91,7 @@ func (s *WideSim) Word(net netlist.NetID) uint64 { return s.words[net] }
 func (s *WideSim) Outputs(dst []uint64) []uint64 {
 	outs := s.c.Outputs
 	if dst == nil {
+		//teva:allow hotalloc -- reviewed: nil-dst convenience branch; hot callers (dta goldenBatch) always pass a buffer
 		dst = make([]uint64, len(outs))
 	}
 	for i, net := range outs {
@@ -117,6 +120,8 @@ func PackLaneBits(words []uint64, lane, offset, width int, value uint64) {
 // (word j = bit j across lanes) — a whole-batch PackLaneBits (and, being
 // an involution, UnpackLaneBits) in O(64 log 64) word operations instead
 // of one conditional per (lane, bit) pair.
+//
+//teva:hotpath
 func Transpose64(a *[64]uint64) {
 	j := 32
 	m := uint64(0x00000000FFFFFFFF)

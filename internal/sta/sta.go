@@ -147,13 +147,87 @@ func AnalyzeCorner(c *netlist.Compiled, clkToQ, setup float64, corner cell.Corne
 	return analyze(c, clkToQ, setup, corner.Derate(), corner.Label(), runtime.GOMAXPROCS(0))
 }
 
+// passState carries the two-pass engine's per-analysis state. The
+// per-gate kernels are named methods (rather than closures inside
+// analyze) so the //teva:hotpath annotation can mark them and the
+// hotalloc analyzer can prove the level walk allocation-free — analyze
+// itself allocates the report arrays once up front and is deliberately
+// outside the hot set.
+type passState struct {
+	c        *netlist.Compiled
+	stride   int
+	derate   float64
+	arrival  []float64
+	toEnd    []float64
+	isOutput []bool
+}
+
+// forward computes one gate's worst-case output arrival from its already
+// final input arrivals (levels ascending make that ordering safe).
+//
+//teva:hotpath
+func (ps *passState) forward(gi int32) {
+	c := ps.c
+	base := int(gi) * ps.stride
+	worst := math.Inf(-1)
+	ni := int(c.NumIn[gi])
+	for pin := 0; pin < ni; pin++ {
+		if a := ps.arrival[c.In[base+pin]]; !math.IsInf(a, -1) {
+			if t := a + ps.derate*pinDelayMax(c, base+pin); t > worst {
+				worst = t
+			}
+		}
+	}
+	ps.arrival[c.Out[gi]] = worst
+}
+
+// relax computes the longest remaining delay from a net to any endpoint
+// from its readers' already-final continuations.
+func (ps *passState) relax(net int32) float64 {
+	c := ps.c
+	best := math.Inf(-1)
+	if ps.isOutput[net] {
+		best = 0
+	}
+	for j := c.FanOff[net]; j < c.FanOff[net+1]; j++ {
+		g := c.FanGate[j]
+		te := ps.toEnd[c.Out[g]]
+		if math.IsInf(te, -1) {
+			continue
+		}
+		// Scan every pin of the reader connected to this net (a gate
+		// may read the same net on several pins with different
+		// delays); the CSR holds one entry per occurrence but always
+		// names the first pin, so the scan keeps the bound exact.
+		base := int(g) * ps.stride
+		ni := int(c.NumIn[g])
+		for pin := 0; pin < ni; pin++ {
+			if c.In[base+pin] != net {
+				continue
+			}
+			if t := ps.derate*pinDelayMax(c, base+pin) + te; t > best {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// backward relaxes one gate's output net (levels descending make every
+// continuation it reads final).
+//
+//teva:hotpath
+func (ps *passState) backward(gi int32) {
+	out := ps.c.Out[gi]
+	ps.toEnd[out] = ps.relax(out)
+}
+
 // analyze is the two-pass engine core. derate multiplies every cell delay
 // (1 for the nominal corner; note x*1 is exact in IEEE arithmetic, so the
 // nominal path is bit-identical to an underate-free walk).
 func analyze(c *netlist.Compiled, clkToQ, setup, derate float64, cornerName string, workers int) *Report {
 	clkToQ *= derate
 	setup *= derate
-	stride := c.Stride
 
 	// Forward pass: worst arrival per net, levels ascending. A gate reads
 	// only nets driven at lower levels (or inputs/constants) and writes
@@ -167,21 +241,9 @@ func analyze(c *netlist.Compiled, clkToQ, setup, derate float64, cornerName stri
 	for _, in := range c.Inputs {
 		arrival[in] = clkToQ
 	}
-	forward := func(gi int32) {
-		base := int(gi) * stride
-		worst := math.Inf(-1)
-		ni := int(c.NumIn[gi])
-		for pin := 0; pin < ni; pin++ {
-			if a := arrival[c.In[base+pin]]; !math.IsInf(a, -1) {
-				if t := a + derate*pinDelayMax(c, base+pin); t > worst {
-					worst = t
-				}
-			}
-		}
-		arrival[c.Out[gi]] = worst
-	}
+	ps := &passState{c: c, stride: c.Stride, derate: derate, arrival: arrival}
 	for l := 0; l < c.NumLevels; l++ {
-		forEachLevelGate(c, c.LevelOff[l], c.LevelOff[l+1], workers, forward)
+		forEachLevelGate(c, c.LevelOff[l], c.LevelOff[l+1], workers, ps.forward)
 	}
 
 	// Backward pass: longest remaining delay from each net to any
@@ -197,46 +259,16 @@ func analyze(c *netlist.Compiled, clkToQ, setup, derate float64, cornerName stri
 	for i := range toEnd {
 		toEnd[i] = math.Inf(-1)
 	}
-	relax := func(net int32) float64 {
-		best := math.Inf(-1)
-		if isOutput[net] {
-			best = 0
-		}
-		for j := c.FanOff[net]; j < c.FanOff[net+1]; j++ {
-			g := c.FanGate[j]
-			te := toEnd[c.Out[g]]
-			if math.IsInf(te, -1) {
-				continue
-			}
-			// Scan every pin of the reader connected to this net (a gate
-			// may read the same net on several pins with different
-			// delays); the CSR holds one entry per occurrence but always
-			// names the first pin, so the scan keeps the bound exact.
-			base := int(g) * stride
-			ni := int(c.NumIn[g])
-			for pin := 0; pin < ni; pin++ {
-				if c.In[base+pin] != net {
-					continue
-				}
-				if t := derate*pinDelayMax(c, base+pin) + te; t > best {
-					best = t
-				}
-			}
-		}
-		return best
-	}
-	backward := func(gi int32) {
-		out := c.Out[gi]
-		toEnd[out] = relax(out)
-	}
+	ps.isOutput = isOutput
+	ps.toEnd = toEnd
 	for l := c.NumLevels - 1; l >= 0; l-- {
-		forEachLevelGate(c, c.LevelOff[l], c.LevelOff[l+1], workers, backward)
+		forEachLevelGate(c, c.LevelOff[l], c.LevelOff[l+1], workers, ps.backward)
 	}
 	// Primary inputs are driven by no gate; their continuations are all
 	// gate outputs, final after the level sweep. Constants stay -Inf:
 	// paths never launch from a constant net.
 	for _, in := range c.Inputs {
-		toEnd[in] = relax(int32(in))
+		toEnd[in] = ps.relax(int32(in))
 	}
 
 	r := &Report{

@@ -141,6 +141,8 @@ func NewWideFastShared(c *netlist.Compiled, scale float64, ws *WideScratch) *Wid
 // per primary input, lanes packed LSB = lane 0). Inputs switch at
 // inputArrival; capture happens at deadline. The returned WideSample is
 // valid until the next Run call.
+//
+//teva:hotpath
 func (s *WideFastSim) Run(prev, cur []uint64, inputArrival, deadline float64) *WideSample {
 	c := s.c
 	if len(prev) != len(c.Inputs) || len(cur) != len(c.Inputs) {
