@@ -33,6 +33,10 @@
 // phase timers' "nanos" fields are the only wall-clock-dependent values.
 // -pprof-cpu/-pprof-mem write standard runtime/pprof profiles for
 // `go tool pprof`.
+//
+// The experiment dispatch itself lives in experiments.RunSuite, shared
+// with the teva-serve HTTP front end; this binary owns only flags,
+// signal handling, progress reporting, and profile/metrics flushing.
 package main
 
 import (
@@ -53,7 +57,6 @@ import (
 	"teva/internal/dta"
 	"teva/internal/experiments"
 	"teva/internal/obs"
-	"teva/internal/vscale"
 	"teva/internal/workloads"
 )
 
@@ -83,7 +86,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	reg := newMetrics()
+	progStart := time.Now()
+	clock := func() int64 { return int64(time.Since(progStart)) }
+	reg := obs.NewRegistry(clock)
 	stopProfiles := startProfiles(*pprofCPU, *pprofMem)
 
 	opts := experiments.DefaultOptions()
@@ -95,31 +100,14 @@ func main() {
 			Validate:  *screenValidate,
 		},
 	}
-	switch {
-	case *quick:
-		opts.Scale = workloads.Tiny
-		opts.Runs = 24
-		opts.Fig4Paths = 300
-		opts.Fig6Full = 4000
-		opts.Fig6Ks = []int{500, 2000}
-		cfg.RandomOperands = 4000
-		cfg.WorkloadOperands = 2000
-	case *full:
-		opts = experiments.PaperOptions()
-		cfg.RandomOperands = 100000
-		cfg.WorkloadOperands = 40000
-	}
-	switch *scaleName {
-	case "tiny":
-		opts.Scale = workloads.Tiny
-	case "small":
-		opts.Scale = workloads.Small
-	case "full":
-		opts.Scale = workloads.Full
-	case "":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
-		os.Exit(2)
+	experiments.ApplyPreset(*quick, *full, &opts, &cfg)
+	if *scaleName != "" {
+		sc, err := workloads.ParseScale(*scaleName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+			os.Exit(2)
+		}
+		opts.Scale = sc
 	}
 	if *runs > 0 {
 		opts.Runs = *runs
@@ -140,8 +128,7 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Printf("teva-experiments: scale=%s runs/cell=%d seed=%#x\n",
-		opts.Scale, opts.Runs, *seed)
+	experiments.PrintBanner(os.Stdout, opts, *seed)
 	f, err := core.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -149,7 +136,6 @@ func main() {
 	fmt.Printf("substrate: %d-gate FPU calibrated to CLK %.0f ps (built in %s)\n",
 		f.FPU.NumGates(), f.FPU.CLK, time.Since(start).Round(time.Millisecond))
 	env := experiments.NewEnvContext(ctx, f, opts)
-	out := os.Stdout
 
 	// Two-stage shutdown: the first SIGINT/SIGTERM drains — in-flight
 	// cells finish and land in the artifact cache, remaining dispatch
@@ -188,250 +174,23 @@ func main() {
 		}()
 	}
 
-	selected := map[string]bool{}
-	for _, name := range strings.Split(*exp, ",") {
-		selected[strings.TrimSpace(name)] = true
-	}
-	want := func(name string) bool { return selected["all"] || selected[name] }
+	suiteErr := experiments.RunSuite(env, experiments.SuiteConfig{
+		Experiments: strings.Split(*exp, ","),
+		CornerSpec:  *cornerSpec,
+		CSVDir:      *csvDir,
+		OmitBanner:  true, // printed above, before the slow substrate build
+		Trace:       os.Stdout,
+		Diag:        os.Stderr,
+		Clock:       clock,
+	}, os.Stdout)
 	interrupted := false
-	run := func(name string, fn func() error) {
-		if !want(name) || interrupted {
-			return
+	if suiteErr != nil {
+		if !experiments.IsInterrupt(suiteErr) {
+			fatal(suiteErr)
 		}
-		if env.Draining() {
-			interrupted = true
-			return
-		}
-		t0 := time.Now()
-		sp := reg.Phase("exp/" + name)
-		if err := fn(); err != nil {
-			if isInterrupt(err) {
-				interrupted = true
-				fmt.Fprintf(os.Stderr, "teva-experiments: %s interrupted: %v\n", name, err)
-				return
-			}
-			fatal(fmt.Errorf("%s: %w", name, err))
-		}
-		sp.End()
-		fmt.Printf("[%s completed in %s]\n", name, time.Since(t0).Round(time.Millisecond))
+		interrupted = true
 	}
 
-	run("design", func() error {
-		rows, err := experiments.Design(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderDesign(out, env, rows)
-		if *csvDir != "" {
-			return experiments.CSVDesign(*csvDir, rows)
-		}
-		return nil
-	})
-	run("corners", func() error {
-		corners, err := experiments.ParseCorners(*cornerSpec)
-		if err != nil {
-			return err
-		}
-		rows, err := experiments.CornerSweep(env, corners)
-		if err != nil {
-			return err
-		}
-		cached := 0
-		for _, r := range rows {
-			if r.Cached {
-				cached++
-			}
-		}
-		// Cache-dependent, so stderr: stdout must stay identical between
-		// cold and warm runs.
-		fmt.Fprintf(os.Stderr, "corner reports reloaded %d/%d\n", cached, len(rows))
-		experiments.RenderCorners(out, env, rows)
-		if *csvDir != "" {
-			return experiments.CSVCorners(*csvDir, rows)
-		}
-		return nil
-	})
-	run("table1", func() error { experiments.Table1(out); return nil })
-	run("table2", func() error {
-		rows, err := experiments.Table2(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderTable2(out, rows)
-		if *csvDir != "" {
-			return experiments.CSVTable2(*csvDir, rows)
-		}
-		return nil
-	})
-	run("fig4", func() error {
-		r, err := experiments.Fig4(env)
-		if err != nil {
-			return err
-		}
-		if r.Truncated {
-			fmt.Fprintf(os.Stderr,
-				"teva-experiments: fig4 path enumeration hit its expansion budget before yielding %d paths per stage; tail counts may undercount some units\n",
-				env.Opts.Fig4Paths)
-		}
-		experiments.RenderFig4(out, r)
-		if *csvDir != "" {
-			return experiments.CSVFig4(*csvDir, r)
-		}
-		return nil
-	})
-	run("fig5", func() error {
-		r, err := experiments.Fig5(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig5(out, r)
-		if *csvDir != "" {
-			return experiments.CSVFig5(*csvDir, r)
-		}
-		return nil
-	})
-	run("fig6", func() error {
-		r, err := experiments.Fig6(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig6(out, r)
-		if *csvDir != "" {
-			return experiments.CSVFig6(*csvDir, r)
-		}
-		return nil
-	})
-	run("fig7", func() error {
-		r, err := experiments.Fig7(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig7(out, r)
-		if *csvDir != "" {
-			return experiments.CSVFig7(*csvDir, r)
-		}
-		return nil
-	})
-	run("fig8", func() error {
-		r, err := experiments.Fig8(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig8(out, r)
-		if *csvDir != "" {
-			return experiments.CSVFig8(*csvDir, r)
-		}
-		return nil
-	})
-	run("sources", func() error {
-		rows, err := experiments.Sources(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderSources(out, rows)
-		if *csvDir != "" {
-			return experiments.CSVSources(*csvDir, rows)
-		}
-		return nil
-	})
-	run("power", func() error {
-		r, err := experiments.Power(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderPower(out, r)
-		if *csvDir != "" {
-			return experiments.CSVPower(*csvDir, r)
-		}
-		return nil
-	})
-	run("process", func() error {
-		r, err := experiments.ProcessVariation(env, 8, 0.04)
-		if err != nil {
-			return err
-		}
-		experiments.RenderProcess(out, r)
-		if *csvDir != "" {
-			return experiments.CSVProcess(*csvDir, r)
-		}
-		return nil
-	})
-	run("validate", func() error {
-		rows, meanErr, err := experiments.Validate(env, vscale.VR20)
-		if err != nil {
-			return err
-		}
-		experiments.RenderValidate(out, "VR20", rows, meanErr)
-		if *csvDir != "" {
-			return experiments.CSVValidate(*csvDir, rows)
-		}
-		return nil
-	})
-	run("adders", func() error {
-		rows, err := experiments.AdderAblation(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderAdders(out, rows)
-		if *csvDir != "" {
-			return experiments.CSVAdders(*csvDir, rows)
-		}
-		return nil
-	})
-	run("history", func() error {
-		rows, err := experiments.HistoryAblation(env, vscale.VR20)
-		if err != nil {
-			return err
-		}
-		experiments.RenderHistory(out, "VR20", rows)
-		return nil
-	})
-
-	run("fig10", func() error {
-		r, err := experiments.Fig10(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig10(out, workloads.Names(), r)
-		if *csvDir != "" {
-			return experiments.CSVFig10(*csvDir, workloads.Names(), r)
-		}
-		return nil
-	})
-	if (want("fig9") || want("avm")) && !interrupted && !env.Draining() {
-		sp := reg.Phase("exp/campaigns")
-		cs, err := experiments.RunCampaigns(env)
-		switch {
-		case err == nil:
-			sp.End()
-		case isInterrupt(err):
-			// Completed cells are already in the cache; rendering a
-			// partial matrix would make stdout depend on the abort
-			// point, so skip the figures and report on stderr.
-			interrupted = true
-			fmt.Fprintf(os.Stderr, "teva-experiments: campaigns interrupted: %v\n", err)
-		default:
-			fatal(err)
-		}
-		run("fig9", func() error {
-			experiments.RenderFig9(out, cs)
-			if *csvDir != "" {
-				return experiments.CSVFig9(*csvDir, cs)
-			}
-			return nil
-		})
-		run("avm", func() error {
-			r, err := experiments.AVMAnalysis(env, cs)
-			if err != nil {
-				return err
-			}
-			experiments.RenderAVM(out, env, cs, r)
-			if *csvDir != "" {
-				return experiments.CSVAVM(*csvDir, cs, r)
-			}
-			return nil
-		})
-	}
 	if *cacheDir != "" {
 		p := env.Progress()
 		fmt.Fprintf(os.Stderr, "artifact cache (%s): %s; campaign cells reloaded %d/%d\n",
@@ -461,23 +220,6 @@ func main() {
 		os.Exit(code)
 	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
-}
-
-// isInterrupt reports whether err is (or wraps) one of the orderly-stop
-// sentinels — a drained run, a canceled context, or an expired
-// -max-duration budget — as opposed to a real per-cell failure.
-func isInterrupt(err error) bool {
-	return errors.Is(err, experiments.ErrDrained) ||
-		errors.Is(err, context.Canceled) ||
-		errors.Is(err, context.DeadlineExceeded)
-}
-
-// newMetrics builds the run's registry with a real monotonic clock. The
-// simulation packages never read time themselves (the simpurity analyzer
-// forbids it); the clock closure is injected from here.
-func newMetrics() *obs.Registry {
-	start := time.Now()
-	return obs.NewRegistry(func() int64 { return int64(time.Since(start)) })
 }
 
 // startProfiles starts the requested runtime/pprof profiles and returns

@@ -241,6 +241,19 @@ func runGolden(w *workloads.Workload) (*golden, error) {
 	return g, nil
 }
 
+// ValidateTimeoutFactor rejects timeout factors that would silently turn
+// into a zero/garbage cycle budget and misclassify every run as Timeout.
+// Zero is valid — Run substitutes the 2.0 default; everything else must
+// be a positive, finite factor. Exported so spec decoders (the serve
+// API) reject a bad factor at submission time with the same rule Run
+// enforces at execution time.
+func ValidateTimeoutFactor(tf float64) error {
+	if math.IsNaN(tf) || math.IsInf(tf, 0) || tf < 0 {
+		return fmt.Errorf("campaign: invalid TimeoutFactor %v (want a positive, finite factor)", tf)
+	}
+	return nil
+}
+
 // Run executes the campaign cell. Cancellation (Spec.Context) and worker
 // panics both abort the whole cell with an error — never a partial
 // Result — while a panic's identity (workload/model/level and stack) is
@@ -262,10 +275,8 @@ func Run(spec Spec) (*Result, error) {
 	if tf == 0 {
 		tf = 2.0
 	}
-	// A negative, NaN or infinite factor would silently turn into a
-	// zero/garbage cycle budget and misclassify every run as Timeout.
-	if math.IsNaN(tf) || math.IsInf(tf, 0) || tf < 0 {
-		return nil, fmt.Errorf("campaign: invalid TimeoutFactor %v (want a positive, finite factor)", tf)
+	if err := ValidateTimeoutFactor(tf); err != nil {
+		return nil, err
 	}
 	g, err := runGolden(spec.Workload)
 	if err != nil {

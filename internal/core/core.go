@@ -47,6 +47,11 @@ type Config struct {
 	DASample int
 	// Workers bounds DTA/campaign parallelism (0: GOMAXPROCS).
 	Workers int
+	// TimeoutFactor is the campaign timeout budget as a multiple of the
+	// golden run's cycle count (0: campaign.Run's 2.0 default). Folded
+	// into artifact cache keys — a different budget can reclassify runs
+	// as Timeout, so cells from different factors must never alias.
+	TimeoutFactor float64
 	// Timing selects the reduced-voltage timing engine. The zero value is
 	// dta.EngineWide (64-lane levelized, the fastest); dta.EngineFast and
 	// dta.EngineExact are the scalar reference engines. Wide and fast
@@ -432,6 +437,7 @@ func (f *Framework) evaluate(ctx context.Context, w *workloads.Workload, m errmo
 		Seed:            f.Cfg.Seed ^ hashString(w.Name) ^ hashString(string(m.Kind())+m.Level()),
 		Workers:         f.Cfg.Workers,
 		SingleInjection: single,
+		TimeoutFactor:   f.Cfg.TimeoutFactor,
 		Metrics:         f.Cfg.Metrics,
 		Context:         ctx,
 	})

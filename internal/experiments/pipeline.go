@@ -217,8 +217,9 @@ func (e *Env) Progress() Progress {
 // alias in a shared cache directory.
 func (e *Env) cfgTag() string {
 	c := e.F.Cfg
-	return fmt.Sprintf("scale=%s,ro=%d,wo=%d,da=%d,exact=%v",
-		e.Opts.Scale, c.RandomOperands, c.WorkloadOperands, c.DASample, c.Timing.Exact())
+	return fmt.Sprintf("scale=%s,ro=%d,wo=%d,da=%d,exact=%v,tf=%v",
+		e.Opts.Scale, c.RandomOperands, c.WorkloadOperands, c.DASample, c.Timing.Exact(),
+		c.TimeoutFactor)
 }
 
 // cachedSummary memoizes (in-process and, when a store is configured,

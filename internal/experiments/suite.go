@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"teva/internal/core"
+	"teva/internal/obs"
+	"teva/internal/vscale"
+	"teva/internal/workloads"
+)
+
+// This file is the shared experiment-suite driver: the exact dispatch
+// sequence teva-experiments runs, extracted so the serving layer
+// (internal/serve) can produce byte-identical reports without forking
+// the CLI. The determinism contract is split across three writers:
+//
+//   - out: the deterministic report. For a given spec (seed, scale,
+//     runs, engine, corners, screening) these bytes are identical run
+//     to run, machine to machine, cold or warm cache.
+//   - Trace: wall-clock per-experiment timing lines ("[x completed in
+//     …]"). The CLI sends them to stdout interleaved with the report;
+//     the server drops them (or turns them into events) so served
+//     results stay byte-deterministic.
+//   - Diag: cache- and budget-dependent notes (corner reload counts,
+//     fig4 truncation, interrupt reasons). stderr in the CLI.
+
+// Names returns every experiment name RunSuite understands, in
+// execution order. "all" additionally selects every one of them.
+func Names() []string {
+	return []string{
+		"design", "corners", "table1", "table2",
+		"fig4", "fig5", "fig6", "fig7", "fig8",
+		"sources", "power", "process", "validate",
+		"adders", "history", "fig10", "fig9", "avm",
+	}
+}
+
+// KnownExperiment reports whether name is a selectable experiment
+// ("all" included).
+func KnownExperiment(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsInterrupt reports whether err is (or wraps) one of the orderly-stop
+// sentinels — a drained run, a canceled context, or an expired
+// wall-clock budget — as opposed to a real per-cell failure.
+func IsInterrupt(err error) bool {
+	return errors.Is(err, ErrDrained) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// PrintBanner writes the run banner: the line every report starts with,
+// naming the settings that shape all numbers below it.
+func PrintBanner(w io.Writer, opts Options, seed uint64) {
+	fmt.Fprintf(w, "teva-experiments: scale=%s runs/cell=%d seed=%#x\n",
+		opts.Scale, opts.Runs, seed)
+}
+
+// ApplyPreset applies the -quick/-full preset to an option/config pair,
+// exactly as the CLI flags do. quick shrinks every knob for a smoke
+// run; full restores the paper's statistical settings. quick wins when
+// both are set (matching the CLI's switch order).
+func ApplyPreset(quick, full bool, opts *Options, cfg *core.Config) {
+	switch {
+	case quick:
+		opts.Scale = workloads.Tiny
+		opts.Runs = 24
+		opts.Fig4Paths = 300
+		opts.Fig6Full = 4000
+		opts.Fig6Ks = []int{500, 2000}
+		cfg.RandomOperands = 4000
+		cfg.WorkloadOperands = 2000
+	case full:
+		*opts = PaperOptions()
+		cfg.RandomOperands = 100000
+		cfg.WorkloadOperands = 40000
+	}
+}
+
+// SuiteConfig selects and instruments a RunSuite call.
+type SuiteConfig struct {
+	// Experiments is the selection (names from Names, or "all"). Empty
+	// means "all".
+	Experiments []string
+	// CornerSpec is the -corners argument for the corner sweep ("" uses
+	// the default set).
+	CornerSpec string
+	// CSVDir, when non-empty, also writes each experiment's
+	// machine-readable CSVs there.
+	CSVDir string
+	// OmitBanner skips the run banner (the CLI prints it itself, before
+	// the substrate is built, so startup isn't silent).
+	OmitBanner bool
+	// Trace receives the wall-clock "[x completed in …]" lines; nil
+	// discards them. Requires Clock.
+	Trace io.Writer
+	// Diag receives cache-/budget-dependent diagnostics; nil discards.
+	Diag io.Writer
+	// Clock is the monotonic clock behind Trace durations (the obs
+	// registry's clock in both CLIs). nil disables Trace timing.
+	Clock obs.Clock
+	// OnStart/OnExperiment, when non-nil, observe each experiment as it
+	// begins and ends (err is nil on success, the interrupt or failure
+	// otherwise). The serving layer turns these into job events.
+	OnStart      func(name string)
+	OnExperiment func(name string, err error)
+}
+
+// RunSuite runs the selected experiments against env in the canonical
+// order, writing the deterministic report to out. It returns nil when
+// every selected experiment completed, an IsInterrupt error when a
+// drain/cancel stopped the run early (completed cells are cached), or
+// the first hard failure wrapped with its experiment name.
+func RunSuite(env *Env, cfg SuiteConfig, out io.Writer) error {
+	diag := cfg.Diag
+	if diag == nil {
+		diag = io.Discard
+	}
+	if !cfg.OmitBanner {
+		PrintBanner(out, env.Opts, env.F.Cfg.Seed)
+	}
+	names := cfg.Experiments
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+	selected := map[string]bool{}
+	for _, name := range names {
+		selected[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+	reg := env.F.Cfg.Metrics
+
+	var failed error
+	var interruptErr error
+	interrupted := false
+	run := func(name string, fn func() error) {
+		if !want(name) || interrupted || failed != nil {
+			return
+		}
+		if env.Draining() {
+			interrupted = true
+			return
+		}
+		if cfg.OnStart != nil {
+			cfg.OnStart(name)
+		}
+		var t0 int64
+		if cfg.Clock != nil {
+			t0 = cfg.Clock()
+		}
+		sp := reg.Phase("exp/" + name)
+		err := fn()
+		if cfg.OnExperiment != nil {
+			cfg.OnExperiment(name, err)
+		}
+		if err != nil {
+			if IsInterrupt(err) {
+				interrupted = true
+				interruptErr = err
+				fmt.Fprintf(diag, "%s interrupted: %v\n", name, err)
+				return
+			}
+			failed = fmt.Errorf("%s: %w", name, err)
+			return
+		}
+		sp.End()
+		if cfg.Trace != nil && cfg.Clock != nil {
+			fmt.Fprintf(cfg.Trace, "[%s completed in %s]\n",
+				name, time.Duration(cfg.Clock()-t0).Round(time.Millisecond))
+		}
+	}
+
+	run("design", func() error {
+		rows, err := Design(env)
+		if err != nil {
+			return err
+		}
+		RenderDesign(out, env, rows)
+		if cfg.CSVDir != "" {
+			return CSVDesign(cfg.CSVDir, rows)
+		}
+		return nil
+	})
+	run("corners", func() error {
+		corners, err := ParseCorners(cfg.CornerSpec)
+		if err != nil {
+			return err
+		}
+		rows, err := CornerSweep(env, corners)
+		if err != nil {
+			return err
+		}
+		cached := 0
+		for _, r := range rows {
+			if r.Cached {
+				cached++
+			}
+		}
+		// Cache-dependent, so Diag: the report must stay identical
+		// between cold and warm runs.
+		fmt.Fprintf(diag, "corner reports reloaded %d/%d\n", cached, len(rows))
+		RenderCorners(out, env, rows)
+		if cfg.CSVDir != "" {
+			return CSVCorners(cfg.CSVDir, rows)
+		}
+		return nil
+	})
+	run("table1", func() error { Table1(out); return nil })
+	run("table2", func() error {
+		rows, err := Table2(env)
+		if err != nil {
+			return err
+		}
+		RenderTable2(out, rows)
+		if cfg.CSVDir != "" {
+			return CSVTable2(cfg.CSVDir, rows)
+		}
+		return nil
+	})
+	run("fig4", func() error {
+		r, err := Fig4(env)
+		if err != nil {
+			return err
+		}
+		if r.Truncated {
+			fmt.Fprintf(diag,
+				"fig4 path enumeration hit its expansion budget before yielding %d paths per stage; tail counts may undercount some units\n",
+				env.Opts.Fig4Paths)
+		}
+		RenderFig4(out, r)
+		if cfg.CSVDir != "" {
+			return CSVFig4(cfg.CSVDir, r)
+		}
+		return nil
+	})
+	run("fig5", func() error {
+		r, err := Fig5(env)
+		if err != nil {
+			return err
+		}
+		RenderFig5(out, r)
+		if cfg.CSVDir != "" {
+			return CSVFig5(cfg.CSVDir, r)
+		}
+		return nil
+	})
+	run("fig6", func() error {
+		r, err := Fig6(env)
+		if err != nil {
+			return err
+		}
+		RenderFig6(out, r)
+		if cfg.CSVDir != "" {
+			return CSVFig6(cfg.CSVDir, r)
+		}
+		return nil
+	})
+	run("fig7", func() error {
+		r, err := Fig7(env)
+		if err != nil {
+			return err
+		}
+		RenderFig7(out, r)
+		if cfg.CSVDir != "" {
+			return CSVFig7(cfg.CSVDir, r)
+		}
+		return nil
+	})
+	run("fig8", func() error {
+		r, err := Fig8(env)
+		if err != nil {
+			return err
+		}
+		RenderFig8(out, r)
+		if cfg.CSVDir != "" {
+			return CSVFig8(cfg.CSVDir, r)
+		}
+		return nil
+	})
+	run("sources", func() error {
+		rows, err := Sources(env)
+		if err != nil {
+			return err
+		}
+		RenderSources(out, rows)
+		if cfg.CSVDir != "" {
+			return CSVSources(cfg.CSVDir, rows)
+		}
+		return nil
+	})
+	run("power", func() error {
+		r, err := Power(env)
+		if err != nil {
+			return err
+		}
+		RenderPower(out, r)
+		if cfg.CSVDir != "" {
+			return CSVPower(cfg.CSVDir, r)
+		}
+		return nil
+	})
+	run("process", func() error {
+		r, err := ProcessVariation(env, 8, 0.04)
+		if err != nil {
+			return err
+		}
+		RenderProcess(out, r)
+		if cfg.CSVDir != "" {
+			return CSVProcess(cfg.CSVDir, r)
+		}
+		return nil
+	})
+	run("validate", func() error {
+		rows, meanErr, err := Validate(env, vscale.VR20)
+		if err != nil {
+			return err
+		}
+		RenderValidate(out, "VR20", rows, meanErr)
+		if cfg.CSVDir != "" {
+			return CSVValidate(cfg.CSVDir, rows)
+		}
+		return nil
+	})
+	run("adders", func() error {
+		rows, err := AdderAblation(env)
+		if err != nil {
+			return err
+		}
+		RenderAdders(out, rows)
+		if cfg.CSVDir != "" {
+			return CSVAdders(cfg.CSVDir, rows)
+		}
+		return nil
+	})
+	run("history", func() error {
+		rows, err := HistoryAblation(env, vscale.VR20)
+		if err != nil {
+			return err
+		}
+		RenderHistory(out, "VR20", rows)
+		return nil
+	})
+	run("fig10", func() error {
+		r, err := Fig10(env)
+		if err != nil {
+			return err
+		}
+		RenderFig10(out, workloads.Names(), r)
+		if cfg.CSVDir != "" {
+			return CSVFig10(cfg.CSVDir, workloads.Names(), r)
+		}
+		return nil
+	})
+	if (want("fig9") || want("avm")) && !interrupted && failed == nil && !env.Draining() {
+		if cfg.OnStart != nil {
+			cfg.OnStart("campaigns")
+		}
+		sp := reg.Phase("exp/campaigns")
+		cs, err := RunCampaigns(env)
+		if cfg.OnExperiment != nil {
+			cfg.OnExperiment("campaigns", err)
+		}
+		switch {
+		case err == nil:
+			sp.End()
+		case IsInterrupt(err):
+			// Completed cells are already in the cache; rendering a
+			// partial matrix would make the report depend on the abort
+			// point, so skip the figures and note it on Diag.
+			interrupted = true
+			interruptErr = err
+			fmt.Fprintf(diag, "campaigns interrupted: %v\n", err)
+		default:
+			failed = fmt.Errorf("campaigns: %w", err)
+		}
+		run("fig9", func() error {
+			RenderFig9(out, cs)
+			if cfg.CSVDir != "" {
+				return CSVFig9(cfg.CSVDir, cs)
+			}
+			return nil
+		})
+		run("avm", func() error {
+			r, err := AVMAnalysis(env, cs)
+			if err != nil {
+				return err
+			}
+			RenderAVM(out, env, cs, r)
+			if cfg.CSVDir != "" {
+				return CSVAVM(cfg.CSVDir, cs, r)
+			}
+			return nil
+		})
+	}
+	switch {
+	case failed != nil:
+		return failed
+	case interruptErr != nil:
+		return interruptErr
+	case interrupted || env.Draining():
+		if err := env.ctx.Err(); err != nil {
+			return err
+		}
+		return ErrDrained
+	}
+	return nil
+}

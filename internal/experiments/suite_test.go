@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"teva/internal/core"
+	"teva/internal/workloads"
+)
+
+func TestNamesKnownAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if seen[n] {
+			t.Fatalf("duplicate experiment name %q", n)
+		}
+		seen[n] = true
+		if !KnownExperiment(n) {
+			t.Fatalf("Names entry %q not known", n)
+		}
+	}
+	if !KnownExperiment("all") {
+		t.Fatal("all must be selectable")
+	}
+	for _, bad := range []string{"fig77", "", "ALL", " fig7"} {
+		if KnownExperiment(bad) {
+			t.Fatalf("KnownExperiment(%q) = true", bad)
+		}
+	}
+}
+
+func TestApplyPresetQuickWinsOverFull(t *testing.T) {
+	opts := DefaultOptions()
+	var cfg core.Config
+	ApplyPreset(true, true, &opts, &cfg)
+	if opts.Scale != workloads.Tiny || opts.Runs != 24 {
+		t.Fatalf("quick preset: scale=%v runs=%d", opts.Scale, opts.Runs)
+	}
+	if cfg.RandomOperands != 4000 || cfg.WorkloadOperands != 2000 {
+		t.Fatalf("quick preset operands: %d/%d", cfg.RandomOperands, cfg.WorkloadOperands)
+	}
+
+	opts = DefaultOptions()
+	cfg = core.Config{}
+	ApplyPreset(false, true, &opts, &cfg)
+	if cfg.RandomOperands != 100000 {
+		t.Fatalf("full preset operands: %d", cfg.RandomOperands)
+	}
+}
+
+func TestIsInterrupt(t *testing.T) {
+	for _, err := range []error{
+		ErrDrained,
+		context.Canceled,
+		context.DeadlineExceeded,
+		fmt.Errorf("fig9: %w", ErrDrained),
+		fmt.Errorf("budget: %w", context.DeadlineExceeded),
+	} {
+		if !IsInterrupt(err) {
+			t.Fatalf("IsInterrupt(%v) = false", err)
+		}
+	}
+	for _, err := range []error{nil, errors.New("cell exploded")} {
+		if IsInterrupt(err) {
+			t.Fatalf("IsInterrupt(%v) = true", err)
+		}
+	}
+}
+
+func TestPrintBanner(t *testing.T) {
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.Scale = workloads.Tiny
+	opts.Runs = 24
+	PrintBanner(&buf, opts, 0xF00D)
+	want := "teva-experiments: scale=tiny runs/cell=24 seed=0xf00d\n"
+	if buf.String() != want {
+		t.Fatalf("banner %q, want %q", buf.String(), want)
+	}
+}
+
+// TestRunSuiteSelectionDeterministic runs a cheap selection twice and
+// requires byte-identical reports — the property the serving layer's
+// whole contract rests on.
+func TestRunSuiteSelectionDeterministic(t *testing.T) {
+	run := func() []byte {
+		opts := DefaultOptions()
+		var cfg core.Config
+		ApplyPreset(true, false, &opts, &cfg)
+		f, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := NewEnv(f, opts)
+		var buf bytes.Buffer
+		if err := RunSuite(env, SuiteConfig{Experiments: []string{"table1", "design"}}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("RunSuite not deterministic:\n--- a\n%s\n--- b\n%s", a, b)
+	}
+	if !bytes.HasPrefix(a, []byte("teva-experiments: ")) {
+		t.Fatalf("report does not start with the banner:\n%s", a)
+	}
+}
+
+// TestRunSuiteUnknownSelectionRunsNothing pins the contract that the
+// suite driver trusts its caller's validation: selecting only unknown
+// names runs zero experiments and reports success with a bare banner.
+func TestRunSuiteUnknownSelectionRunsNothing(t *testing.T) {
+	opts := DefaultOptions()
+	var cfg core.Config
+	ApplyPreset(true, false, &opts, &cfg)
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(f, opts)
+	var buf bytes.Buffer
+	if err := RunSuite(env, SuiteConfig{Experiments: []string{"fig77"}, OmitBanner: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("unknown selection produced output:\n%s", buf.Bytes())
+	}
+}

@@ -43,6 +43,7 @@ var ctxflowPkgs = []string{
 	"teva/internal/dta",
 	"teva/internal/core",
 	"teva/internal/sta",
+	"teva/internal/serve",
 }
 
 func ctxflowGated(path string) bool {

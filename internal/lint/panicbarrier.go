@@ -30,6 +30,7 @@ var panicBarrierPaths = []string{
 	"internal/experiments",
 	"internal/campaign",
 	"internal/sta",
+	"internal/serve",
 }
 
 func runPanicBarrier(p *Package) []Finding {

@@ -96,6 +96,18 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Counter returns the named counter's value in the snapshot (0 when
+// absent — an unregistered counter and a zero counter are
+// indistinguishable, which is exactly how the nil-safe live counters
+// behave). The slice is sorted by name, so this is a binary search.
+func (s Snapshot) Counter(name string) int64 {
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].Value
+	}
+	return 0
+}
+
 // ftoa renders a float in the canonical shortest form shared by every
 // deterministic exporter in the repo.
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,28 @@
+package obs
+
+import "testing"
+
+func TestSnapshotCounterLookup(t *testing.T) {
+	reg := NewRegistry(nil)
+	reg.Counter("campaign.cells").Add(42)
+	reg.Counter("campaign.runs").Add(7)
+	reg.Counter("a.first").Inc()
+	reg.Counter("z.last").Inc()
+	snap := reg.Snapshot()
+	cases := map[string]int64{
+		"campaign.cells": 42,
+		"campaign.runs":  7,
+		"a.first":        1,
+		"z.last":         1,
+		"never.touched":  0, // absent reads as zero, like a nil-safe live counter
+	}
+	for name, want := range cases {
+		if got := snap.Counter(name); got != want {
+			t.Fatalf("Counter(%q) = %d, want %d", name, got, want)
+		}
+	}
+	var empty Snapshot
+	if got := empty.Counter("anything"); got != 0 {
+		t.Fatalf("empty snapshot Counter = %d", got)
+	}
+}

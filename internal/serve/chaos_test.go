@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"teva/internal/chaos"
+)
+
+// TestServeChaosStoreResume runs the server over a fault-injecting
+// artifact store and proves the storage faults never reach the client:
+// responses stay byte-identical to a clean run, and a second server
+// sharing the (abused) cache directory — the restart case — resumes and
+// serves the same bytes again.
+func TestServeChaosStoreResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (quick) campaigns")
+	}
+	const body = `{"experiments":["fig7"],"quick":true}`
+	sp, err := DecodeSpec(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := runWant(t, sp)
+
+	dir := t.TempDir()
+	opts := chaos.Options{Seed: 0xC0FFEE, WriteFail: 0.1, ReadFail: 0.1, TornRead: 0.05, FlipRead: 0.05}
+
+	store, err := chaos.OpenStore(dir, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Artifacts: store})
+	ts := httptest.NewServer(s.Handler())
+	sb := submitSpec(t, ts.URL, body, http.StatusAccepted)
+	streamToEnd(t, ts.URL, sb.ID)
+	if j := s.Job(sb.ID); j.State() != StateDone {
+		t.Fatalf("chaos run state %s (%s)", j.State(), j.Err())
+	}
+	got := fetch(t, ts.URL+"/v1/jobs/"+sb.ID+"/result")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chaos-store result differs from clean run:\n--- chaos\n%s\n--- want\n%s", got, want)
+	}
+	ts.Close()
+	s.Drain()
+	s.Wait()
+
+	// Restart: a fresh server over the same abused cache directory. The
+	// resubmitted spec is a new job in the new process; it reloads what
+	// the torn/flipped store can prove intact and recomputes the rest,
+	// landing on the same bytes.
+	store2, err := chaos.OpenStore(dir, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Artifacts: store2})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	sb2 := submitSpec(t, ts2.URL, body, http.StatusAccepted)
+	if sb2.ID != sb.ID {
+		t.Fatalf("restart changed the content address: %s vs %s", sb2.ID, sb.ID)
+	}
+	streamToEnd(t, ts2.URL, sb2.ID)
+	got2 := fetch(t, ts2.URL+"/v1/jobs/"+sb2.ID+"/result")
+	if !bytes.Equal(got2, want) {
+		t.Fatal("post-restart result differs from clean run")
+	}
+	s2.Drain()
+	s2.Wait()
+
+	// The store must not leak temp files from failed/torn writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leaked temp file %s in artifact dir", e.Name())
+		}
+	}
+}
+
+// TestServeChaosCancelMidFlight cancels a job under a chaos store and
+// requires a clean terminal state — never a hang, never a process
+// abort.
+func TestServeChaosCancelMidFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (quick) campaign")
+	}
+	store, err := chaos.OpenStore(t.TempDir(), nil, chaos.Options{Seed: 7, WriteFail: 0.2, ReadFail: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Artifacts: store})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	sb := submitSpec(t, ts.URL, `{"experiments":["fig9"],"quick":true,"runs":2}`, http.StatusAccepted)
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+sb.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	j := s.Job(sb.ID)
+	<-j.Done()
+	if st := j.State(); st != StateCanceled && st != StateDone {
+		t.Fatalf("state after cancel: %s (%s)", st, j.Err())
+	}
+	s.Drain()
+	s.Wait()
+}

@@ -41,6 +41,20 @@ func (s Scale) String() string {
 	return "unknown"
 }
 
+// ParseScale parses a scale name as written by String — the CLI's
+// -scale argument and the serve spec's "scale" field.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("workloads: unknown scale %q (tiny, small, full)", name)
+}
+
 // Workload is one benchmark instance.
 type Workload struct {
 	// Name is the paper's benchmark name.
