@@ -10,6 +10,7 @@
 //	                 [-quick] [-full] [-scale tiny|small|full]
 //	                 [-runs N] [-seed N] [-workers N]
 //	                 [-cache-dir DIR] [-progress] [-max-duration D]
+//	                 [-shards N] [-worker-bin FILE]
 //	                 [-metrics-out FILE] [-pprof-cpu FILE] [-pprof-mem FILE]
 //
 // With -cache-dir, DTA characterization summaries and campaign cells are
@@ -17,6 +18,12 @@
 // (seed, scale, sample counts, ...), so a re-run with the same settings
 // reloads them instead of re-simulating. -progress periodically reports
 // cells completed, cache hits, and elapsed time to stderr.
+//
+// With -shards N (requires -cache-dir), N supervised teva-worker
+// processes prewarm the cache with lease-tracked work units before the
+// suite runs; crashed workers are restarted, poison units quarantined by
+// name, and stdout stays byte-identical to an unsharded run (see
+// DESIGN.md "Process supervision").
 //
 // The run shuts down in an orderly way: the first SIGINT/SIGTERM drains
 // (in-flight cells finish and are cached, no new work is dispatched, the
@@ -45,9 +52,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -80,6 +90,9 @@ func main() {
 	staScreen := flag.Bool("sta-screen", false, "skip dense DTA for ops whose worst STA slack clears the guardband (screened ops are reported error-free)")
 	screenGuardband := flag.Float64("screen-guardband", 0, "minimum positive slack in ps an op must clear to be screened (with -sta-screen)")
 	screenValidate := flag.Bool("screen-validate", false, "with -sta-screen: still simulate screened ops and fail on any disagreement with the slack screen")
+	shards := flag.Int("shards", 0, "prewarm the -cache-dir with this many supervised teva-worker processes before the suite runs (needs -cache-dir; crashed workers are restarted, poison units quarantined, and the report stays byte-identical to an unsharded run)")
+	workerBin := flag.String("worker-bin", "", "teva-worker executable for -shards (default: next to this binary, then $PATH)")
+	shardKillAfter := flag.String("shard-kill-after", "", "chaos drill: SIGKILL one live worker after N prewarm units complete (testing only)")
 	flag.Parse()
 
 	eng, err := dta.ParseEngine(*timing)
@@ -174,7 +187,7 @@ func main() {
 		}()
 	}
 
-	suiteErr := experiments.RunSuite(env, experiments.SuiteConfig{
+	suiteCfg := experiments.SuiteConfig{
 		Experiments: strings.Split(*exp, ","),
 		CornerSpec:  *cornerSpec,
 		CSVDir:      *csvDir,
@@ -182,7 +195,20 @@ func main() {
 		Trace:       os.Stdout,
 		Diag:        os.Stderr,
 		Clock:       clock,
-	}, os.Stdout)
+	}
+	if *shards > 1 {
+		suiteCfg.Shards = *shards
+		suiteCfg.ShardWorkerBin = resolveWorkerBin(*workerBin)
+		if *shardKillAfter != "" {
+			n, err := strconv.Atoi(*shardKillAfter)
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -shard-kill-after %q\n", *shardKillAfter)
+				os.Exit(2)
+			}
+			suiteCfg.ShardKillAfterUnits = n
+		}
+	}
+	suiteErr := experiments.RunSuite(env, suiteCfg, os.Stdout)
 	interrupted := false
 	if suiteErr != nil {
 		if !experiments.IsInterrupt(suiteErr) {
@@ -220,6 +246,26 @@ func main() {
 		os.Exit(code)
 	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// resolveWorkerBin locates the teva-worker executable for -shards:
+// explicit -worker-bin wins, then a sibling of this binary (the normal
+// `go build ./...` layout), then $PATH. An unresolvable worker is left
+// empty — the suite notes it on stderr and runs in-process.
+func resolveWorkerBin(explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "teva-worker")
+		if st, err := os.Stat(sibling); err == nil && !st.IsDir() {
+			return sibling
+		}
+	}
+	if p, err := exec.LookPath("teva-worker"); err == nil {
+		return p
+	}
+	return ""
 }
 
 // startProfiles starts the requested runtime/pprof profiles and returns

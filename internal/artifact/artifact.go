@@ -40,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"teva/internal/obs"
@@ -121,6 +122,11 @@ type FS interface {
 	// new one, never a torn write, and a failed write leaves no temp
 	// file behind.
 	WriteFileAtomic(dir, name string, data []byte) error
+	// SweepTmp removes stale temp files in dir older than age — debris a
+	// crashed or SIGKILLed writer left between CreateTemp and rename. It
+	// returns the number removed; errors on individual files are skipped
+	// (another sweeper may have raced us to them).
+	SweepTmp(dir string, age time.Duration) int
 }
 
 // OSFS is the production FS backed by the os package.
@@ -155,6 +161,35 @@ func (OSFS) WriteFileAtomic(dir, name string, data []byte) error {
 	return nil
 }
 
+// SweepTmp implements FS: any ".tmp-*" file whose mtime is older than
+// age cannot belong to a live writer (atomic writes are milliseconds,
+// and the threshold is minutes), so it is debris from a killed process.
+// Fresh temp files are left alone — with sharded workers, other live
+// processes are writing into the same directory right now.
+func (OSFS) SweepTmp(dir string, age time.Duration) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	// File mtimes are wall-clock by nature; the sweep only removes debris
+	// and never feeds a simulation result, so the clock read is harmless.
+	cutoff := time.Now().Add(-age) //teva:allow simpurity -- mtime-based debris sweep, no result dataflow
+	swept := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, e.Name())) == nil {
+			swept++
+		}
+	}
+	return swept
+}
+
 // Stats is a snapshot of the store's counters.
 type Stats struct {
 	// Hits counts successful loads, Misses failed ones (absent entries
@@ -182,7 +217,15 @@ const (
 	MetricCorrupt     = "artifact.corrupt"
 	MetricRetries     = "artifact.retries"
 	MetricWriteErrors = "artifact.write_errors"
+	MetricTmpSwept    = "artifact.tmp_swept"
 )
+
+// tmpSweepAge is the staleness threshold for the open-time temp-file
+// sweep. An atomic write holds its temp file for milliseconds; a temp
+// file this old can only be debris from a writer that died between
+// CreateTemp and rename (a SIGKILLed shard worker, an OOM-killed run).
+// The margin keeps the sweep safe against every live concurrent writer.
+const tmpSweepAge = 15 * time.Minute
 
 // saveAttempts bounds the write retry loop: the initial attempt plus two
 // retries with 1ms/4ms backoff. Transient failures (ENOSPC races, NFS
@@ -233,6 +276,12 @@ func OpenFS(dir string, reg *obs.Registry, fs FS) (*Store, error) {
 	}
 	if reg == nil {
 		reg = obs.NewRegistry(nil)
+	}
+	// Sweep debris from crashed writers before use. Multiple processes
+	// opening the same directory (sharded workers) race benignly: each
+	// file is removed by whichever sweeper gets there first.
+	if n := fs.SweepTmp(dir, tmpSweepAge); n > 0 {
+		reg.Counter(MetricTmpSwept).Add(int64(n))
 	}
 	return &Store{
 		dir:         dir,

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
+
+	"teva/internal/obs"
 )
 
 type payload struct {
@@ -179,5 +182,55 @@ func TestConcurrentAccessIsSafe(t *testing.T) {
 	wg.Wait()
 	if st := s.Stats(); st.Writes != 400 {
 		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestOpenSweepsStaleTmpFiles pins the crash-debris sweep: a ".tmp-*"
+// file older than the staleness threshold is removed when the store
+// opens (and counted on artifact.tmp_swept), while a fresh one — which
+// may belong to a live concurrent writer — is left alone, as are files
+// that merely contain "tmp" without the atomic-write prefix.
+func TestOpenSweepsStaleTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".tmp-12345")
+	fresh := filepath.Join(dir, ".tmp-67890")
+	bystander := filepath.Join(dir, "tmp-notours.json")
+	for _, name := range []string{stale, fresh, bystander} {
+		if err := os.WriteFile(name, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpSweepAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(bystander, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry(nil)
+	if _, err := OpenIn(dir, reg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp file survived the open-time sweep: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh tmp file (possible live writer) was swept: %v", err)
+	}
+	if _, err := os.Stat(bystander); err != nil {
+		t.Fatalf("non-prefixed bystander file was swept: %v", err)
+	}
+	if got := reg.Counter(MetricTmpSwept).Value(); got != 1 {
+		t.Fatalf("artifact.tmp_swept = %d, want 1", got)
+	}
+
+	// Reopening the now-clean directory must not count anything.
+	reg2 := obs.NewRegistry(nil)
+	if _, err := OpenIn(dir, reg2); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Counter(MetricTmpSwept).Value(); got != 0 {
+		t.Fatalf("artifact.tmp_swept after clean reopen = %d, want 0", got)
 	}
 }

@@ -18,6 +18,9 @@ type flakyFS struct {
 
 func (f *flakyFS) MkdirAll(dir string) error            { return OSFS{}.MkdirAll(dir) }
 func (f *flakyFS) ReadFile(name string) ([]byte, error) { return OSFS{}.ReadFile(name) }
+func (f *flakyFS) SweepTmp(dir string, age time.Duration) int {
+	return OSFS{}.SweepTmp(dir, age)
+}
 
 func (f *flakyFS) WriteFileAtomic(dir, name string, data []byte) error {
 	f.calls++

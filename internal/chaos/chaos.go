@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"teva/internal/artifact"
 	"teva/internal/obs"
@@ -157,6 +158,10 @@ func (c *FS) maybePanic(op, path string, n uint64) {
 // MkdirAll implements artifact.FS; directory creation is left reliable
 // (a store that cannot even open is outside the failure model).
 func (c *FS) MkdirAll(dir string) error { return c.inner.MkdirAll(dir) }
+
+// SweepTmp implements artifact.FS; the sweep is left reliable (it only
+// removes debris, and a skipped file is reswept on the next open).
+func (c *FS) SweepTmp(dir string, age time.Duration) int { return c.inner.SweepTmp(dir, age) }
 
 // ReadFile implements artifact.FS with read-side faults: hard errors,
 // torn (truncated) reads, and single-bit flips.

@@ -223,6 +223,8 @@ type memFS struct {
 
 func (m memFS) MkdirAll(string) error { return nil }
 
+func (m memFS) SweepTmp(string, time.Duration) int { return 0 }
+
 func (m memFS) ReadFile(name string) ([]byte, error) {
 	data, ok := m.files[name]
 	if !ok {

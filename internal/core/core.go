@@ -207,40 +207,52 @@ func (f *Framework) RandomSummariesCtx(ctx context.Context, level vscale.VRLevel
 }
 
 func (f *Framework) randomSummaries(ctx context.Context, level vscale.VRLevel) (map[fpu.Op]*dta.Summary, error) {
-	scale := f.Volt.ScaleFor(level)
 	out := make(map[fpu.Op]*dta.Summary, fpu.NumOps)
 	for _, op := range fpu.Ops() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		n := f.Cfg.RandomOperands
-		if op == fpu.DDiv || op == fpu.SDiv {
-			n /= 8 // the iterative divider is ~50x slower to analyze
-		}
-		screened := f.screens(op, scale)
-		if screened && !f.Cfg.Screen.Validate {
-			out[op] = dta.ScreenedSummary(op, n)
-			continue
-		}
-		opSeed := f.Cfg.Seed ^ 0x1A5EED ^ hashString("random/"+op.String())
-		key := artifact.SummaryKey("random", op.String(), scale, opSeed, n, f.Cfg.Timing.Exact())
-		s := new(dta.Summary)
-		if f.Cfg.Artifacts.Load(key, s) {
-			out[op] = s
-		} else {
-			pairs := randomPairs(op, n, prng.New(opSeed))
-			recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.Timing, pairs, f.Cfg.Workers, f.Cfg.Metrics)
-			if err != nil {
-				return nil, err
-			}
-			out[op] = dta.Summarize(op, recs)
-			f.noteSaveErr(f.Cfg.Artifacts.Save(key, out[op]))
-		}
-		if err := f.validateScreen(screened, op, scale, out[op]); err != nil {
+		s, err := f.RandomSummaryOpCtx(ctx, level, op)
+		if err != nil {
 			return nil, err
 		}
+		out[op] = s
 	}
 	return out, nil
+}
+
+// RandomSummaryOpCtx characterizes (or reloads from the artifact store)
+// a single op's random-operand DTA summary at a level — one loop
+// iteration of RandomSummariesCtx, exposed so a shard worker can compute
+// exactly one (level, op) unit. The artifact key is identical to the one
+// the full loop writes, so a prewarmed store makes the in-process loop a
+// pure cache read.
+func (f *Framework) RandomSummaryOpCtx(ctx context.Context, level vscale.VRLevel, op fpu.Op) (*dta.Summary, error) {
+	scale := f.Volt.ScaleFor(level)
+	n := f.Cfg.RandomOperands
+	if op == fpu.DDiv || op == fpu.SDiv {
+		n /= 8 // the iterative divider is ~50x slower to analyze
+	}
+	screened := f.screens(op, scale)
+	if screened && !f.Cfg.Screen.Validate {
+		return dta.ScreenedSummary(op, n), nil
+	}
+	opSeed := f.Cfg.Seed ^ 0x1A5EED ^ hashString("random/"+op.String())
+	key := artifact.SummaryKey("random", op.String(), scale, opSeed, n, f.Cfg.Timing.Exact())
+	s := new(dta.Summary)
+	if !f.Cfg.Artifacts.Load(key, s) {
+		pairs := randomPairs(op, n, prng.New(opSeed))
+		recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.Timing, pairs, f.Cfg.Workers, f.Cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		s = dta.Summarize(op, recs)
+		f.noteSaveErr(f.Cfg.Artifacts.Save(key, s))
+	}
+	if err := f.validateScreen(screened, op, scale, s); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // screens evaluates (and counts) the slack screen for one op at a corner.
@@ -284,52 +296,67 @@ func (f *Framework) WorkloadSummaries(level vscale.VRLevel, tr *trace.Trace) map
 
 // WorkloadSummariesCtx is WorkloadSummaries with cooperative cancellation.
 func (f *Framework) WorkloadSummariesCtx(ctx context.Context, level vscale.VRLevel, tr *trace.Trace) (map[fpu.Op]*dta.Summary, error) {
-	scale := f.Volt.ScaleFor(level)
-	source := fmt.Sprintf("wl:%s:%#x", tr.Workload, tr.Fingerprint())
 	out := make(map[fpu.Op]*dta.Summary, fpu.NumOps)
 	for _, op := range fpu.Ops() {
-		pool := tr.Pairs[op]
-		if len(pool) == 0 {
+		if len(tr.Pairs[op]) == 0 {
 			continue
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		n := f.Cfg.WorkloadOperands
-		if op == fpu.DDiv || op == fpu.SDiv {
-			n /= 8
-		}
-		if n < 1 {
-			n = 1
-		}
-		screened := f.screens(op, scale)
-		if screened && !f.Cfg.Screen.Validate {
-			out[op] = dta.ScreenedSummary(op, n)
-			continue
-		}
-		opSeed := f.Cfg.Seed ^ 0x3A5EED ^ hashString(tr.Workload+"/"+op.String())
-		key := artifact.SummaryKey(source, op.String(), scale, opSeed, n, f.Cfg.Timing.Exact())
-		s := new(dta.Summary)
-		if f.Cfg.Artifacts.Load(key, s) {
-			out[op] = s
-		} else {
-			pairs := make([]dta.Pair, n)
-			rs := prng.New(opSeed)
-			for i := range pairs {
-				pairs[i] = pool[rs.Intn(len(pool))]
-			}
-			recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.Timing, pairs, f.Cfg.Workers, f.Cfg.Metrics)
-			if err != nil {
-				return nil, err
-			}
-			out[op] = dta.Summarize(op, recs)
-			f.noteSaveErr(f.Cfg.Artifacts.Save(key, out[op]))
-		}
-		if err := f.validateScreen(screened, op, scale, out[op]); err != nil {
+		s, err := f.WorkloadSummaryOpCtx(ctx, level, tr, op)
+		if err != nil {
 			return nil, err
+		}
+		if s != nil {
+			out[op] = s
 		}
 	}
 	return out, nil
+}
+
+// WorkloadSummaryOpCtx characterizes (or reloads) a single op's
+// workload-operand DTA summary — one loop iteration of
+// WorkloadSummariesCtx, exposed for shard workers. It returns (nil, nil)
+// when the trace carries no operands for op.
+func (f *Framework) WorkloadSummaryOpCtx(ctx context.Context, level vscale.VRLevel, tr *trace.Trace, op fpu.Op) (*dta.Summary, error) {
+	pool := tr.Pairs[op]
+	if len(pool) == 0 {
+		return nil, nil
+	}
+	scale := f.Volt.ScaleFor(level)
+	source := fmt.Sprintf("wl:%s:%#x", tr.Workload, tr.Fingerprint())
+	n := f.Cfg.WorkloadOperands
+	if op == fpu.DDiv || op == fpu.SDiv {
+		n /= 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	screened := f.screens(op, scale)
+	if screened && !f.Cfg.Screen.Validate {
+		return dta.ScreenedSummary(op, n), nil
+	}
+	opSeed := f.Cfg.Seed ^ 0x3A5EED ^ hashString(tr.Workload+"/"+op.String())
+	key := artifact.SummaryKey(source, op.String(), scale, opSeed, n, f.Cfg.Timing.Exact())
+	s := new(dta.Summary)
+	if !f.Cfg.Artifacts.Load(key, s) {
+		pairs := make([]dta.Pair, n)
+		rs := prng.New(opSeed)
+		for i := range pairs {
+			pairs[i] = pool[rs.Intn(len(pool))]
+		}
+		recs, err := dta.AnalyzeStreamCtx(ctx, f.FPU, op, scale, f.Cfg.Timing, pairs, f.Cfg.Workers, f.Cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		s = dta.Summarize(op, recs)
+		f.noteSaveErr(f.Cfg.Artifacts.Save(key, s))
+	}
+	if err := f.validateScreen(screened, op, scale, s); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // CaptureTrace extracts the workload's operand trace (the model

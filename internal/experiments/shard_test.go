@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"teva/internal/artifact"
+	"teva/internal/core"
+	"teva/internal/obs"
+	"teva/internal/shard"
+	"teva/internal/workloads"
+)
+
+// TestMain doubles as the shard worker binary for this package's chaos
+// tests: when the supervisor re-execs the test binary with
+// TEVA_EXP_TEST_WORKER set, we run the real WorkerMain (the same body
+// cmd/teva-worker wraps) instead of the tests.
+func TestMain(m *testing.M) {
+	if os.Getenv("TEVA_EXP_TEST_WORKER") != "" {
+		os.Exit(shardTestWorkerMain())
+	}
+	os.Exit(m.Run())
+}
+
+func shardTestWorkerMain() int {
+	var addr, id string
+	for i, a := range os.Args {
+		switch a {
+		case "-supervisor":
+			addr = os.Args[i+1]
+		case "-id":
+			id = os.Args[i+1]
+		}
+	}
+	o := WorkerOptions{
+		Supervisor:  addr,
+		ID:          id,
+		Diag:        os.Stderr,
+		KillUnitSub: os.Getenv("TEVA_WORKER_KILL_UNIT"),
+	}
+	if v := os.Getenv("TEVA_WORKER_KILL_AFTER_UNITS"); v != "" {
+		o.KillAfterUnits, _ = strconv.Atoi(v)
+	}
+	if err := WorkerMain(context.Background(), o); err != nil {
+		fmt.Fprintf(os.Stderr, "test worker %s: %v\n", id, err)
+		return 1
+	}
+	return 0
+}
+
+// shardTestEnv builds a scaled-down quick-style environment; the sample
+// sizes propagate to worker processes through the Plan, so the sharded
+// and unsharded runs compare like for like.
+func shardTestEnv(t *testing.T, cacheDir string) *Env {
+	t.Helper()
+	reg := obs.NewRegistry(nil)
+	cfg := core.Config{
+		Seed:             0xF00D,
+		RandomOperands:   1500,
+		WorkloadOperands: 800,
+		DASample:         100000,
+		Metrics:          reg,
+	}
+	if cacheDir != "" {
+		store, err := artifact.OpenIn(cacheDir, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Artifacts = store
+	}
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEnv(f, Options{Scale: workloads.Tiny, Runs: 12})
+}
+
+// TestShardedFig7ChaosByteIdentical is the acceptance test for the
+// sharded execution path: run fig7 with 3 worker processes while (a) the
+// supervisor SIGKILLs one worker mid-campaign and (b) a poison unit
+// SIGKILLs every worker that leases it until quarantine — and require
+// stdout byte-identical to the unsharded in-process run, with the
+// restarts and the quarantined unit named in the diag summary.
+func TestShardedFig7ChaosByteIdentical(t *testing.T) {
+	// Unsharded reference run (no cache, no workers).
+	var ref bytes.Buffer
+	if err := RunSuite(shardTestEnv(t, ""), SuiteConfig{Experiments: []string{"fig7"}}, &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	const poison = "random/VR20/fp-div.s"
+	env := shardTestEnv(t, t.TempDir())
+	var out, diag bytes.Buffer
+	err := RunSuite(env, SuiteConfig{
+		Experiments:    []string{"fig7"},
+		Shards:         3,
+		ShardWorkerBin: os.Args[0],
+		ShardWorkerEnv: append(os.Environ(),
+			"TEVA_EXP_TEST_WORKER=1",
+			"TEVA_WORKER_KILL_UNIT="+poison,
+		),
+		ShardKillAfterUnits: 2,
+		Diag:                &diag,
+	}, &out)
+	if err != nil {
+		t.Fatalf("sharded run failed: %v\ndiag:\n%s", err, diag.String())
+	}
+
+	if !bytes.Equal(out.Bytes(), ref.Bytes()) {
+		t.Fatalf("sharded stdout differs from unsharded run\n--- sharded\n%s\n--- unsharded\n%s\ndiag:\n%s",
+			out.String(), ref.String(), diag.String())
+	}
+	d := diag.String()
+	if !strings.Contains(d, "chaos: SIGKILL worker") {
+		t.Fatalf("diag missing the supervisor-side chaos kill:\n%s", d)
+	}
+	if !strings.Contains(d, "restarted worker") {
+		t.Fatalf("diag missing worker restarts after SIGKILL:\n%s", d)
+	}
+	if !strings.Contains(d, "poison unit "+poison+" quarantined") {
+		t.Fatalf("diag missing the named poison quarantine:\n%s", d)
+	}
+	// The exit summary must carry nonzero restart and quarantine tallies.
+	reg := env.F.Cfg.Metrics
+	if got := reg.Counter(shard.MetricRestarts).Value(); got < 1 {
+		t.Fatalf("shard.restarts = %d, want >= 1", got)
+	}
+	if got := reg.Counter(shard.MetricQuarantines).Value(); got != 1 {
+		t.Fatalf("shard.quarantines = %d, want 1", got)
+	}
+	if got := reg.Counter(shard.MetricSumMismatches).Value(); got != 0 {
+		t.Fatalf("shard.sum_mismatches = %d, want 0 — workers disagreed on a unit result", got)
+	}
+	// The prewarm must have done real work: all units except the poison
+	// one completed in worker processes.
+	if got := reg.Counter(shard.MetricUnitsDone).Value(); got < 20 {
+		t.Fatalf("shard.units_done = %d, want >= 20 of 24 fig7 units", got)
+	}
+}
+
+// TestShardedRunWithoutCacheDegradesInProcess pins the degradation
+// ladder's bottom rung: -shards without a cache dir must not fail (or
+// change) the run — it just runs in-process with a diag note.
+func TestShardedRunWithoutCacheDegradesInProcess(t *testing.T) {
+	var ref bytes.Buffer
+	if err := RunSuite(shardTestEnv(t, ""), SuiteConfig{Experiments: []string{"table1"}}, &ref); err != nil {
+		t.Fatal(err)
+	}
+	var out, diag bytes.Buffer
+	err := RunSuite(shardTestEnv(t, ""), SuiteConfig{
+		Experiments:    []string{"table1"},
+		Shards:         3,
+		ShardWorkerBin: os.Args[0],
+		Diag:           &diag,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), ref.Bytes()) {
+		t.Fatalf("degraded sharded run changed stdout:\n%s", out.String())
+	}
+	if !strings.Contains(diag.String(), "sharding needs a shared -cache-dir") {
+		t.Fatalf("diag missing the degradation note:\n%s", diag.String())
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	env := shardTestEnv(t, t.TempDir())
+	plan := PlanOf(env)
+	if plan.CacheDir == "" {
+		t.Fatal("PlanOf lost the cache dir")
+	}
+	env2, err := NewEnvFromPlan(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The config tag is what artifact provenance keys fold in: if the
+	// round trip preserves it, worker cache writes land under exactly
+	// the keys the supervisor's run loads.
+	if got, want := env2.cfgTag(), env.cfgTag(); got != want {
+		t.Fatalf("cfgTag after round trip = %q, want %q", got, want)
+	}
+	if env2.F.Cfg.Seed != env.F.Cfg.Seed {
+		t.Fatalf("seed after round trip = %#x, want %#x", env2.F.Cfg.Seed, env.F.Cfg.Seed)
+	}
+	if got := PlanOf(env2); got != plan {
+		t.Fatalf("PlanOf after round trip = %+v, want %+v", got, plan)
+	}
+}
+
+func TestShardUnitsSelection(t *testing.T) {
+	env := shardTestEnv(t, "")
+	fig7, err := ShardUnits(env, []string{"fig7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig7 needs the random characterizations only: levels x ops.
+	if want := len(env.Levels()) * 12; len(fig7) != want {
+		t.Fatalf("fig7 units = %d, want %d", len(fig7), want)
+	}
+	for _, u := range fig7 {
+		if u.Kind != shard.UnitRandom {
+			t.Fatalf("fig7 planned a %s unit: %s", u.Kind, u.ID())
+		}
+	}
+
+	all, err := ShardUnits(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, _ := env.Workloads()
+	nLevels := len(env.Levels())
+	want := nLevels*12 + nLevels*len(ws) + nLevels*len(ws)*len(ModelKinds())
+	if len(all) != want {
+		t.Fatalf("all units = %d, want %d", len(all), want)
+	}
+	// Cells must be staged after summaries, and IDs must be unique.
+	seen := map[string]bool{}
+	for _, u := range all {
+		if seen[u.ID()] {
+			t.Fatalf("duplicate unit %s", u.ID())
+		}
+		seen[u.ID()] = true
+		wantStage := 0
+		if u.Kind == shard.UnitCell {
+			wantStage = 1
+		}
+		if u.Stage != wantStage {
+			t.Fatalf("unit %s stage = %d, want %d", u.ID(), u.Stage, wantStage)
+		}
+	}
+
+	table1, err := ShardUnits(env, []string{"table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table1) != 0 {
+		t.Fatalf("table1 planned %d units, want 0 (nothing shardable)", len(table1))
+	}
+}

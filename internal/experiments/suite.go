@@ -118,6 +118,25 @@ type SuiteConfig struct {
 	// otherwise). The serving layer turns these into job events.
 	OnStart      func(name string)
 	OnExperiment func(name string, err error)
+	// Shards, when > 1, prewarm the artifact cache with that many
+	// supervised teva-worker processes before the suite runs (see
+	// internal/shard). The prewarm requires a cache dir and a worker
+	// binary; anything that goes wrong — missing prerequisites, crashed
+	// or SIGKILLed workers, quarantined poison units — degrades to the
+	// in-process run computing the remainder, so the report bytes never
+	// depend on sharding.
+	Shards int
+	// ShardWorkerBin is the worker executable for Shards > 1.
+	ShardWorkerBin string
+	// ShardWorkerEnv, when non-nil, is the complete K=V environment for
+	// every worker process (chaos hooks ride through here as
+	// os.Environ() plus extras); nil workers inherit this process's
+	// environment.
+	ShardWorkerEnv []string
+	// ShardKillAfterUnits, when > 0, makes the supervisor SIGKILL one
+	// live worker after that many units complete — the deterministic
+	// mid-campaign crash used by the chaos CI job.
+	ShardKillAfterUnits int
 }
 
 // RunSuite runs the selected experiments against env in the canonical
@@ -132,6 +151,9 @@ func RunSuite(env *Env, cfg SuiteConfig, out io.Writer) error {
 	}
 	if !cfg.OmitBanner {
 		PrintBanner(out, env.Opts, env.F.Cfg.Seed)
+	}
+	if cfg.Shards > 1 {
+		shardPrewarm(env, cfg, diag)
 	}
 	names := cfg.Experiments
 	if len(names) == 0 {

@@ -44,6 +44,7 @@ var ctxflowPkgs = []string{
 	"teva/internal/core",
 	"teva/internal/sta",
 	"teva/internal/serve",
+	"teva/internal/shard",
 }
 
 func ctxflowGated(path string) bool {

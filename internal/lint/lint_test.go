@@ -250,6 +250,7 @@ func TestPanicBarrierPathGate(t *testing.T) {
 		"teva/internal/dta/lintfixture":      0,
 		"teva/internal/campaign/lintfixture": 2,
 		"teva/internal/sta/lintfixture":      2,
+		"teva/internal/shard/lintfixture":    2,
 	} {
 		t.Run(asPath, func(t *testing.T) {
 			p := loadFixture(t, l, "panicbarrier", asPath)

@@ -31,6 +31,7 @@ var panicBarrierPaths = []string{
 	"internal/campaign",
 	"internal/sta",
 	"internal/serve",
+	"internal/shard",
 }
 
 func runPanicBarrier(p *Package) []Finding {

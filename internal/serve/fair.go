@@ -1,0 +1,139 @@
+package serve
+
+import "sync"
+
+// fairSched allocates the server's job-run slots across clients with
+// per-client round-robin instead of global FIFO. Each client gets a FIFO
+// queue of waiters; free slots are handed to the front of the queue of
+// the least-recently-served client, so one client submitting a deep
+// backlog cannot starve another's single job behind -max-jobs: with one
+// slot and client A queueing three jobs against client B's one, the
+// grant order is A, B, A, A — not A, A, A, B.
+type fairSched struct {
+	mu     sync.Mutex
+	slots  int                  // free run slots
+	queues map[string][]*waiter // per-client FIFO of blocked Acquires
+	// rot is the rotation: every client ever seen, front = most
+	// deserving. A grant moves the client to the back; a never-served
+	// client is inserted ahead of all served ones (it has consumed
+	// nothing yet) but behind earlier never-served arrivals.
+	rot    []string
+	served map[string]bool
+}
+
+type waiter struct {
+	ready   chan struct{} // closed on grant
+	granted bool          // guarded by fairSched.mu
+}
+
+func newFairSched(slots int) *fairSched {
+	if slots < 1 {
+		slots = 1
+	}
+	return &fairSched{
+		slots:  slots,
+		queues: make(map[string][]*waiter),
+		served: make(map[string]bool),
+	}
+}
+
+// Acquire blocks until the client is granted a run slot or cancel is
+// closed, reporting which. Every acquisition goes through the queue —
+// even when a slot is free — so the rotation accounting is identical on
+// the fast and slow paths.
+func (f *fairSched) Acquire(client string, cancel <-chan struct{}) bool {
+	w := &waiter{ready: make(chan struct{})}
+	f.mu.Lock()
+	f.enqueueLocked(client, w)
+	f.dispatchLocked()
+	f.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return true
+	case <-cancel:
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w.granted {
+		// The grant raced the cancel: hand the slot straight back so the
+		// next waiter is not stranded.
+		f.slots++
+		f.dispatchLocked()
+		return false
+	}
+	f.removeLocked(client, w)
+	return false
+}
+
+// Release returns a slot and wakes the next waiter in rotation.
+func (f *fairSched) Release() {
+	f.mu.Lock()
+	f.slots++
+	f.dispatchLocked()
+	f.mu.Unlock()
+}
+
+func (f *fairSched) enqueueLocked(client string, w *waiter) {
+	f.queues[client] = append(f.queues[client], w)
+	for _, c := range f.rot {
+		if c == client {
+			return
+		}
+	}
+	// New client: slot it in ahead of every already-served client.
+	at := len(f.rot)
+	for i, c := range f.rot {
+		if f.served[c] {
+			at = i
+			break
+		}
+	}
+	f.rot = append(f.rot, "")
+	copy(f.rot[at+1:], f.rot[at:])
+	f.rot[at] = client
+}
+
+// dispatchLocked hands out free slots round-robin: scan the rotation
+// front to back for a client with a queued waiter, grant, move that
+// client to the back, repeat while slots remain.
+func (f *fairSched) dispatchLocked() {
+	for f.slots > 0 {
+		idx := -1
+		for i, c := range f.rot {
+			if len(f.queues[c]) > 0 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		c := f.rot[idx]
+		q := f.queues[c]
+		w := q[0]
+		if len(q) == 1 {
+			delete(f.queues, c)
+		} else {
+			f.queues[c] = q[1:]
+		}
+		f.rot = append(append(f.rot[:idx:idx], f.rot[idx+1:]...), c)
+		f.served[c] = true
+		f.slots--
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+func (f *fairSched) removeLocked(client string, w *waiter) {
+	q := f.queues[client]
+	for i, x := range q {
+		if x == w {
+			f.queues[client] = append(q[:i:i], q[i+1:]...)
+			if len(f.queues[client]) == 0 {
+				delete(f.queues, client)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fairHarness drives a fairSched with labeled goroutine acquirers whose
+// grant order is observable on a channel and whose slot hold time is
+// controlled by the test.
+type fairHarness struct {
+	f       *fairSched
+	grants  chan string
+	release chan struct{}
+}
+
+func newFairHarness(slots int) *fairHarness {
+	return &fairHarness{
+		f:       newFairSched(slots),
+		grants:  make(chan string, 32),
+		release: make(chan struct{}),
+	}
+}
+
+// acquire starts a labeled acquisition and waits until it is either
+// granted or durably queued, so successive calls enqueue in program
+// order (which is what makes grant-order assertions deterministic).
+func (h *fairHarness) acquire(t *testing.T, label, client string) {
+	t.Helper()
+	h.f.mu.Lock()
+	before := len(h.f.queues[client])
+	h.f.mu.Unlock()
+	go func() {
+		if h.f.Acquire(client, nil) {
+			h.grants <- label
+			<-h.release
+			h.f.Release()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case g := <-h.grants:
+			h.grants <- g // not ours to consume; put it back for expect
+			return
+		default:
+		}
+		h.f.mu.Lock()
+		queued := len(h.f.queues[client]) > before
+		h.f.mu.Unlock()
+		if queued {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("%s: neither granted nor queued", label)
+}
+
+func (h *fairHarness) expect(t *testing.T, label string) {
+	t.Helper()
+	select {
+	case got := <-h.grants:
+		if got != label {
+			t.Fatalf("grant order: got %s, want %s", got, label)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for grant %s", label)
+	}
+}
+
+// TestFairSchedRoundRobinPreventsStarvation is the starvation
+// regression test for -max-jobs queueing: with one run slot, client A
+// stacking three jobs must not make client B's single job wait out A's
+// whole backlog. Round-robin grant order is A1, B1, A2, A3 — under the
+// old global-FIFO semaphore it was A1, A2, A3, B1.
+func TestFairSchedRoundRobinPreventsStarvation(t *testing.T) {
+	h := newFairHarness(1)
+	h.acquire(t, "A1", "A")
+	h.expect(t, "A1") // slot free: granted immediately
+	h.acquire(t, "A2", "A")
+	h.acquire(t, "A3", "A")
+	h.acquire(t, "B1", "B")
+	for _, want := range []string{"B1", "A2", "A3"} {
+		h.release <- struct{}{}
+		h.expect(t, want)
+	}
+	h.release <- struct{}{}
+}
+
+// TestFairSchedRotatesAcrossManyClients pins the rotation: three
+// clients with two queued jobs each interleave A B C A B C rather than
+// draining any one client's queue.
+func TestFairSchedRotatesAcrossManyClients(t *testing.T) {
+	h := newFairHarness(1)
+	h.acquire(t, "hold", "holder")
+	h.expect(t, "hold")
+	for _, c := range []string{"A", "B", "C"} {
+		h.acquire(t, c+"1", c)
+	}
+	for _, c := range []string{"A", "B", "C"} {
+		h.acquire(t, c+"2", c)
+	}
+	for _, want := range []string{"A1", "B1", "C1", "A2", "B2", "C2"} {
+		h.release <- struct{}{}
+		h.expect(t, want)
+	}
+	h.release <- struct{}{}
+}
+
+// TestFairSchedCancelWhileQueued exercises the drain path: a canceled
+// waiter leaves the queue without consuming a slot, and later clients
+// still get served.
+func TestFairSchedCancelWhileQueued(t *testing.T) {
+	f := newFairSched(1)
+	if !f.Acquire("A", nil) {
+		t.Fatal("free slot must grant")
+	}
+	cancel := make(chan struct{})
+	done := make(chan bool)
+	go func() { done <- f.Acquire("B", cancel) }()
+	waitFor(t, func() bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return len(f.queues["B"]) == 1
+	})
+	close(cancel)
+	if got := <-done; got {
+		t.Fatal("canceled Acquire returned true")
+	}
+	f.mu.Lock()
+	if len(f.queues) != 0 {
+		t.Fatalf("canceled waiter left queue residue: %v", f.queues)
+	}
+	f.mu.Unlock()
+	// The slot A holds is unaffected; releasing it serves the next client.
+	f.Release()
+	if !f.Acquire("C", nil) {
+		t.Fatal("slot lost after canceled waiter")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+// TestClientIDExtraction pins how the HTTP layer names clients for the
+// scheduler: explicit header first, then the peer host without port.
+func TestClientIDExtraction(t *testing.T) {
+	r := httptest.NewRequest("POST", "/v1/jobs", nil)
+	r.RemoteAddr = "192.0.2.7:4321"
+	if got := clientID(r); got != "192.0.2.7" {
+		t.Fatalf("clientID from RemoteAddr = %q, want 192.0.2.7", got)
+	}
+	r.Header.Set("X-Teva-Client", "ci-runner-3")
+	if got := clientID(r); got != "ci-runner-3" {
+		t.Fatalf("clientID with header = %q, want ci-runner-3", got)
+	}
+	r.Header.Del("X-Teva-Client")
+	r.RemoteAddr = "weird-no-port"
+	if got := clientID(r); got != "weird-no-port" {
+		t.Fatalf("clientID fallback = %q", got)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -98,13 +99,28 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	writeSnapshot(w, r, s.cfg.Metrics)
 }
 
+// clientID names the submitting client for the fairness scheduler: the
+// X-Teva-Client header when the caller sets one (lets jobs behind one
+// proxy schedule separately), otherwise the peer host. The identity is
+// purely advisory — it orders slot grants, never results.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Teva-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	sp, err := DecodeSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	j, deduped, err := s.Submit(sp)
+	j, deduped, err := s.SubmitAs(sp, clientID(r))
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, ErrDraining) {

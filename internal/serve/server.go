@@ -69,7 +69,7 @@ type Server struct {
 	base  context.Context
 	clock obs.Clock
 	mux   *http.ServeMux
-	sem   chan struct{}
+	sched *fairSched
 
 	mu       sync.Mutex
 	jobs     map[string]*Job // by job ID (latest attempt wins)
@@ -98,7 +98,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		base:       base,
 		clock:      cfg.Clock,
-		sem:        make(chan struct{}, workers),
+		sched:      newFairSched(workers),
 		jobs:       make(map[string]*Job),
 		byKey:      make(map[string]*Job),
 		drainCh:    make(chan struct{}),
@@ -118,7 +118,15 @@ func New(cfg Config) *Server {
 // whether the submission joined an existing one. Identical in-flight or
 // completed specs dedupe onto the live job; a failed or canceled job is
 // retried with a fresh attempt under the same content-addressed ID.
-func (s *Server) Submit(sp Spec) (*Job, bool, error) {
+func (s *Server) Submit(sp Spec) (*Job, bool, error) { return s.SubmitAs(sp, "") }
+
+// SubmitAs is Submit attributed to a client, which is the unit of the
+// run-slot fairness scheduler: when jobs queue behind MaxConcurrent,
+// free slots rotate round-robin across clients instead of draining one
+// client's backlog first. The client string is advisory (any stable
+// identifier works; the HTTP layer uses a header or the peer address)
+// and never affects job identity or results — only queueing order.
+func (s *Server) SubmitAs(sp Spec, client string) (*Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -138,7 +146,7 @@ func (s *Server) Submit(sp Spec) (*Job, bool, error) {
 	s.byKey[key] = j
 	s.mSubmitted.Inc()
 	guard.Go(&s.wg, &s.sink, "serve job "+j.ID, func() error {
-		s.runJob(j)
+		s.runJob(j, client)
 		return nil
 	})
 	return j, false, nil
@@ -202,15 +210,13 @@ func (s *Server) Wait() { s.wg.Wait() }
 // context parameter — the job's context is rooted in the server's
 // BaseContext (plus the spec's own max_duration), never in a request,
 // so a disconnecting client cannot cancel work other clients share.
-func (s *Server) runJob(j *Job) {
-	select {
-	case s.sem <- struct{}{}:
-	case <-s.drainCh:
+func (s *Server) runJob(j *Job, client string) {
+	if !s.sched.Acquire(client, s.drainCh) {
 		s.mCanceled.Inc()
 		j.finish(StateCanceled, "server draining before job start", nil, nil, nil)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer s.sched.Release()
 	if j.Canceled() {
 		s.mCanceled.Inc()
 		j.finish(StateCanceled, "canceled before start", nil, nil, nil)

@@ -1,0 +1,402 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"teva/internal/obs"
+)
+
+// unitState is one unit's scheduling lifecycle.
+type unitState uint8
+
+const (
+	unitPending     unitState = iota // waiting (possibly under retry backoff)
+	unitLeased                       // held by a worker under a live lease
+	unitDone                         // completed; artifacts are in the store
+	unitQuarantined                  // struck out; left to the in-process run
+)
+
+// TrackerConfig parameterizes the lease state machine.
+type TrackerConfig struct {
+	// LeaseTTL is how long a lease survives without a heartbeat before
+	// the sweeper reclaims its unit (0: 15s). Worker death reclaims
+	// immediately, so the TTL only bounds hung-but-alive workers.
+	LeaseTTL time.Duration
+	// MaxStrikes quarantines a unit after this many consecutive failed
+	// attempts — worker deaths, lease expiries, or worker-reported
+	// errors (0: 3).
+	MaxStrikes int
+	// RetryBackoff is the base delay before a reclaimed unit is leased
+	// again; it doubles per strike (0: 250ms).
+	RetryBackoff time.Duration
+	// Metrics receives the shard.* counters (nil: a private registry).
+	Metrics *obs.Registry
+	// Now is the injected clock (nil: time.Now). Every expiry and
+	// backoff decision flows through it, so tests drive time explicitly.
+	Now func() time.Time
+}
+
+// trackedUnit is the tracker's per-unit record.
+type trackedUnit struct {
+	unit     Unit
+	state    unitState
+	strikes  int       // consecutive failed attempts
+	eligible time.Time // earliest next lease (retry backoff)
+	lease    string    // current lease ID when unitLeased
+	sum      string    // result checksum once unitDone
+	lastErr  string    // most recent worker-reported error
+}
+
+// leaseRec is one outstanding lease.
+type leaseRec struct {
+	id       string
+	unitID   string
+	worker   string
+	deadline time.Time
+}
+
+// Tracker is the supervisor's lease state machine: a queue of work units
+// with time-boxed leases, retry backoff, poison quarantine, and
+// late-completion reconciliation. It is safe for concurrent use and has
+// no goroutines of its own — the owner calls Sweep periodically and
+// WorkerDied on process exits.
+type Tracker struct {
+	cfg TrackerConfig
+	now func() time.Time
+
+	mu     sync.Mutex
+	units  map[string]*trackedUnit
+	order  []string // unit IDs in submission order (deterministic scans)
+	leases map[string]*leaseRec
+	nextID int
+
+	mExpiries, mReclaims, mQuarantines, mLate, mDone, mMismatch *obs.Counter
+}
+
+// NewTracker builds a tracker over the unit set.
+func NewTracker(units []Unit, cfg TrackerConfig) *Tracker {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.MaxStrikes <= 0 {
+		cfg.MaxStrikes = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry(nil)
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	t := &Tracker{
+		cfg:          cfg,
+		now:          now,
+		units:        make(map[string]*trackedUnit, len(units)),
+		leases:       make(map[string]*leaseRec),
+		mExpiries:    reg.Counter(MetricLeaseExpiries),
+		mReclaims:    reg.Counter(MetricReclaims),
+		mQuarantines: reg.Counter(MetricQuarantines),
+		mLate:        reg.Counter(MetricLateCompletions),
+		mDone:        reg.Counter(MetricUnitsDone),
+		mMismatch:    reg.Counter(MetricSumMismatches),
+	}
+	for _, u := range units {
+		id := u.ID()
+		if _, dup := t.units[id]; dup {
+			continue
+		}
+		t.units[id] = &trackedUnit{unit: u}
+		t.order = append(t.order, id)
+	}
+	return t
+}
+
+// Grant is the tracker's answer to a lease request.
+type Grant struct {
+	// OK means Unit and Lease are populated and the worker owns the unit
+	// until Deadline (extended by heartbeats).
+	OK    bool
+	Unit  Unit
+	Lease string
+	TTL   time.Duration
+	// Done means every unit is done or quarantined — the worker should
+	// exit cleanly.
+	Done bool
+	// Wait is the suggested poll delay when nothing is leasable right
+	// now (everything leased out, or pending units still under backoff).
+	Wait time.Duration
+}
+
+// Lease hands the next leasable unit to worker. Units are scanned in
+// submission order within the lowest incomplete stage; stage s+1 opens
+// only once every stage <= s unit is done or quarantined.
+func (t *Tracker) Lease(worker string) Grant {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.sweepLocked(now)
+	if t.doneLocked() {
+		return Grant{Done: true}
+	}
+	stage := t.openStageLocked()
+	var wait time.Duration
+	for _, id := range t.order {
+		tu := t.units[id]
+		if tu.state != unitPending || tu.unit.Stage > stage {
+			continue
+		}
+		if tu.eligible.After(now) {
+			if d := tu.eligible.Sub(now); wait == 0 || d < wait {
+				wait = d
+			}
+			continue
+		}
+		t.nextID++
+		lease := fmt.Sprintf("L%d", t.nextID)
+		tu.state = unitLeased
+		tu.lease = lease
+		t.leases[lease] = &leaseRec{
+			id: lease, unitID: id, worker: worker,
+			deadline: now.Add(t.cfg.LeaseTTL),
+		}
+		return Grant{OK: true, Unit: tu.unit, Lease: lease, TTL: t.cfg.LeaseTTL}
+	}
+	if wait <= 0 || wait > t.cfg.LeaseTTL/2 {
+		wait = t.cfg.LeaseTTL / 2
+	}
+	return Grant{Wait: wait}
+}
+
+// Heartbeat extends a live lease to now+TTL. It returns false when the
+// lease is gone (expired and reclaimed, or its unit already completed by
+// someone else) — the worker may keep computing and submit a late
+// completion, but it no longer owns the unit.
+func (t *Tracker) Heartbeat(lease string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.sweepLocked(now)
+	rec, ok := t.leases[lease]
+	if !ok {
+		return false
+	}
+	rec.deadline = now.Add(t.cfg.LeaseTTL)
+	return true
+}
+
+// Complete records a finished unit. sum is the worker's canonical result
+// checksum; errText non-empty reports a unit that failed in the worker
+// without killing it (counted as a strike like a crash would be).
+//
+// A completion whose lease is no longer live is a late completion: the
+// result already landed in the shared store, so it is accepted — and the
+// unit marked done — iff it cannot conflict: either the unit is still
+// unfinished, or an earlier completion produced a byte-identical sum. A
+// differing sum on an already-done unit is a determinism violation,
+// counted on shard.sum_mismatches and rejected.
+func (t *Tracker) Complete(lease, unitID, sum, errText string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.sweepLocked(now)
+	tu := t.units[unitID]
+	if tu == nil {
+		return false
+	}
+	rec, live := t.leases[lease]
+	if live && rec.unitID != unitID {
+		live = false
+	}
+	if live {
+		delete(t.leases, lease)
+		tu.lease = ""
+	}
+	if errText != "" {
+		if live && tu.state == unitLeased {
+			t.strikeLocked(tu, now, errText)
+		}
+		return false
+	}
+	switch tu.state {
+	case unitDone:
+		if !live {
+			if tu.sum == sum {
+				t.mLate.Inc()
+				return true
+			}
+			t.mMismatch.Inc()
+			return false
+		}
+		return true
+	case unitQuarantined:
+		// The store holds a usable result after all; un-poison it.
+		tu.state = unitDone
+		tu.sum = sum
+		t.mDone.Inc()
+		if !live {
+			t.mLate.Inc()
+		}
+		return true
+	default:
+		tu.state = unitDone
+		tu.sum = sum
+		tu.strikes = 0
+		t.mDone.Inc()
+		if !live {
+			t.mLate.Inc()
+		}
+		return true
+	}
+}
+
+// WorkerDied reclaims every lease held by the worker immediately:
+// process death is definitive, so there is no reason to wait out the
+// TTL. Each reclaimed unit takes a strike.
+func (t *Tracker) WorkerDied(worker string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	var gone []string
+	for id, rec := range t.leases {
+		if rec.worker == worker {
+			gone = append(gone, id)
+		}
+	}
+	sort.Strings(gone)
+	for _, id := range gone {
+		rec := t.leases[id]
+		delete(t.leases, id)
+		if tu := t.units[rec.unitID]; tu != nil && tu.state == unitLeased {
+			t.strikeLocked(tu, now, "worker "+worker+" died")
+		}
+	}
+}
+
+// Sweep reclaims expired leases; the supervisor calls it periodically.
+func (t *Tracker) Sweep() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked(t.now())
+}
+
+// sweepLocked expires overdue leases under the held lock.
+func (t *Tracker) sweepLocked(now time.Time) {
+	var expired []string
+	for id, rec := range t.leases {
+		if now.After(rec.deadline) {
+			expired = append(expired, id)
+		}
+	}
+	sort.Strings(expired)
+	for _, id := range expired {
+		rec := t.leases[id]
+		delete(t.leases, id)
+		t.mExpiries.Inc()
+		if tu := t.units[rec.unitID]; tu != nil && tu.state == unitLeased {
+			t.strikeLocked(tu, now, "lease expired on "+rec.worker)
+		}
+	}
+}
+
+// strikeLocked reclaims a leased unit after a failed attempt: back to
+// pending under exponential backoff, or quarantined at MaxStrikes.
+func (t *Tracker) strikeLocked(tu *trackedUnit, now time.Time, reason string) {
+	tu.lease = ""
+	tu.strikes++
+	tu.lastErr = reason
+	t.mReclaims.Inc()
+	if tu.strikes >= t.cfg.MaxStrikes {
+		tu.state = unitQuarantined
+		t.mQuarantines.Inc()
+		return
+	}
+	tu.state = unitPending
+	tu.eligible = now.Add(t.cfg.RetryBackoff << uint(tu.strikes-1))
+}
+
+// openStageLocked returns the lowest stage with unfinished units.
+func (t *Tracker) openStageLocked() int {
+	stage := 0
+	found := false
+	for _, id := range t.order {
+		tu := t.units[id]
+		if tu.state == unitDone || tu.state == unitQuarantined {
+			continue
+		}
+		if !found || tu.unit.Stage < stage {
+			stage = tu.unit.Stage
+			found = true
+		}
+	}
+	return stage
+}
+
+// doneLocked reports whether every unit is done or quarantined.
+func (t *Tracker) doneLocked() bool {
+	for _, id := range t.order {
+		if st := t.units[id].state; st != unitDone && st != unitQuarantined {
+			return false
+		}
+	}
+	return true
+}
+
+// Done reports whether every unit is done or quarantined.
+func (t *Tracker) Done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.doneLocked()
+}
+
+// Quarantined returns the IDs of poison units with their last failure,
+// in submission order.
+func (t *Tracker) Quarantined() []QuarantinedUnit {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []QuarantinedUnit
+	for _, id := range t.order {
+		if tu := t.units[id]; tu.state == unitQuarantined {
+			out = append(out, QuarantinedUnit{ID: id, Strikes: tu.strikes, LastErr: tu.lastErr})
+		}
+	}
+	return out
+}
+
+// QuarantinedUnit names one poison unit in the tracker's final report.
+type QuarantinedUnit struct {
+	ID      string
+	Strikes int
+	LastErr string
+}
+
+// Counts is a snapshot of the tracker's progress.
+type Counts struct {
+	Total, Done, Pending, Leased, Quarantined int
+}
+
+// Counts returns the current unit-state tallies.
+func (t *Tracker) Counts() Counts {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := Counts{Total: len(t.order)}
+	for _, id := range t.order {
+		switch t.units[id].state {
+		case unitDone:
+			c.Done++
+		case unitPending:
+			c.Pending++
+		case unitLeased:
+			c.Leased++
+		case unitQuarantined:
+			c.Quarantined++
+		}
+	}
+	return c
+}

@@ -1,0 +1,252 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"teva/internal/obs"
+)
+
+// fakeClock drives the tracker's injected clock without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testUnits() []Unit {
+	return []Unit{
+		{Kind: UnitRandom, Level: "VR15", OpName: "fp-add.d", Stage: 0},
+		{Kind: UnitWA, Level: "VR15", Workload: "is", Stage: 1},
+		{Kind: UnitCell, Level: "VR15", Workload: "is", Model: "WA", Stage: 2},
+	}
+}
+
+func newTestTracker(t *testing.T, units []Unit) (*Tracker, *fakeClock, *obs.Registry) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	reg := obs.NewRegistry(nil)
+	tr := NewTracker(units, TrackerConfig{
+		LeaseTTL:     10 * time.Second,
+		MaxStrikes:   3,
+		RetryBackoff: time.Second,
+		Metrics:      reg,
+		Now:          clk.now,
+	})
+	return tr, clk, reg
+}
+
+func counter(reg *obs.Registry, name string) int64 { return reg.Counter(name).Value() }
+
+func TestLeaseStageGating(t *testing.T) {
+	tr, clk, _ := newTestTracker(t, testUnits())
+	g := tr.Lease("w0")
+	if !g.OK || g.Unit.Kind != UnitRandom {
+		t.Fatalf("first lease = %+v, want stage-0 random unit", g)
+	}
+	// Stage 1 must stay closed while stage 0 is in flight.
+	if g2 := tr.Lease("w1"); g2.OK {
+		t.Fatalf("stage-1 unit leased while stage 0 incomplete: %+v", g2)
+	} else if g2.Wait <= 0 {
+		t.Fatalf("blocked lease should suggest a wait, got %+v", g2)
+	}
+	if !tr.Complete(g.Lease, g.Unit.ID(), "sum0", "") {
+		t.Fatal("complete stage-0 unit failed")
+	}
+	g3 := tr.Lease("w1")
+	if !g3.OK || g3.Unit.Kind != UnitWA {
+		t.Fatalf("post-stage-0 lease = %+v, want the WA unit", g3)
+	}
+	_ = clk
+}
+
+func TestHeartbeatAfterExpiry(t *testing.T) {
+	tr, clk, reg := newTestTracker(t, testUnits()[:1])
+	g := tr.Lease("w0")
+	if !g.OK {
+		t.Fatalf("lease failed: %+v", g)
+	}
+	// Heartbeat within the TTL extends the lease.
+	clk.advance(9 * time.Second)
+	if !tr.Heartbeat(g.Lease) {
+		t.Fatal("in-TTL heartbeat rejected")
+	}
+	// ...but once the (extended) deadline passes, the sweep reclaims the
+	// unit and a late heartbeat must be refused.
+	clk.advance(11 * time.Second)
+	if tr.Heartbeat(g.Lease) {
+		t.Fatal("heartbeat accepted after lease expiry")
+	}
+	if got := counter(reg, MetricLeaseExpiries); got != 1 {
+		t.Fatalf("lease_expiries = %d, want 1", got)
+	}
+	if got := counter(reg, MetricReclaims); got != 1 {
+		t.Fatalf("reclaims = %d, want 1", got)
+	}
+	// The unit is pending again under backoff: 1 strike -> 1s base delay.
+	if g2 := tr.Lease("w1"); g2.OK {
+		t.Fatalf("unit leased during retry backoff: %+v", g2)
+	}
+	clk.advance(time.Second)
+	if g2 := tr.Lease("w1"); !g2.OK {
+		t.Fatalf("unit not leasable after backoff: %+v", g2)
+	}
+}
+
+func TestDoubleReclaim(t *testing.T) {
+	tr, clk, reg := newTestTracker(t, testUnits()[:1])
+	g := tr.Lease("w0")
+	if !g.OK {
+		t.Fatalf("lease failed: %+v", g)
+	}
+	// Expiry reclaims once...
+	clk.advance(11 * time.Second)
+	tr.Sweep()
+	// ...and a racing death notification for the same worker must not
+	// strike the unit a second time.
+	tr.WorkerDied("w0")
+	tr.Sweep()
+	if got := counter(reg, MetricReclaims); got != 1 {
+		t.Fatalf("reclaims = %d after expiry+death of same lease, want 1", got)
+	}
+	c := tr.Counts()
+	if c.Pending != 1 || c.Quarantined != 0 {
+		t.Fatalf("counts = %+v, want the unit pending once", c)
+	}
+}
+
+func TestLateCompletionByteIdenticalAccepted(t *testing.T) {
+	tr, clk, reg := newTestTracker(t, testUnits()[:1])
+	unitID := testUnits()[0].ID()
+
+	// w0 leases, goes quiet, lease expires, unit reassigned to w1.
+	g0 := tr.Lease("w0")
+	clk.advance(11 * time.Second)
+	tr.Sweep()
+	clk.advance(time.Second) // past retry backoff
+	g1 := tr.Lease("w1")
+	if !g1.OK {
+		t.Fatalf("reassignment lease failed: %+v", g1)
+	}
+	if !tr.Complete(g1.Lease, unitID, "sumX", "") {
+		t.Fatal("w1 completion rejected")
+	}
+
+	// w0 wakes up and finishes the unit it no longer leases with the
+	// byte-identical result: accepted, counted as a late completion.
+	if !tr.Complete(g0.Lease, unitID, "sumX", "") {
+		t.Fatal("byte-identical late completion rejected")
+	}
+	if got := counter(reg, MetricLateCompletions); got != 1 {
+		t.Fatalf("late_completions = %d, want 1", got)
+	}
+	if got := counter(reg, MetricSumMismatches); got != 0 {
+		t.Fatalf("sum_mismatches = %d, want 0", got)
+	}
+	// units_done must count the unit once, not twice.
+	if got := counter(reg, MetricUnitsDone); got != 1 {
+		t.Fatalf("units_done = %d, want 1", got)
+	}
+}
+
+func TestLateCompletionMismatchRejected(t *testing.T) {
+	tr, clk, reg := newTestTracker(t, testUnits()[:1])
+	unitID := testUnits()[0].ID()
+	g0 := tr.Lease("w0")
+	clk.advance(11 * time.Second)
+	tr.Sweep()
+	clk.advance(time.Second)
+	g1 := tr.Lease("w1")
+	if !tr.Complete(g1.Lease, unitID, "sumX", "") {
+		t.Fatal("w1 completion rejected")
+	}
+	// A differing checksum from the stale lease is a determinism
+	// violation: rejected and counted.
+	if tr.Complete(g0.Lease, unitID, "sumY", "") {
+		t.Fatal("mismatched late completion accepted")
+	}
+	if got := counter(reg, MetricSumMismatches); got != 1 {
+		t.Fatalf("sum_mismatches = %d, want 1", got)
+	}
+	if got := counter(reg, MetricLateCompletions); got != 0 {
+		t.Fatalf("late_completions = %d, want 0", got)
+	}
+}
+
+func TestLateCompletionOfStillPendingUnit(t *testing.T) {
+	tr, clk, reg := newTestTracker(t, testUnits()[:1])
+	unitID := testUnits()[0].ID()
+	g0 := tr.Lease("w0")
+	clk.advance(11 * time.Second)
+	tr.Sweep()
+	// Nobody re-leased the unit yet; the stale worker's result is still
+	// the cache entry the suite will load, so it completes the unit.
+	if !tr.Complete(g0.Lease, unitID, "sumX", "") {
+		t.Fatal("late completion of pending unit rejected")
+	}
+	if !tr.Done() {
+		t.Fatal("tracker not done after late completion")
+	}
+	if got := counter(reg, MetricLateCompletions); got != 1 {
+		t.Fatalf("late_completions = %d, want 1", got)
+	}
+}
+
+func TestQuarantineAfterMaxStrikes(t *testing.T) {
+	units := testUnits()[:2]
+	units[1].Stage = 0 // keep both leasable so the matrix can finish around the poison unit
+	tr, clk, reg := newTestTracker(t, units)
+	poison := units[0].ID()
+
+	for strike := 1; strike <= 3; strike++ {
+		g := tr.Lease("w0")
+		if !g.OK || g.Unit.ID() != poison {
+			t.Fatalf("strike %d: lease = %+v, want %s", strike, g, poison)
+		}
+		tr.WorkerDied("w0")
+		// Walk past the exponential backoff (1s, 2s, 4s).
+		clk.advance(time.Duration(1<<strike) * time.Second)
+	}
+	q := tr.Quarantined()
+	if len(q) != 1 || q[0].ID != poison || q[0].Strikes != 3 {
+		t.Fatalf("quarantined = %+v, want %s at 3 strikes", q, poison)
+	}
+	if got := counter(reg, MetricQuarantines); got != 1 {
+		t.Fatalf("quarantines = %d, want 1", got)
+	}
+
+	// The rest of the matrix still completes and the tracker reports done
+	// with the poison unit standing aside.
+	g := tr.Lease("w1")
+	if !g.OK || g.Unit.ID() == poison {
+		t.Fatalf("post-quarantine lease = %+v, want the healthy unit", g)
+	}
+	if !tr.Complete(g.Lease, g.Unit.ID(), "sum", "") {
+		t.Fatal("healthy unit completion failed")
+	}
+	if !tr.Done() {
+		t.Fatal("tracker not done with poison unit quarantined")
+	}
+	if gd := tr.Lease("w1"); !gd.Done {
+		t.Fatalf("lease after done = %+v, want Done", gd)
+	}
+}
+
+func TestWorkerErrorCountsAsStrike(t *testing.T) {
+	tr, clk, reg := newTestTracker(t, testUnits()[:1])
+	for strike := 1; strike <= 3; strike++ {
+		g := tr.Lease("w0")
+		if !g.OK {
+			t.Fatalf("strike %d lease failed: %+v", strike, g)
+		}
+		if tr.Complete(g.Lease, g.Unit.ID(), "", "synthetic unit failure") {
+			t.Fatal("errored completion accepted")
+		}
+		clk.advance(time.Duration(1<<strike) * time.Second)
+	}
+	if got := counter(reg, MetricQuarantines); got != 1 {
+		t.Fatalf("quarantines = %d, want 1", got)
+	}
+	if q := tr.Quarantined(); len(q) != 1 || q[0].LastErr != "synthetic unit failure" {
+		t.Fatalf("quarantined = %+v, want the reported error preserved", q)
+	}
+}
